@@ -1,0 +1,77 @@
+// Command rmatgen generates the paper's synthetic workloads — R-MAT ER /
+// G500 matrices and the Table 2 SuiteSparse proxies — as Matrix Market
+// files.
+//
+// Usage:
+//
+//	rmatgen -scale 14 -ef 16 -pattern g500 -o g500_s14.mtx
+//	rmatgen -proxy cant -maxn 65536 -o cant_proxy.mtx
+//	rmatgen -list-proxies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 12, "matrix is 2^scale x 2^scale")
+		ef      = flag.Int("ef", 16, "edge factor (average nonzeros per row)")
+		pattern = flag.String("pattern", "g500", "nonzero pattern: er|g500")
+		proxy   = flag.String("proxy", "", "generate a Table 2 proxy by matrix name instead")
+		maxN    = flag.Int("maxn", 0, "cap proxy row count (0 = paper size)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output Matrix Market file (default stdout)")
+		list    = flag.Bool("list-proxies", false, "list Table 2 proxy names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range gen.Table2 {
+			fmt.Printf("%-18s n=%-9d nnz=%-11d CR=%.2f\n", p.Name, p.N, p.NNZ, p.CompressionRatio())
+		}
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var m *matrix.CSR
+	switch {
+	case *proxy != "":
+		p := gen.ProfileByName(*proxy)
+		if p == nil {
+			fatalf("unknown proxy %q (see -list-proxies)", *proxy)
+		}
+		m = gen.Proxy(*p, *maxN, rng)
+	case *pattern == "er":
+		m = gen.ER(*scale, *ef, rng)
+	case *pattern == "g500":
+		m = gen.RMAT(*scale, *ef, gen.G500Params, rng)
+	default:
+		fatalf("unknown pattern %q (want er|g500)", *pattern)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := matrix.WriteMatrixMarket(w, m); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %v\n", m)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmatgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command spgemm-bench regenerates the tables and figures of Nagasaka et
+// al., "High-Performance Sparse Matrix-Matrix Products on Intel KNL and
+// Multicore Architectures" (ICPP 2018).
+//
+// Usage:
+//
+//	spgemm-bench -list
+//	spgemm-bench -exp fig11
+//	spgemm-bench -exp all -preset quick -csv
+//
+// Presets: tiny (seconds, CI-sized), quick (default, minutes), full
+// (paper-scale inputs; hours and tens of GiB for the largest proxies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig2..fig17, table2, table4, hmean, all)")
+		preset  = flag.String("preset", "quick", "workload preset: tiny|quick|full")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 0, "generator seed (0 = default)")
+		reps    = flag.Int("reps", 0, "timing repetitions (0 = preset default)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "spgemm-bench: -exp is required (or -list); try -exp all")
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := bench.ParsePreset(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Preset: p, Workers: *workers, Seed: *seed, Reps: *reps, CSV: *csv}
+	bench.Environment(os.Stdout)
+	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Betweenness centrality via batched SpGEMM (Brandes' algorithm in the
+// linear-algebra formulation of the Combinatorial BLAS, the paper's
+// reference [8]): forward BFS path counting and backward dependency
+// accumulation are both multiplications of the graph by tall-skinny
+// matrices, one column per source.
+//
+//	go run ./examples/betweenness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spgemm"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.RMAT(11, 8, gen.G500Params, rng)
+	fmt.Printf("graph: %v\n", g)
+
+	// Approximate centrality from a sample of 128 sources.
+	sources := make([]int32, 128)
+	for i := range sources {
+		sources[i] = int32(rng.Intn(g.Rows))
+	}
+
+	start := time.Now()
+	bc, err := graph.Betweenness(g, sources, 64, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-source approximation in %v\n\n", len(sources), time.Since(start))
+
+	// Top-10 most central vertices.
+	idx := make([]int, len(bc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return bc[idx[a]] > bc[idx[b]] })
+	fmt.Println("most central vertices (hub-dominated, as expected for G500):")
+	for rank := 0; rank < 10; rank++ {
+		v := idx[rank]
+		fmt.Printf("  #%2d vertex %5d  bc=%.1f\n", rank+1, v, bc[v])
+	}
+}

@@ -1,0 +1,304 @@
+// Package accum implements the per-row accumulators that distinguish the
+// SpGEMM algorithm families studied in the paper (Section 4.2): the
+// linear-probing hash table of Hash SpGEMM, the chunked hash table of
+// HashVector SpGEMM, the k-way merge heap of Heap SpGEMM, the dense sparse
+// accumulator (SPA) of Gustavson's algorithm, and a two-level hashmap in the
+// style of KokkosKernels' kkmem.
+//
+// All accumulators follow the paper's allocation discipline: they are owned
+// by one worker, allocated once at the upper-bound size for that worker's
+// rows, and reinitialized per row in O(entries) time rather than O(size).
+package accum
+
+import "sort"
+
+const emptyKey = int32(-1)
+
+// hashConst is the multiplicative hashing constant. The paper multiplies the
+// column index by a constant and takes the remainder modulo the (power of
+// two) table size; 0x9E3779B1 is the golden-ratio constant, which spreads
+// consecutive indices well.
+const hashConst = uint32(0x9E3779B1)
+
+// NextPow2 returns the smallest power of two strictly greater than n, which
+// is how the paper sizes hash tables ("Return minimum 2^n so that 2^n >
+// size_t"), guaranteeing at least one empty slot.
+func NextPow2(n int64) int64 {
+	p := int64(1)
+	for p <= n {
+		p <<= 1
+	}
+	return p
+}
+
+// HashTable is the accumulator of Hash SpGEMM: open addressing with linear
+// probing over a power-of-two table, keys initialized to -1. It tracks the
+// occupied slots so a per-row reset costs O(entries), not O(capacity).
+type HashTable struct {
+	keys []int32
+	vals []float64
+	used []int32 // occupied slot indices in insertion order
+	mask uint32
+	// probes counts every extra probe step beyond the first, i.e. the
+	// collision work. probes/inserts+1 approximates the paper's collision
+	// factor c of Equation (2).
+	probes  int64
+	lookups int64
+	// grow enables automatic rehashing at 3/4 load. The paper's Hash
+	// SpGEMM presizes tables from the flop upper bound and never grows;
+	// the two-level (Kokkos-style) accumulator uses a growing second level.
+	grow bool
+}
+
+// NewHashTable returns a table with capacity the smallest power of two
+// strictly greater than bound (minimum 16).
+func NewHashTable(bound int64) *HashTable {
+	h := &HashTable{}
+	h.Reserve(bound)
+	return h
+}
+
+// Reserve re-sizes the table to hold bound entries (capacity = NextPow2,
+// min 16) and clears it. Existing entries are discarded.
+func (h *HashTable) Reserve(bound int64) {
+	capacity := NextPow2(bound)
+	if capacity < 16 {
+		capacity = 16
+	}
+	if int64(len(h.keys)) != capacity {
+		h.keys = make([]int32, capacity)
+		h.vals = make([]float64, capacity)
+	}
+	for i := range h.keys {
+		h.keys[i] = emptyKey
+	}
+	h.used = h.used[:0]
+	h.mask = uint32(capacity - 1)
+}
+
+// Reset clears the table in O(entries) by walking the used-slot list.
+func (h *HashTable) Reset() {
+	for _, s := range h.used {
+		h.keys[s] = emptyKey
+	}
+	h.used = h.used[:0]
+}
+
+// Len returns the number of distinct keys currently stored.
+func (h *HashTable) Len() int { return len(h.used) }
+
+// Cap returns the table capacity (a power of two).
+func (h *HashTable) Cap() int { return len(h.keys) }
+
+// Probes returns the cumulative count of collision probe steps; divide by
+// Lookups for the mean collision factor.
+func (h *HashTable) Probes() int64 { return h.probes }
+
+// Lookups returns the cumulative number of insert/accumulate operations.
+func (h *HashTable) Lookups() int64 { return h.lookups }
+
+func (h *HashTable) slot(key int32) uint32 {
+	return (uint32(key) * hashConst) & h.mask
+}
+
+// InsertSymbolic inserts key if absent and reports whether it was new. This
+// is the whole inner loop of the symbolic phase: values are not touched.
+func (h *HashTable) InsertSymbolic(key int32) bool {
+	h.lookups++
+	s := h.slot(key)
+	for {
+		k := h.keys[s]
+		if k == key {
+			return false
+		}
+		if k == emptyKey {
+			h.keys[s] = key
+			h.used = append(h.used, int32(s))
+			h.maybeGrow()
+			return true
+		}
+		h.probes++
+		s = (s + 1) & h.mask
+	}
+}
+
+// Accumulate adds v into the entry for key, inserting it if absent
+// (plus-times fast path).
+func (h *HashTable) Accumulate(key int32, v float64) {
+	h.lookups++
+	s := h.slot(key)
+	for {
+		k := h.keys[s]
+		if k == key {
+			h.vals[s] += v
+			return
+		}
+		if k == emptyKey {
+			h.keys[s] = key
+			h.vals[s] = v
+			h.used = append(h.used, int32(s))
+			h.maybeGrow()
+			return
+		}
+		h.probes++
+		s = (s + 1) & h.mask
+	}
+}
+
+// AccumulateFunc is Accumulate under an arbitrary additive operation.
+func (h *HashTable) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
+	h.lookups++
+	s := h.slot(key)
+	for {
+		k := h.keys[s]
+		if k == key {
+			h.vals[s] = add(h.vals[s], v)
+			return
+		}
+		if k == emptyKey {
+			h.keys[s] = key
+			h.vals[s] = v
+			h.used = append(h.used, int32(s))
+			h.maybeGrow()
+			return
+		}
+		h.probes++
+		s = (s + 1) & h.mask
+	}
+}
+
+// Lookup returns the value stored for key and whether it is present.
+func (h *HashTable) Lookup(key int32) (float64, bool) {
+	s := h.slot(key)
+	for {
+		k := h.keys[s]
+		if k == key {
+			return h.vals[s], true
+		}
+		if k == emptyKey {
+			return 0, false
+		}
+		s = (s + 1) & h.mask
+	}
+}
+
+// SetGrow enables or disables automatic rehashing at 3/4 load.
+func (h *HashTable) SetGrow(on bool) { h.grow = on }
+
+func (h *HashTable) maybeGrow() {
+	if !h.grow || len(h.used)*4 < len(h.keys)*3 {
+		return
+	}
+	oldKeys, oldVals, oldUsed := h.keys, h.vals, append([]int32(nil), h.used...)
+	capacity := int64(len(h.keys)) * 2
+	h.keys = make([]int32, capacity)
+	h.vals = make([]float64, capacity)
+	for i := range h.keys {
+		h.keys[i] = emptyKey
+	}
+	h.mask = uint32(capacity - 1)
+	h.used = h.used[:0]
+	for _, s := range oldUsed {
+		key := oldKeys[s]
+		v := oldVals[s]
+		ns := h.slot(key)
+		for h.keys[ns] != emptyKey {
+			ns = (ns + 1) & h.mask
+		}
+		h.keys[ns] = key
+		h.vals[ns] = v
+		h.used = append(h.used, int32(ns))
+	}
+}
+
+// ExtractUnsorted appends the (key, value) pairs in insertion order to cols
+// and vals, which must have room for Len() more entries starting at offset.
+// It returns the number of entries written.
+func (h *HashTable) ExtractUnsorted(cols []int32, vals []float64) int {
+	for i, s := range h.used {
+		cols[i] = h.keys[s]
+		vals[i] = h.vals[s]
+	}
+	return len(h.used)
+}
+
+// ExtractSorted writes the (key, value) pairs in increasing key order — the
+// sorting step the paper shows algorithms can skip when unsorted output is
+// acceptable.
+func (h *HashTable) ExtractSorted(cols []int32, vals []float64) int {
+	n := h.ExtractUnsorted(cols, vals)
+	sortPairs(cols[:n], vals[:n])
+	return n
+}
+
+// ExtractKeysSorted writes just the keys, sorted; used by symbolic-phase
+// consumers that want patterns.
+func (h *HashTable) ExtractKeysSorted(cols []int32) int {
+	for i, s := range h.used {
+		cols[i] = h.keys[s]
+	}
+	n := len(h.used)
+	c := cols[:n]
+	sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+	return n
+}
+
+// sortPairs sorts cols ascending carrying vals along: insertion sort for
+// short rows, median-of-three quicksort above. A dedicated dual-array sort
+// avoids the interface-call overhead of sort.Sort in what is the hot path of
+// every sorted-output extraction (the cost the paper's unsorted mode skips).
+func sortPairs(cols []int32, vals []float64) {
+	for len(cols) > 24 {
+		// Median-of-three pivot to dodge the sorted/reversed worst cases.
+		n := len(cols)
+		m := n / 2
+		if cols[m] < cols[0] {
+			cols[m], cols[0] = cols[0], cols[m]
+			vals[m], vals[0] = vals[0], vals[m]
+		}
+		if cols[n-1] < cols[0] {
+			cols[n-1], cols[0] = cols[0], cols[n-1]
+			vals[n-1], vals[0] = vals[0], vals[n-1]
+		}
+		if cols[n-1] < cols[m] {
+			cols[n-1], cols[m] = cols[m], cols[n-1]
+			vals[n-1], vals[m] = vals[m], vals[n-1]
+		}
+		pivot := cols[m]
+		i, j := 0, n-1
+		for i <= j {
+			for cols[i] < pivot {
+				i++
+			}
+			for cols[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cols[i], cols[j] = cols[j], cols[i]
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 < n-i {
+			sortPairs(cols[:j+1], vals[:j+1])
+			cols, vals = cols[i:], vals[i:]
+		} else {
+			sortPairs(cols[i:], vals[i:])
+			cols, vals = cols[:j+1], vals[:j+1]
+		}
+	}
+	// Insertion sort for the base case.
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
+}

@@ -1,0 +1,126 @@
+package accum
+
+// MergeHeap is the accumulator of Heap SpGEMM (Section 4.2.3): a binary
+// min-heap keyed by column index that k-way-merges the nnz(a_i*) scaled rows
+// of B contributing to output row i. Space is O(nnz(a_i*)) — the heap holds
+// one cursor per contributing row of B — which is the heap algorithm's
+// advantage over hash (O(flop)) and SPA (O(n)) accumulators.
+type MergeHeap struct {
+	// Parallel arrays beat a slice of structs here: the sift loops touch
+	// Col for every comparison but AVal/Pos/End only on swap.
+	col  []int32
+	aval []float64
+	pos  []int64
+	end  []int64
+}
+
+// NewMergeHeap returns a heap with initial capacity for bound cursors.
+func NewMergeHeap(bound int64) *MergeHeap {
+	return &MergeHeap{
+		col:  make([]int32, 0, bound),
+		aval: make([]float64, 0, bound),
+		pos:  make([]int64, 0, bound),
+		end:  make([]int64, 0, bound),
+	}
+}
+
+// Len returns the number of live cursors.
+func (h *MergeHeap) Len() int { return len(h.col) }
+
+// Reset empties the heap, keeping capacity.
+func (h *MergeHeap) Reset() {
+	h.col = h.col[:0]
+	h.aval = h.aval[:0]
+	h.pos = h.pos[:0]
+	h.end = h.end[:0]
+}
+
+// Push adds a cursor: the merge source currently at column col with scale
+// aval, reading B storage positions [pos, end).
+func (h *MergeHeap) Push(col int32, aval float64, pos, end int64) {
+	h.col = append(h.col, col)
+	h.aval = append(h.aval, aval)
+	h.pos = append(h.pos, pos)
+	h.end = append(h.end, end)
+	h.siftUp(len(h.col) - 1)
+}
+
+// Min returns the minimum column and its cursor's fields. The heap must be
+// non-empty.
+func (h *MergeHeap) Min() (col int32, aval float64, pos int64) {
+	return h.col[0], h.aval[0], h.pos[0]
+}
+
+// AdvanceMin moves the minimum cursor to its next B entry (column nextCol)
+// and restores the heap. The caller has consumed the entry at the previous
+// position.
+func (h *MergeHeap) AdvanceMin(nextCol int32) {
+	h.col[0] = nextCol
+	h.pos[0]++
+	h.siftDown(0)
+}
+
+// MinPosEnd returns the minimum cursor's position and end, letting the
+// driver decide between AdvanceMin and PopMin.
+func (h *MergeHeap) MinPosEnd() (pos, end int64) { return h.pos[0], h.end[0] }
+
+// PopMin removes the minimum cursor (its B row is exhausted).
+func (h *MergeHeap) PopMin() {
+	last := len(h.col) - 1
+	h.swap(0, last)
+	h.col = h.col[:last]
+	h.aval = h.aval[:last]
+	h.pos = h.pos[:last]
+	h.end = h.end[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+func (h *MergeHeap) swap(i, j int) {
+	h.col[i], h.col[j] = h.col[j], h.col[i]
+	h.aval[i], h.aval[j] = h.aval[j], h.aval[i]
+	h.pos[i], h.pos[j] = h.pos[j], h.pos[i]
+	h.end[i], h.end[j] = h.end[j], h.end[i]
+}
+
+func (h *MergeHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.col[parent] <= h.col[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *MergeHeap) siftDown(i int) {
+	n := len(h.col)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && h.col[r] < h.col[l] {
+			small = r
+		}
+		if h.col[i] <= h.col[small] {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// CheckInvariant verifies the heap property; used by tests.
+func (h *MergeHeap) CheckInvariant() bool {
+	n := len(h.col)
+	for i := 1; i < n; i++ {
+		if h.col[(i-1)/2] > h.col[i] {
+			return false
+		}
+	}
+	return true
+}

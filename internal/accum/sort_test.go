@@ -1,0 +1,103 @@
+package accum
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortPairsAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		cols := make([]int32, n)
+		vals := make([]float64, n)
+		type pair struct {
+			c int32
+			v float64
+		}
+		ref := make([]pair, n)
+		for i := 0; i < n; i++ {
+			cols[i] = int32(rng.Intn(50)) // duplicates likely
+			vals[i] = float64(i)
+			ref[i] = pair{cols[i], vals[i]}
+		}
+		sortPairs(cols, vals)
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].c < ref[b].c })
+		// Keys must match the reference exactly; values must stay paired
+		// with their original key (compare multisets per key).
+		for i := 0; i < n; i++ {
+			if cols[i] != ref[i].c {
+				return false
+			}
+		}
+		// Check pairing: group values by key in both and compare sets.
+		got := map[int32]map[float64]int{}
+		want := map[int32]map[float64]int{}
+		for i := 0; i < n; i++ {
+			if got[cols[i]] == nil {
+				got[cols[i]] = map[float64]int{}
+			}
+			got[cols[i]][vals[i]]++
+			if want[ref[i].c] == nil {
+				want[ref[i].c] = map[float64]int{}
+			}
+			want[ref[i].c][ref[i].v]++
+		}
+		for k, m := range want {
+			for v, c := range m {
+				if got[k][v] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortPairsAdversarialPatterns(t *testing.T) {
+	patterns := map[string]func(n int) []int32{
+		"sorted": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = int32(i)
+			}
+			return out
+		},
+		"reversed": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = int32(n - i)
+			}
+			return out
+		},
+		"constant": func(n int) []int32 {
+			return make([]int32, n)
+		},
+		"organ-pipe": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				if i < n/2 {
+					out[i] = int32(i)
+				} else {
+					out[i] = int32(n - i)
+				}
+			}
+			return out
+		},
+	}
+	for name, f := range patterns {
+		for _, n := range []int{0, 1, 25, 100, 1000} {
+			cols := f(n)
+			vals := make([]float64, n)
+			sortPairs(cols, vals)
+			if !sort.SliceIsSorted(cols, func(a, b int) bool { return cols[a] < cols[b] }) {
+				t.Fatalf("%s n=%d: not sorted", name, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package accum
+
+import "sort"
+
+// SPA is Gilbert/Moler/Schreiber's sparse accumulator: a dense value array
+// indexed directly by column, a dense occupancy mark, and a list of occupied
+// columns. Lookup and insert are a single random access — O(1) with no
+// collisions ever — at the cost of O(n) space per thread, which is the
+// trade-off the paper's Section 4.2.3 cites against hash and heap.
+//
+// Occupancy uses generation stamps so a per-row reset is O(1): bumping the
+// generation invalidates all marks at once. Only the index list is walked
+// during extraction.
+type SPA struct {
+	vals  []float64
+	stamp []uint32
+	gen   uint32
+	idx   []int32 // occupied columns in insertion order
+}
+
+// NewSPA returns a SPA over a column space of size ncols.
+func NewSPA(ncols int) *SPA {
+	return &SPA{
+		vals:  make([]float64, ncols),
+		stamp: make([]uint32, ncols),
+		gen:   1,
+		idx:   make([]int32, 0, 256),
+	}
+}
+
+// Reserve grows the dense arrays to cover ncols columns (no-op if already
+// large enough).
+func (s *SPA) Reserve(ncols int) {
+	if len(s.vals) < ncols {
+		s.vals = make([]float64, ncols)
+		s.stamp = make([]uint32, ncols)
+		s.gen = 1
+	}
+}
+
+// Reset prepares for a new row in O(1) (amortized: a full stamp clear every
+// 2^32 rows when the generation counter wraps).
+func (s *SPA) Reset() {
+	s.idx = s.idx[:0]
+	s.gen++
+	if s.gen == 0 { // wrapped: all stamps are stale-but-matching; clear them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// Len returns the number of distinct columns accumulated this row.
+func (s *SPA) Len() int { return len(s.idx) }
+
+// InsertSymbolic marks col occupied, reporting whether it was new.
+func (s *SPA) InsertSymbolic(col int32) bool {
+	if s.stamp[col] == s.gen {
+		return false
+	}
+	s.stamp[col] = s.gen
+	s.idx = append(s.idx, col)
+	return true
+}
+
+// Accumulate adds v into column col (plus-times fast path).
+func (s *SPA) Accumulate(col int32, v float64) {
+	if s.stamp[col] == s.gen {
+		s.vals[col] += v
+		return
+	}
+	s.stamp[col] = s.gen
+	s.vals[col] = v
+	s.idx = append(s.idx, col)
+}
+
+// AccumulateFunc is Accumulate under an arbitrary additive operation.
+func (s *SPA) AccumulateFunc(col int32, v float64, add func(a, b float64) float64) {
+	if s.stamp[col] == s.gen {
+		s.vals[col] = add(s.vals[col], v)
+		return
+	}
+	s.stamp[col] = s.gen
+	s.vals[col] = v
+	s.idx = append(s.idx, col)
+}
+
+// Lookup returns the value for col and whether it is occupied this row.
+func (s *SPA) Lookup(col int32) (float64, bool) {
+	if s.stamp[col] == s.gen {
+		return s.vals[col], true
+	}
+	return 0, false
+}
+
+// ExtractUnsorted writes the (col, value) pairs in insertion order.
+func (s *SPA) ExtractUnsorted(cols []int32, vals []float64) int {
+	for i, c := range s.idx {
+		cols[i] = c
+		vals[i] = s.vals[c]
+	}
+	return len(s.idx)
+}
+
+// ExtractSorted writes the pairs in increasing column order.
+func (s *SPA) ExtractSorted(cols []int32, vals []float64) int {
+	n := len(s.idx)
+	copy(cols, s.idx)
+	c := cols[:n]
+	sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+	for i, col := range c {
+		vals[i] = s.vals[col]
+	}
+	return n
+}

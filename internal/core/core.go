@@ -1,0 +1,66 @@
+// Package core is the entry point to the paper's primary contribution — the
+// optimized shared-memory SpGEMM kernels. It is a thin facade over
+// internal/spgemm (where the implementations live, one file per algorithm
+// family) so that callers who just want "multiply two sparse matrices well"
+// have a single small surface:
+//
+//	c, err := core.Multiply(a, b, &core.Options{Algorithm: core.AlgAuto})
+//
+// See internal/spgemm for algorithm documentation and DESIGN.md for how each
+// algorithm maps onto the paper.
+package core
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/spgemm"
+)
+
+// Re-exported types.
+type (
+	// Options configures a multiplication; the zero value is a good default.
+	Options = spgemm.Options
+	// Algorithm selects the SpGEMM implementation.
+	Algorithm = spgemm.Algorithm
+	// HeapVariant selects the Figure 9 scheduling/memory variant of AlgHeap.
+	HeapVariant = spgemm.HeapVariant
+	// UseCase classifies the multiplication scenario for the recipe.
+	UseCase = spgemm.UseCase
+)
+
+// Re-exported algorithm selectors.
+const (
+	AlgAuto         = spgemm.AlgAuto
+	AlgHash         = spgemm.AlgHash
+	AlgHashVec      = spgemm.AlgHashVec
+	AlgHeap         = spgemm.AlgHeap
+	AlgSPA          = spgemm.AlgSPA
+	AlgMKL          = spgemm.AlgMKL
+	AlgMKLInspector = spgemm.AlgMKLInspector
+	AlgKokkos       = spgemm.AlgKokkos
+	AlgMerge        = spgemm.AlgMerge
+	AlgIKJ          = spgemm.AlgIKJ
+	AlgBlockedSPA   = spgemm.AlgBlockedSPA
+	AlgESC          = spgemm.AlgESC
+)
+
+// Re-exported use cases.
+const (
+	UseSquare     = spgemm.UseSquare
+	UseTallSkinny = spgemm.UseTallSkinny
+	UseTriangle   = spgemm.UseTriangle
+)
+
+// Multiply computes C = A·B. See spgemm.Multiply.
+func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	return spgemm.Multiply(a, b, opt)
+}
+
+// Recommend returns the paper's Table 4 recipe choice. See spgemm.Recommend.
+func Recommend(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
+	return spgemm.Recommend(a, b, sorted, uc)
+}
+
+// Flop returns the multiplication count of A·B and its per-row breakdown.
+func Flop(a, b *matrix.CSR) (total int64, perRow []int64) {
+	return spgemm.Flop(a, b)
+}

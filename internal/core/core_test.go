@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestFacadeMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.Random(20, 20, 0.2, rng)
+	want := matrix.NaiveMultiply(a, a)
+	for _, alg := range []Algorithm{AlgAuto, AlgHash, AlgHashVec, AlgHeap, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgMerge, AlgIKJ} {
+		got, err := Multiply(a, a, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("%v: wrong product through facade", alg)
+		}
+	}
+}
+
+func TestFacadeRecommendAndFlop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(30, 30, 0.2, rng)
+	for _, uc := range []UseCase{UseSquare, UseTallSkinny, UseTriangle} {
+		if alg := Recommend(a, a, true, uc); alg == AlgAuto {
+			t.Fatalf("%v: Recommend returned AlgAuto", uc)
+		}
+	}
+	total, perRow := Flop(a, a)
+	wantTotal, _ := matrix.Flop(a, a)
+	if total != wantTotal || len(perRow) != a.Rows {
+		t.Fatal("Flop facade mismatch")
+	}
+}

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestRMATDimensionsAndDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, p := range []RMATParams{ERParams, G500Params} {
+		m := RMAT(10, 8, p, rng)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Rows != 1024 || m.Cols != 1024 {
+			t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+		}
+		// nnz ≤ generated edges; and at least half survive duplicate
+		// merging even for skewed parameters at this density.
+		if m.NNZ() > 8*1024 || m.NNZ() < 4*1024 {
+			t.Fatalf("nnz = %d", m.NNZ())
+		}
+	}
+}
+
+func TestERMatchesRMATUniformStatistically(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	er := ER(10, 8, rng)
+	if err := er.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform: no row should be enormously heavy.
+	if er.MaxRowNNZ() > 40 {
+		t.Fatalf("ER max degree %d is implausibly high", er.MaxRowNNZ())
+	}
+}
+
+func TestG500IsSkewedERIsNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	er := ER(12, 16, rng)
+	g500 := RMAT(12, 16, G500Params, rng)
+	// Skew signal: max degree relative to mean.
+	erRatio := float64(er.MaxRowNNZ()) / er.AvgRowNNZ()
+	gRatio := float64(g500.MaxRowNNZ()) / g500.AvgRowNNZ()
+	if gRatio < 3*erRatio {
+		t.Fatalf("G500 skew ratio %.1f not clearly above ER %.1f", gRatio, erRatio)
+	}
+}
+
+func TestRMATDeterministicWithSeed(t *testing.T) {
+	a := RMAT(8, 8, G500Params, rand.New(rand.NewSource(7)))
+	b := RMAT(8, 8, G500Params, rand.New(rand.NewSource(7)))
+	if !matrix.Equal(a, b) {
+		t.Fatal("same seed should reproduce the same matrix")
+	}
+}
+
+func TestTallSkinny(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	g := RMAT(10, 8, G500Params, rng)
+	ts := TallSkinny(g, 6, rng)
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != g.Rows || ts.Cols != 64 {
+		t.Fatalf("dims %dx%d", ts.Rows, ts.Cols)
+	}
+	if !ts.Sorted {
+		t.Fatal("tall-skinny selection should preserve sortedness")
+	}
+	// Requesting more columns than exist clamps.
+	ts2 := TallSkinny(g, 30, rng)
+	if ts2.Cols != g.Cols {
+		t.Fatalf("clamp failed: %d", ts2.Cols)
+	}
+}
+
+func TestUnsortedPreservesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	g := RMAT(8, 4, ERParams, rng)
+	u := Unsorted(g, rng)
+	if u.Sorted {
+		t.Fatal("Unsorted must clear the Sorted flag")
+	}
+	if u.NNZ() != g.NNZ() {
+		t.Fatal("shuffle changed nnz")
+	}
+	// The represented matrix must be unchanged — only storage order may
+	// differ (this is what makes sorted-vs-unsorted timing comparable).
+	if !matrix.EqualApprox(g, u, 0) {
+		t.Fatal("Unsorted changed the matrix, not just the entry order")
+	}
+	// And the flop of the square is identical.
+	fg, _ := matrix.Flop(g, g)
+	fu, _ := matrix.Flop(u, u)
+	if fg != fu {
+		t.Fatalf("flop changed: %d vs %d", fg, fu)
+	}
+}
+
+func TestSpreadBandStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	m := SpreadBand(500, 8, 30, rng)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		if len(cols) != 8 {
+			t.Fatalf("row %d has %d entries", i, len(cols))
+		}
+		for _, c := range cols {
+			if int(c) < i-30 || int(c) > i+30 {
+				t.Fatalf("row %d entry %d outside window", i, c)
+			}
+		}
+	}
+}
+
+func TestSpreadBandDenseWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	// d larger than the window: rows are clamped to the window size.
+	m := SpreadBand(100, 20, 5, rng)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 95; i++ {
+		if m.RowNNZ(i) != 11 { // full window 2*5+1
+			t.Fatalf("row %d nnz %d, want 11", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestSolveLambda(t *testing.T) {
+	for _, cr := range []float64{1.01, 1.5, 2, 5, 15, 30} {
+		l := solveLambda(cr)
+		got := crOfLambda(l)
+		if math.Abs(got-cr) > 1e-6 {
+			t.Fatalf("cr=%v: λ=%v gives %v", cr, l, got)
+		}
+	}
+	if solveLambda(1.0) != 0 || solveLambda(0.5) != 0 {
+		t.Fatal("cr<=1 must map to λ=0")
+	}
+	// Asymptotics of the triangular model.
+	if crOfLambda(1e-13) != 1 {
+		t.Fatal("crOfLambda(0) must be 1")
+	}
+	if math.Abs(crOfLambda(1000)-500) > 1 {
+		t.Fatalf("crOfLambda(1000) = %v, want ≈500", crOfLambda(1000))
+	}
+}
+
+func TestProxyMatchesProfileCR(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	// A spread of CR regimes: low (graph), mid, high (FEM).
+	for _, name := range []string{"patents_main", "cage12", "cant", "pdb1HYS", "webbase-1M"} {
+		p := ProfileByName(name)
+		if p == nil {
+			t.Fatalf("profile %s missing", name)
+		}
+		m := Proxy(*p, 1<<14, rng)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		st := matrix.ProductStats(m, m)
+		wantCR := p.CompressionRatio()
+		// The analytic window model is approximate; accept 40% relative
+		// error — Figure 14/15 only need the CR ordering preserved.
+		if st.CompressionRatio < wantCR*0.6 || st.CompressionRatio > wantCR*1.6 {
+			t.Errorf("%s: proxy CR %.2f, paper %.2f", name, st.CompressionRatio, wantCR)
+		}
+		// Degree matches.
+		if math.Abs(m.AvgRowNNZ()-p.Degree()) > p.Degree()*0.3+1 {
+			t.Errorf("%s: proxy degree %.1f, paper %.1f", name, m.AvgRowNNZ(), p.Degree())
+		}
+	}
+}
+
+func TestProxyCROrderingPreserved(t *testing.T) {
+	// Figures 14/15/17 sort matrices by CR; the proxies must preserve the
+	// relative order between a clearly-low and a clearly-high CR profile.
+	rng := rand.New(rand.NewSource(209))
+	low := Proxy(*ProfileByName("patents_main"), 1<<13, rng) // CR 1.14
+	high := Proxy(*ProfileByName("pdb1HYS"), 1<<13, rng)     // CR 28.3
+	crLow := matrix.ProductStats(low, low).CompressionRatio
+	crHigh := matrix.ProductStats(high, high).CompressionRatio
+	if crLow >= crHigh {
+		t.Fatalf("CR ordering broken: low=%v high=%v", crLow, crHigh)
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	if len(Table2) != 26 {
+		t.Fatalf("Table2 has %d entries, want 26", len(Table2))
+	}
+	for _, p := range Table2 {
+		if p.N <= 0 || p.NNZ <= 0 || p.Flop <= 0 || p.NNZC <= 0 {
+			t.Fatalf("%s: bad profile %+v", p.Name, p)
+		}
+		if p.Flop < p.NNZC {
+			t.Fatalf("%s: flop < nnzC", p.Name)
+		}
+	}
+	if ProfileByName("no-such-matrix") != nil {
+		t.Fatal("unknown profile should be nil")
+	}
+}
+
+func TestProxyFullSizeWhenMaxNZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	p := Profile{Name: "tiny", N: 1000, NNZ: 4000, Flop: 32000, NNZC: 16000}
+	m := Proxy(p, 0, rng)
+	if m.Rows != 1000 {
+		t.Fatalf("rows = %d", m.Rows)
+	}
+}

@@ -1,0 +1,193 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Profile records one row of the paper's Table 2: the structural statistics
+// of a SuiteSparse matrix (all counts in absolute units, converted from the
+// paper's millions).
+type Profile struct {
+	Name string
+	N    int
+	NNZ  int64
+	Flop int64 // flop(A²)
+	NNZC int64 // nnz(A²)
+}
+
+// CompressionRatio is the paper's flop(A²)/nnz(A²).
+func (p Profile) CompressionRatio() float64 { return float64(p.Flop) / float64(p.NNZC) }
+
+// Degree is the mean nonzeros per row.
+func (p Profile) Degree() float64 { return float64(p.NNZ) / float64(p.N) }
+
+// Table2 lists the 26 SuiteSparse matrices of the paper's Table 2.
+var Table2 = []Profile{
+	{"2cubes_sphere", 101_000, 1_650_000, 27_450_000, 8_970_000},
+	{"cage12", 130_000, 2_030_000, 34_610_000, 15_230_000},
+	{"cage15", 5_155_000, 99_200_000, 2_078_630_000, 929_020_000},
+	{"cant", 62_000, 4_010_000, 269_490_000, 17_440_000},
+	{"conf5_4-8x8-05", 49_000, 1_920_000, 74_760_000, 10_910_000},
+	{"consph", 83_000, 6_010_000, 463_850_000, 26_540_000},
+	{"cop20k_A", 121_000, 2_620_000, 79_880_000, 18_710_000},
+	{"delaunay_n24", 16_777_000, 100_660_000, 633_910_000, 347_320_000},
+	{"filter3D", 106_000, 2_710_000, 85_960_000, 20_160_000},
+	{"hood", 221_000, 10_770_000, 562_030_000, 34_240_000},
+	{"m133-b3", 200_000, 800_000, 3_200_000, 3_180_000},
+	{"mac_econ_fwd500", 207_000, 1_270_000, 7_560_000, 6_700_000},
+	{"majorbasis", 160_000, 1_750_000, 19_180_000, 8_240_000},
+	{"mario002", 390_000, 2_100_000, 12_830_000, 6_450_000},
+	{"mc2depi", 526_000, 2_100_000, 8_390_000, 5_250_000},
+	{"mono_500Hz", 169_000, 5_040_000, 204_030_000, 41_380_000},
+	{"offshore", 260_000, 4_240_000, 71_340_000, 23_360_000},
+	{"patents_main", 241_000, 560_000, 2_600_000, 2_280_000},
+	{"pdb1HYS", 36_000, 4_340_000, 555_320_000, 19_590_000},
+	{"poisson3Da", 14_000, 350_000, 11_770_000, 2_960_000},
+	{"pwtk", 218_000, 11_630_000, 626_050_000, 32_770_000},
+	{"rma10", 47_000, 2_370_000, 156_480_000, 7_900_000},
+	{"scircuit", 171_000, 960_000, 8_680_000, 5_220_000},
+	{"shipsec1", 141_000, 7_810_000, 450_640_000, 24_090_000},
+	{"wb-edu", 9_846_000, 57_160_000, 1_559_580_000, 630_080_000},
+	{"webbase-1M", 1_000_000, 3_110_000, 69_520_000, 51_110_000},
+}
+
+// ProfileByName returns the Table 2 profile with the given name, or nil.
+func ProfileByName(name string) *Profile {
+	for i := range Table2 {
+		if Table2[i].Name == name {
+			return &Table2[i]
+		}
+	}
+	return nil
+}
+
+// Proxy generates a synthetic stand-in for a Table 2 matrix. The SuiteSparse
+// collection is not available offline, so we build a "spread band" matrix
+// with the same row count (scaled down to at most maxN rows; 0 keeps the
+// original size), the same mean degree, and — the property the paper's
+// Figures 14, 15 and 17 key on — the same compression ratio flop/nnz(A²).
+//
+// Spread band: row i has d nonzeros at distinct uniform positions within a
+// window of half-width W centered on column i. Squaring such a matrix lands
+// d² products on columns distributed triangularly over [i−2W, i+2W] (the
+// convolution of two uniform windows), with peak intensity λ = d²/(2W) at
+// the center. The expected compression ratio is then
+//
+//	CR(λ) = λ / (2·(1 − (1−e^{−λ})/λ))
+//
+// (→1 as λ→0, →λ/2 as λ→∞); W is solved from the profile's target CR. This
+// preserves n, nnz, flop and CR while replacing the exact sparsity pattern;
+// skew is not reproduced (see DESIGN.md's substitution table).
+func Proxy(p Profile, maxN int, rng *rand.Rand) *matrix.CSR {
+	n := p.N
+	if maxN > 0 && n > maxN {
+		n = maxN
+	}
+	d := int(math.Round(p.Degree()))
+	if d < 1 {
+		d = 1
+	}
+	cr := p.CompressionRatio()
+	lambda := solveLambda(cr)
+	// Peak product intensity λ = d²/(2W) → half-width W = d²/(2λ).
+	var window int
+	if lambda <= 0 {
+		window = n
+	} else {
+		window = int(math.Round(float64(d*d) / (2 * lambda)))
+	}
+	if window < d {
+		window = d
+	}
+	if window > n {
+		window = n
+	}
+	return SpreadBand(n, d, window, rng)
+}
+
+// crOfLambda is the expected compression ratio of a spread-band square at
+// peak intensity λ under the triangular overlap model (see Proxy).
+func crOfLambda(l float64) float64 {
+	if l < 1e-12 {
+		return 1
+	}
+	return l / (2 * (1 - (1-math.Exp(-l))/l))
+}
+
+// solveLambda inverts crOfLambda by bisection. cr ≤ 1 maps to 0 (no
+// collisions: unbounded window).
+func solveLambda(cr float64) float64 {
+	if cr <= 1+1e-9 {
+		return 0
+	}
+	lo, hi := 1e-9, 4*cr+10 // crOfLambda(λ)≈λ/2 for large λ
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if crOfLambda(mid) < cr {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SpreadBand builds an n×n matrix whose row i has exactly min(d, window
+// size) distinct nonzeros at uniform positions within the window of width
+// 2·halfW+1 centered on column i (clipped at the matrix edge). Rows are
+// sorted. Values are uniform in (0, 1].
+func SpreadBand(n, d, halfW int, rng *rand.Rand) *matrix.CSR {
+	m := &matrix.CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1), Sorted: true}
+	m.ColIdx = make([]int32, 0, int64(n)*int64(d))
+	m.Val = make([]float64, 0, int64(n)*int64(d))
+	row := make([]int32, 0, d)
+	seen := make(map[int32]bool, d)
+	for i := 0; i < n; i++ {
+		lo := i - halfW
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfW
+		if hi >= n {
+			hi = n - 1
+		}
+		width := hi - lo + 1
+		k := d
+		if k > width {
+			k = width
+		}
+		row = row[:0]
+		clear(seen)
+		if k*2 >= width {
+			// Dense window: sample by shuffling the window.
+			for off := 0; off < width; off++ {
+				row = append(row, int32(lo+off))
+			}
+			rng.Shuffle(width, func(a, b int) { row[a], row[b] = row[b], row[a] })
+			row = row[:k]
+		} else {
+			for len(row) < k {
+				c := int32(lo + rng.Intn(width))
+				if !seen[c] {
+					seen[c] = true
+					row = append(row, c)
+				}
+			}
+		}
+		// Insertion sort keeps the row sorted.
+		for x := 1; x < len(row); x++ {
+			for y := x; y > 0 && row[y] < row[y-1]; y-- {
+				row[y], row[y-1] = row[y-1], row[y]
+			}
+		}
+		for _, c := range row {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, 1-rng.Float64())
+		}
+		m.RowPtr[i+1] = int64(len(m.ColIdx))
+	}
+	return m
+}

@@ -1,0 +1,108 @@
+// Package gen generates the evaluation workloads of the paper's Section 5:
+// R-MAT synthetic matrices with ER (uniform) and G500 (power-law) nonzero
+// patterns, tall-skinny right-hand sides, and profile-matched synthetic
+// proxies for the 26 SuiteSparse matrices of Table 2.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// RMATParams are the quadrant probabilities of the recursive matrix
+// generator of Chakrabarti et al. A scale-s matrix is 2^s × 2^s.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// ERParams generates Erdős-Rényi-like uniform matrices (a=b=c=d=0.25),
+// the paper's "ER" inputs.
+var ERParams = RMATParams{0.25, 0.25, 0.25, 0.25}
+
+// G500Params are the Graph500 parameters (a=0.57, b=c=0.19, d=0.05),
+// the paper's skewed "G500" inputs.
+var G500Params = RMATParams{0.57, 0.19, 0.19, 0.05}
+
+// RMAT generates a scale×scale R-MAT matrix with edgeFactor·2^scale
+// generated edges. Duplicate edges are merged by summation, so the final
+// nnz is slightly below edgeFactor·2^scale for skewed parameters (as with
+// the Graph500 generator). Values are uniform in (0, 1].
+func RMAT(scale, edgeFactor int, p RMATParams, rng *rand.Rand) *matrix.CSR {
+	n := 1 << uint(scale)
+	edges := int64(edgeFactor) * int64(n)
+	coo := &matrix.COO{Rows: n, Cols: n, Entries: make([]matrix.Entry, 0, edges)}
+	for e := int64(0); e < edges; e++ {
+		row, col := rmatEdge(scale, p, rng)
+		coo.Append(row, col, 1-rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(scale int, p RMATParams, rng *rand.Rand) (int32, int32) {
+	var row, col int32
+	ab := p.A + p.B
+	abc := ab + p.C
+	for bit := scale - 1; bit >= 0; bit-- {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: nothing to set
+		case r < ab:
+			col |= 1 << uint(bit)
+		case r < abc:
+			row |= 1 << uint(bit)
+		default:
+			row |= 1 << uint(bit)
+			col |= 1 << uint(bit)
+		}
+	}
+	return row, col
+}
+
+// ER generates a uniform random matrix directly (equivalent to RMAT with
+// ERParams but cheaper): edgeFactor·2^scale entries at uniform positions,
+// duplicates merged.
+func ER(scale, edgeFactor int, rng *rand.Rand) *matrix.CSR {
+	n := 1 << uint(scale)
+	edges := int64(edgeFactor) * int64(n)
+	coo := &matrix.COO{Rows: n, Cols: n, Entries: make([]matrix.Entry, 0, edges)}
+	for e := int64(0); e < edges; e++ {
+		coo.Append(int32(rng.Intn(n)), int32(rng.Intn(n)), 1-rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// TallSkinny builds the right-hand side of the paper's Section 5.5: a
+// tall-skinny matrix formed by randomly selecting 2^shortScale distinct
+// columns of g ("we generate the tall-skinny matrix by randomly selecting
+// columns from the graph itself").
+func TallSkinny(g *matrix.CSR, shortScale int, rng *rand.Rand) *matrix.CSR {
+	k := 1 << uint(shortScale)
+	if k > g.Cols {
+		k = g.Cols
+	}
+	perm := rng.Perm(g.Cols)[:k]
+	cols := make([]int32, k)
+	for i, c := range perm {
+		cols[i] = int32(c)
+	}
+	// Sort selection so the result keeps sorted rows.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	return g.SelectColumns(cols)
+}
+
+// Unsorted returns a copy of m representing the same matrix but with each
+// row's column indices stored in random order — the paper's protocol for
+// producing unsorted inputs ("the column indices of input matrices are
+// randomly permuted"). The represented matrix (and hence the product and its
+// flop count) is unchanged, which is what makes the paper's sorted-vs-
+// unsorted speedup comparison meaningful.
+func Unsorted(m *matrix.CSR, rng *rand.Rand) *matrix.CSR {
+	return m.ShuffleRowEntries(rng)
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Stencil generators: the regular discretization matrices of the paper's
+// numerical motivation (AMG, Section 1). These have the "regular non-zero
+// pattern" the cost analysis of Section 4.2.4 identifies as the
+// high-compression-ratio regime where Hash dominates.
+
+// Poisson2D returns the 5-point Laplacian on an nx×ny grid (dimension
+// nx·ny): 4 on the diagonal, -1 to each grid neighbour.
+func Poisson2D(nx, ny int) *matrix.CSR {
+	n := nx * ny
+	coo := &matrix.COO{Rows: n, Cols: n, Entries: make([]matrix.Entry, 0, 5*n)}
+	id := func(x, y int) int32 { return int32(y*nx + x) }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := id(x, y)
+			coo.Append(v, v, 4)
+			if x > 0 {
+				coo.Append(v, id(x-1, y), -1)
+			}
+			if x < nx-1 {
+				coo.Append(v, id(x+1, y), -1)
+			}
+			if y > 0 {
+				coo.Append(v, id(x, y-1), -1)
+			}
+			if y < ny-1 {
+				coo.Append(v, id(x, y+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Poisson3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Poisson3D(nx, ny, nz int) *matrix.CSR {
+	n := nx * ny * nz
+	coo := &matrix.COO{Rows: n, Cols: n, Entries: make([]matrix.Entry, 0, 7*n)}
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				coo.Append(v, v, 6)
+				if x > 0 {
+					coo.Append(v, id(x-1, y, z), -1)
+				}
+				if x < nx-1 {
+					coo.Append(v, id(x+1, y, z), -1)
+				}
+				if y > 0 {
+					coo.Append(v, id(x, y-1, z), -1)
+				}
+				if y < ny-1 {
+					coo.Append(v, id(x, y+1, z), -1)
+				}
+				if z > 0 {
+					coo.Append(v, id(x, y, z-1), -1)
+				}
+				if z < nz-1 {
+					coo.Append(v, id(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// AggregationProlongator returns the piecewise-constant prolongation P
+// (fine×coarse) used by aggregation-based AMG: fine dof i maps to coarse
+// aggregate i/aggSize. With rng non-nil the aggregate boundaries are
+// jittered to mimic irregular smoothed-aggregation supports.
+func AggregationProlongator(fine, aggSize int, rng *rand.Rand) *matrix.CSR {
+	if aggSize < 1 {
+		aggSize = 2
+	}
+	coarse := (fine + aggSize - 1) / aggSize
+	coo := &matrix.COO{Rows: fine, Cols: coarse, Entries: make([]matrix.Entry, 0, fine)}
+	for i := 0; i < fine; i++ {
+		c := i / aggSize
+		if rng != nil && rng.Float64() < 0.2 {
+			// Jitter: attach to a neighbouring aggregate occasionally.
+			if rng.Intn(2) == 0 && c > 0 {
+				c--
+			} else if c < coarse-1 {
+				c++
+			}
+		}
+		coo.Append(int32(i), int32(c), 1)
+	}
+	return coo.ToCSR()
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/spgemm"
+)
+
+// bruteBetweenness is sequential Brandes, the reference implementation.
+func bruteBetweenness(a *matrix.CSR, sources []int32) []float64 {
+	n := a.Rows
+	bc := make([]float64, n)
+	for _, s := range sources {
+		// BFS from s.
+		dist := make([]int32, n)
+		sigma := make([]float64, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		order := []int32{s}
+		queue := []int32{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			cols, _ := a.Row(int(v))
+			for _, w := range cols {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+					order = append(order, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		delta := make([]float64, n)
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			cols, _ := a.Row(int(w))
+			for _, v := range cols {
+				if dist[v] == dist[w]-1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}
+
+func cleanedAdj(t *testing.T, g *matrix.CSR) *matrix.CSR {
+	t.Helper()
+	coo := matrix.FromCSR(g)
+	coo.Symmetrize()
+	return dropDiagonal(Pattern(coo.ToCSR()))
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4 with all sources: interior vertices carry all pairs
+	// that pass through them; classic values are 6, 8 (nodes 1 and 3 carry
+	// 3 pairs each direction, node 2 carries 4).
+	a := adjacency(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	all := []int32{0, 1, 2, 3, 4}
+	got, err := Betweenness(a, all, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteBetweenness(cleanedAdj(t, a), all)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("bc[%d] = %v, want %v (all: %v vs %v)", v, got[v], want[v], got, want)
+		}
+	}
+	// Endpoints have zero betweenness on a path.
+	if got[0] != 0 || got[4] != 0 {
+		t.Fatalf("endpoints: %v", got)
+	}
+	// The middle vertex dominates.
+	if got[2] <= got[1] {
+		t.Fatalf("middle not maximal: %v", got)
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star: center on every shortest path between leaves; leaves zero.
+	a := adjacency(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	all := []int32{0, 1, 2, 3, 4}
+	got, err := Betweenness(a, all, 2, nil) // batch size 2: multiple batches
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center carries all C(4,2)*2 = 12 ordered leaf pairs.
+	if math.Abs(got[0]-12) > 1e-9 {
+		t.Fatalf("center bc = %v, want 12", got[0])
+	}
+	for v := 1; v < 5; v++ {
+		if got[v] != 0 {
+			t.Fatalf("leaf bc[%d] = %v", v, got[v])
+		}
+	}
+}
+
+func TestBetweennessMatchesBrandesOnRMAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	g := gen.RMAT(6, 4, gen.G500Params, rng)
+	a := cleanedAdj(t, g)
+	var sources []int32
+	for s := int32(0); s < int32(a.Rows); s += 3 {
+		sources = append(sources, s)
+	}
+	want := bruteBetweenness(a, sources)
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHeap} {
+		got, err := Betweenness(g, sources, 16, &spgemm.Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for v := range want {
+			diff := math.Abs(got[v] - want[v])
+			if diff > 1e-6 && diff > 1e-9*math.Abs(want[v]) {
+				t.Fatalf("%v: bc[%d] = %v, want %v", alg, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	a := adjacency(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	all := []int32{0, 1, 2, 3, 4, 5}
+	got, err := Betweenness(a, all, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteBetweenness(cleanedAdj(t, a), all)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("bc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBetweennessErrors(t *testing.T) {
+	if _, err := Betweenness(matrix.NewCSR(2, 3), []int32{0}, 0, nil); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	a := adjacency(3, [][2]int32{{0, 1}})
+	if _, err := Betweenness(a, []int32{9}, 0, nil); err == nil {
+		t.Fatal("expected out-of-range source error")
+	}
+}

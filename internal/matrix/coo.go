@@ -1,0 +1,111 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one (row, column, value) triple of a sparse matrix.
+type Entry struct {
+	Row, Col int32
+	Val      float64
+}
+
+// COO is a sparse matrix in coordinate (triplet) format. It is the natural
+// output format of the generators and of Matrix Market parsing, and converts
+// to CSR for computation.
+type COO struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// NewCOO returns an empty rows×cols coordinate matrix.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds one entry. It does not check for duplicates; ToCSR merges them.
+func (c *COO) Append(row, col int32, val float64) {
+	c.Entries = append(c.Entries, Entry{row, col, val})
+}
+
+// Validate checks that all entries are in range.
+func (c *COO) Validate() error {
+	for i, e := range c.Entries {
+		if e.Row < 0 || int(e.Row) >= c.Rows || e.Col < 0 || int(e.Col) >= c.Cols {
+			return fmt.Errorf("matrix: COO entry %d (%d,%d) out of range %dx%d", i, e.Row, e.Col, c.Rows, c.Cols)
+		}
+	}
+	return nil
+}
+
+// ToCSR converts to CSR, merging duplicate (row,col) entries by summation and
+// dropping entries whose merged value is exactly zero. Rows come out sorted.
+func (c *COO) ToCSR() *CSR {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	// Counting sort by row, then sort each row segment by column.
+	rowCount := make([]int64, c.Rows+1)
+	for _, e := range c.Entries {
+		rowCount[e.Row+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	cols := make([]int32, len(c.Entries))
+	vals := make([]float64, len(c.Entries))
+	next := make([]int64, c.Rows)
+	copy(next, rowCount[:c.Rows])
+	for _, e := range c.Entries {
+		p := next[e.Row]
+		cols[p] = e.Col
+		vals[p] = e.Val
+		next[e.Row] = p + 1
+	}
+	m := &CSR{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		RowPtr: rowCount,
+		ColIdx: cols,
+		Val:    vals,
+		Sorted: false,
+	}
+	m.SortRows()
+	return m.Compact()
+}
+
+// FromCSR converts back to coordinate format with entries in row-major order.
+func FromCSR(m *CSR) *COO {
+	c := &COO{Rows: m.Rows, Cols: m.Cols, Entries: make([]Entry, 0, m.NNZ())}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			c.Entries = append(c.Entries, Entry{int32(i), m.ColIdx[p], m.Val[p]})
+		}
+	}
+	return c
+}
+
+// Symmetrize adds the transpose entry for every off-diagonal entry, producing
+// the adjacency of an undirected graph. Duplicates are merged later by ToCSR.
+func (c *COO) Symmetrize() {
+	n := len(c.Entries)
+	for i := 0; i < n; i++ {
+		e := c.Entries[i]
+		if e.Row != e.Col {
+			c.Entries = append(c.Entries, Entry{e.Col, e.Row, e.Val})
+		}
+	}
+}
+
+// SortRowMajor sorts the entries in (row, col) order. Duplicates stay adjacent.
+func (c *COO) SortRowMajor() {
+	sort.Slice(c.Entries, func(a, b int) bool {
+		ea, eb := c.Entries[a], c.Entries[b]
+		if ea.Row != eb.Row {
+			return ea.Row < eb.Row
+		}
+		return ea.Col < eb.Col
+	})
+}

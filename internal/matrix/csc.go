@@ -1,0 +1,186 @@
+package matrix
+
+import "fmt"
+
+// CSC is a sparse matrix in Compressed Sparse Columns format: the column-
+// major dual of CSR. Column j's row indices and values live in
+// RowIdx[ColPtr[j]:ColPtr[j+1]] and Val[ColPtr[j]:ColPtr[j+1]].
+//
+// The row-wise SpGEMM algorithms of this repository operate on CSR; CSC is
+// provided for interoperability (many numerical packages are column-major)
+// and for column-access patterns such as the right-hand-side slicing of the
+// tall-skinny use case.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int64
+	RowIdx     []int32
+	Val        []float64
+	// Sorted reports whether every column's row indices are strictly
+	// increasing.
+	Sorted bool
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int64 {
+	if len(m.ColPtr) == 0 {
+		return 0
+	}
+	return m.ColPtr[m.Cols]
+}
+
+// Col returns the row-index and value slices of column j, aliasing storage.
+func (m *CSC) Col(j int) ([]int32, []float64) {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	return m.RowIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Validate checks the CSC structural invariants.
+func (m *CSC) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.ColPtr) != m.Cols+1 {
+		return fmt.Errorf("matrix: ColPtr length %d, want %d", len(m.ColPtr), m.Cols+1)
+	}
+	if m.ColPtr[0] != 0 {
+		return fmt.Errorf("matrix: ColPtr[0] = %d, want 0", m.ColPtr[0])
+	}
+	nnz := m.ColPtr[m.Cols]
+	if int64(len(m.RowIdx)) != nnz || int64(len(m.Val)) != nnz {
+		return fmt.Errorf("matrix: storage length mismatch (nnz %d, idx %d, val %d)", nnz, len(m.RowIdx), len(m.Val))
+	}
+	// Monotonicity first: a non-monotone pointer array would send the
+	// range loop below out of bounds.
+	for j := 0; j < m.Cols; j++ {
+		if m.ColPtr[j] > m.ColPtr[j+1] {
+			return fmt.Errorf("matrix: ColPtr not monotone at column %d", j)
+		}
+	}
+	for j := 0; j < m.Cols; j++ {
+		var prev int32 = -1
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			r := m.RowIdx[p]
+			if r < 0 || int(r) >= m.Rows {
+				return fmt.Errorf("matrix: column %d has row %d out of range [0,%d)", j, r, m.Rows)
+			}
+			if m.Sorted {
+				if r <= prev {
+					return fmt.Errorf("matrix: column %d not strictly sorted", j)
+				}
+				prev = r
+			}
+		}
+	}
+	return nil
+}
+
+// ToCSC converts a CSR matrix to CSC. Columns come out sorted (the
+// conversion is a stable counting sort by column).
+func (m *CSR) ToCSC() *CSC {
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int64, m.Cols+1),
+		RowIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+		Sorted: true,
+	}
+	for _, c := range m.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		out.ColPtr[j+1] += out.ColPtr[j]
+	}
+	next := make([]int64, m.Cols)
+	copy(next, out.ColPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			out.RowIdx[q] = int32(i)
+			out.Val[q] = m.Val[p]
+			next[c] = q + 1
+		}
+	}
+	return out
+}
+
+// ToCSR converts a CSC matrix to CSR with sorted rows.
+func (m *CSC) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int64, m.Rows+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+		Sorted: true,
+	}
+	for _, r := range m.RowIdx {
+		out.RowPtr[r+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := make([]int64, m.Rows)
+	copy(next, out.RowPtr[:m.Rows])
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		for p := lo; p < hi; p++ {
+			r := m.RowIdx[p]
+			q := next[r]
+			out.ColIdx[q] = int32(j)
+			out.Val[q] = m.Val[p]
+			next[r] = q + 1
+		}
+	}
+	return out
+}
+
+// Diagonal returns the main-diagonal values of a CSR matrix as a dense
+// slice (missing entries are zero).
+func (m *CSR) Diagonal() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			if int(m.ColIdx[p]) == i {
+				d[i] += m.Val[p]
+			}
+		}
+	}
+	return d
+}
+
+// Trace returns the sum of the main diagonal.
+func (m *CSR) Trace() float64 {
+	var t float64
+	for _, v := range m.Diagonal() {
+		t += v
+	}
+	return t
+}
+
+// InfNorm returns the maximum absolute row sum.
+func (m *CSR) InfNorm() float64 {
+	var worst float64
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for p := lo; p < hi; p++ {
+			v := m.Val[p]
+			if v < 0 {
+				v = -v
+			}
+			s += v
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 20; trial++ {
+		m := Random(1+rng.Intn(30), 1+rng.Intn(30), 0.25, rng)
+		csc := m.ToCSC()
+		if err := csc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		back := csc.ToCSR()
+		if !Equal(m, back) {
+			t.Fatalf("trial %d: CSC round trip changed matrix", trial)
+		}
+	}
+}
+
+func TestCSCColumnAccess(t *testing.T) {
+	// [1 0; 2 3]
+	m := FromDense(&Dense{Rows: 2, Cols: 2, Data: []float64{1, 0, 2, 3}})
+	csc := m.ToCSC()
+	rows, vals := csc.Col(0)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("col 0 = %v %v", rows, vals)
+	}
+	rows, vals = csc.Col(1)
+	if len(rows) != 1 || rows[0] != 1 || vals[0] != 3 {
+		t.Fatalf("col 1 = %v %v", rows, vals)
+	}
+	if csc.NNZ() != 3 {
+		t.Fatalf("nnz = %d", csc.NNZ())
+	}
+}
+
+func TestCSCMatchesTransposeCSR(t *testing.T) {
+	// CSC of M has the same storage as CSR of Mᵀ.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(1+rng.Intn(20), 1+rng.Intn(20), 0.3, rng)
+		csc := m.ToCSC()
+		tr := m.Transpose()
+		if csc.NNZ() != tr.NNZ() {
+			return false
+		}
+		for i := range tr.RowPtr {
+			if csc.ColPtr[i] != tr.RowPtr[i] {
+				return false
+			}
+		}
+		for i := range tr.ColIdx {
+			if csc.RowIdx[i] != tr.ColIdx[i] || csc.Val[i] != tr.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSCValidateCatchesCorruption(t *testing.T) {
+	m := Identity(3).ToCSC()
+	m.RowIdx[1] = 99
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	m2 := Identity(3).ToCSC()
+	m2.ColPtr[1] = 5
+	if err := m2.Validate(); err == nil {
+		t.Fatal("expected monotonicity error")
+	}
+}
+
+func TestDiagonalAndTrace(t *testing.T) {
+	m := FromDense(&Dense{Rows: 3, Cols: 3, Data: []float64{5, 1, 0, 0, 7, 0, 2, 0, -3}})
+	d := m.Diagonal()
+	if d[0] != 5 || d[1] != 7 || d[2] != -3 {
+		t.Fatalf("diag = %v", d)
+	}
+	if m.Trace() != 9 {
+		t.Fatalf("trace = %v", m.Trace())
+	}
+	// Rectangular: diagonal length = min dimension.
+	r := NewCSR(2, 5)
+	if len(r.Diagonal()) != 2 {
+		t.Fatal("rectangular diagonal length")
+	}
+}
+
+func TestTraceCountsTrianglesViaA3(t *testing.T) {
+	// trace(A³)/6 counts triangles of a simple undirected graph: K3 has 1.
+	coo := NewCOO(3, 3)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {0, 2}} {
+		coo.Append(e[0], e[1], 1)
+		coo.Append(e[1], e[0], 1)
+	}
+	a := coo.ToCSR()
+	a2 := NaiveMultiply(a, a)
+	a3 := NaiveMultiply(a2, a)
+	if got := a3.Trace() / 6; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("trace(A^3)/6 = %v, want 1", got)
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	m := FromDense(&Dense{Rows: 2, Cols: 2, Data: []float64{1, -4, 2, 2}})
+	if m.InfNorm() != 5 {
+		t.Fatalf("InfNorm = %v", m.InfNorm())
+	}
+	if NewCSR(3, 3).InfNorm() != 0 {
+		t.Fatal("empty InfNorm")
+	}
+}

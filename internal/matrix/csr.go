@@ -1,0 +1,364 @@
+// Package matrix provides sparse matrix storage formats and the structural
+// operations the SpGEMM algorithms in this repository are built on.
+//
+// The central type is CSR (Compressed Sparse Rows): three arrays — row
+// pointers, column indices and values — exactly as described in Section 2 of
+// Nagasaka et al. (ICPP 2018). Column indices within a row may be sorted or
+// unsorted; the Sorted flag records which, because several SpGEMM algorithms
+// in this repository behave differently (and are benchmarked differently)
+// depending on sortedness.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Rows format.
+//
+// RowPtr has length Rows+1; the column indices and values of row i live in
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]].
+//
+// Column indices are int32 (the paper's implementations use 32-bit keys) and
+// row pointers are int64 so that matrices with more than 2^31 nonzeros are
+// representable.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Val        []float64
+	// Sorted reports whether every row's column indices are in strictly
+	// increasing order. Algorithms that require sorted inputs check this
+	// flag; algorithms that emit unsorted output clear it.
+	Sorted bool
+}
+
+// NewCSR returns an empty Rows×Cols matrix with no nonzeros.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int64, rows+1),
+		ColIdx: []int32{},
+		Val:    []float64{},
+		Sorted: true,
+	}
+}
+
+// NNZ returns the number of stored nonzero entries.
+func (m *CSR) NNZ() int64 {
+	if len(m.RowPtr) == 0 {
+		return 0
+	}
+	return m.RowPtr[m.Rows]
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int64 {
+	return m.RowPtr[i+1] - m.RowPtr[i]
+}
+
+// Row returns the column-index and value slices of row i. The slices alias
+// the matrix storage; callers must not grow them.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+		Sorted: m.Sorted,
+	}
+	return c
+}
+
+// Validate checks the CSR structural invariants: monotone row pointers,
+// in-range column indices, consistent array lengths, and — when Sorted is
+// set — strictly increasing column indices within each row. It returns a
+// descriptive error for the first violation found.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("matrix: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("matrix: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	nnz := m.RowPtr[m.Rows]
+	if int64(len(m.ColIdx)) != nnz {
+		return fmt.Errorf("matrix: ColIdx length %d, want %d", len(m.ColIdx), nnz)
+	}
+	if int64(len(m.Val)) != nnz {
+		return fmt.Errorf("matrix: Val length %d, want %d", len(m.Val), nnz)
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("matrix: RowPtr not monotone at row %d: %d > %d", i, m.RowPtr[i], m.RowPtr[i+1])
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var prev int32 = -1
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("matrix: row %d has column %d out of range [0,%d)", i, c, m.Cols)
+			}
+			if m.Sorted {
+				if c <= prev {
+					return fmt.Errorf("matrix: row %d not strictly sorted at position %d (%d after %d)", i, p-lo, c, prev)
+				}
+				prev = c
+			}
+		}
+	}
+	return nil
+}
+
+// SortRows sorts the column indices (and values) of each row into increasing
+// order, in place, and sets Sorted. Duplicate columns within a row are not
+// merged; use Compact for that.
+func (m *CSR) SortRows() {
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		sortRowSegment(m.ColIdx[lo:hi], m.Val[lo:hi])
+	}
+	m.Sorted = true
+}
+
+// sortRowSegment sorts cols ascending, permuting vals identically.
+func sortRowSegment(cols []int32, vals []float64) {
+	if len(cols) < 2 {
+		return
+	}
+	if sort.SliceIsSorted(cols, func(a, b int) bool { return cols[a] < cols[b] }) {
+		return
+	}
+	sort.Sort(&rowSorter{cols, vals})
+}
+
+type rowSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.cols) }
+func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// Compact merges duplicate column entries within each row (summing their
+// values) and drops explicit zeros. Rows are left sorted. The matrix is
+// modified in place and also returned for chaining.
+func (m *CSR) Compact() *CSR {
+	if !m.Sorted {
+		m.SortRows()
+	}
+	out := int64(0)
+	newPtr := make([]int64, m.Rows+1)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		p := lo
+		for p < hi {
+			c := m.ColIdx[p]
+			v := m.Val[p]
+			p++
+			for p < hi && m.ColIdx[p] == c {
+				v += m.Val[p]
+				p++
+			}
+			if v != 0 {
+				m.ColIdx[out] = c
+				m.Val[out] = v
+				out++
+			}
+		}
+		newPtr[i+1] = out
+	}
+	m.RowPtr = newPtr
+	m.ColIdx = m.ColIdx[:out]
+	m.Val = m.Val[:out]
+	return m
+}
+
+// IsSortedRows reports whether each row's column indices are strictly
+// increasing, regardless of the Sorted flag. Useful in tests.
+func (m *CSR) IsSortedRows() bool {
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo + 1; p < hi; p++ {
+			if m.ColIdx[p] <= m.ColIdx[p-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Transpose returns the transpose of m in CSR format (equivalently, m in CSC
+// format reinterpreted). The output has sorted rows.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int64, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+		Sorted: true,
+	}
+	// Count entries per column.
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	// Scatter. next[c] is the insertion cursor for output row c.
+	next := make([]int64, m.Cols)
+	copy(next, t.RowPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			t.ColIdx[q] = int32(i)
+			t.Val[q] = m.Val[p]
+			next[c] = q + 1
+		}
+	}
+	return t
+}
+
+// PermuteCols relabels columns through perm (new column of old column j is
+// perm[j]). Used to produce the "randomly permuted column indices" unsorted
+// inputs of the paper's evaluation. The result is marked unsorted.
+func (m *CSR) PermuteCols(perm []int32) *CSR {
+	if len(perm) != m.Cols {
+		panic(fmt.Sprintf("matrix: PermuteCols perm length %d, want %d", len(perm), m.Cols))
+	}
+	out := m.Clone()
+	for i, c := range out.ColIdx {
+		out.ColIdx[i] = perm[c]
+	}
+	out.Sorted = false
+	return out
+}
+
+// PermuteRows reorders rows through perm: output row i is input row perm[i].
+func (m *CSR) PermuteRows(perm []int) *CSR {
+	if len(perm) != m.Rows {
+		panic(fmt.Sprintf("matrix: PermuteRows perm length %d, want %d", len(perm), m.Rows))
+	}
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int64, m.Rows+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+		Sorted: m.Sorted,
+	}
+	pos := int64(0)
+	for i := 0; i < m.Rows; i++ {
+		src := perm[i]
+		lo, hi := m.RowPtr[src], m.RowPtr[src+1]
+		copy(out.ColIdx[pos:], m.ColIdx[lo:hi])
+		copy(out.Val[pos:], m.Val[lo:hi])
+		pos += hi - lo
+		out.RowPtr[i+1] = pos
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	m := &CSR{
+		Rows:   n,
+		Cols:   n,
+		RowPtr: make([]int64, n+1),
+		ColIdx: make([]int32, n),
+		Val:    make([]float64, n),
+		Sorted: true,
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = int64(i + 1)
+		m.ColIdx[i] = int32(i)
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// LowerTriangle returns the strictly lower triangular part of m (entries with
+// column < row), preserving row sortedness.
+func (m *CSR) LowerTriangle() *CSR { return m.triangle(true) }
+
+// UpperTriangle returns the strictly upper triangular part of m (entries with
+// column > row), preserving row sortedness.
+func (m *CSR) UpperTriangle() *CSR { return m.triangle(false) }
+
+func (m *CSR) triangle(lower bool) *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int64, m.Rows+1), Sorted: m.Sorted}
+	var cols []int32
+	var vals []float64
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			c := m.ColIdx[p]
+			if (lower && int(c) < i) || (!lower && int(c) > i) {
+				cols = append(cols, c)
+				vals = append(vals, m.Val[p])
+			}
+		}
+		out.RowPtr[i+1] = int64(len(cols))
+	}
+	out.ColIdx = cols
+	out.Val = vals
+	return out
+}
+
+// SelectColumns returns the Rows×len(cols) submatrix formed by the given
+// columns of m, relabelled 0..len(cols)-1 in the given order. cols must be
+// strictly increasing for the output to preserve sortedness; otherwise the
+// output is marked unsorted. Used to build the tall-skinny right-hand sides
+// of the paper's Section 5.5 evaluation.
+func (m *CSR) SelectColumns(cols []int32) *CSR {
+	remap := make(map[int32]int32, len(cols))
+	increasing := true
+	for i, c := range cols {
+		remap[c] = int32(i)
+		if i > 0 && cols[i] <= cols[i-1] {
+			increasing = false
+		}
+	}
+	out := &CSR{Rows: m.Rows, Cols: len(cols), RowPtr: make([]int64, m.Rows+1)}
+	var oc []int32
+	var ov []float64
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			if nc, ok := remap[m.ColIdx[p]]; ok {
+				oc = append(oc, nc)
+				ov = append(ov, m.Val[p])
+			}
+		}
+		out.RowPtr[i+1] = int64(len(oc))
+	}
+	out.ColIdx = oc
+	out.Val = ov
+	out.Sorted = m.Sorted && increasing
+	return out
+}
+
+// String returns a short human-readable description (not the full contents).
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR{%dx%d, nnz=%d, sorted=%v}", m.Rows, m.Cols, m.NNZ(), m.Sorted)
+}

@@ -1,0 +1,88 @@
+package matrix
+
+import "math"
+
+// Dense is a row-major dense matrix, used as a reference bridge in tests and
+// small examples. It is deliberately simple; no attempt is made at blocking.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// ToDense expands a CSR matrix into dense form. Duplicate entries within a
+// row (possible in unsorted non-compacted matrices) are summed.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			d.Data[i*m.Cols+int(m.ColIdx[p])] += m.Val[p]
+		}
+	}
+	return d
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *Dense) *CSR {
+	m := &CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int64, d.Rows+1), Sorted: true}
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if v := d.Data[i*d.Cols+j]; v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int64(len(m.ColIdx))
+	}
+	return m
+}
+
+// Mul returns the dense product d × o.
+func (d *Dense) Mul(o *Dense) *Dense {
+	if d.Cols != o.Rows {
+		panic("matrix: dense dimension mismatch")
+	}
+	out := NewDense(d.Rows, o.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for k := 0; k < d.Cols; k++ {
+			a := d.Data[i*d.Cols+k]
+			if a == 0 {
+				continue
+			}
+			ro := k * o.Cols
+			rd := i * o.Cols
+			for j := 0; j < o.Cols; j++ {
+				out.Data[rd+j] += a * o.Data[ro+j]
+			}
+		}
+	}
+	return out
+}
+
+// EqualApprox reports whether two dense matrices agree elementwise within tol
+// (absolute or relative, whichever is looser).
+func (d *Dense) EqualApprox(o *Dense, tol float64) bool {
+	if d.Rows != o.Rows || d.Cols != o.Cols {
+		return false
+	}
+	for i, v := range d.Data {
+		w := o.Data[i]
+		diff := math.Abs(v - w)
+		scale := math.Max(math.Abs(v), math.Abs(w))
+		if diff > tol && diff > tol*scale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package matrix
+
+import "fmt"
+
+// Elementwise matrix algebra. These operate row-by-row on sorted matrices
+// (unsorted inputs are sorted into a copy first) and return sorted results.
+
+// Add returns alpha·a + beta·b. Dimensions must match.
+func Add(a, b *CSR, alpha, beta float64) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("matrix: Add dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	a = ensureSorted(a)
+	b = ensureSorted(b)
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
+	out.ColIdx = make([]int32, 0, a.NNZ()+b.NNZ())
+	out.Val = make([]float64, 0, a.NNZ()+b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ac) || q < len(bc) {
+			switch {
+			case q >= len(bc) || (p < len(ac) && ac[p] < bc[q]):
+				out.push(ac[p], alpha*av[p])
+				p++
+			case p >= len(ac) || bc[q] < ac[p]:
+				out.push(bc[q], beta*bv[q])
+				q++
+			default:
+				if v := alpha*av[p] + beta*bv[q]; v != 0 {
+					out.push(ac[p], v)
+				}
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out, nil
+}
+
+// Hadamard returns the elementwise product a .* b (intersection of
+// patterns). Dimensions must match.
+func Hadamard(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("matrix: Hadamard dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	a = ensureSorted(a)
+	b = ensureSorted(b)
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ac) && q < len(bc) {
+			switch {
+			case ac[p] < bc[q]:
+				p++
+			case bc[q] < ac[p]:
+				q++
+			default:
+				if v := av[p] * bv[q]; v != 0 {
+					out.push(ac[p], v)
+				}
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out, nil
+}
+
+// Scale multiplies every stored value by alpha, in place, and returns m.
+func (m *CSR) Scale(alpha float64) *CSR {
+	for i := range m.Val {
+		m.Val[i] *= alpha
+	}
+	return m
+}
+
+// Sum returns the sum of all stored values.
+func (m *CSR) Sum() float64 {
+	var s float64
+	for _, v := range m.Val {
+		s += v
+	}
+	return s
+}
+
+// RowSums returns the per-row sums of stored values.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for p := lo; p < hi; p++ {
+			s += m.Val[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// push appends one entry to the under-construction matrix.
+func (m *CSR) push(col int32, v float64) {
+	m.ColIdx = append(m.ColIdx, col)
+	m.Val = append(m.Val, v)
+}
+
+// ensureSorted returns m if its rows are sorted, else a sorted copy.
+func ensureSorted(m *CSR) *CSR {
+	if m.Sorted {
+		return m
+	}
+	c := m.Clone()
+	c.SortRows()
+	return c
+}

@@ -1,0 +1,155 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market (MM) coordinate-format I/O. The subset implemented here is
+// what the SuiteSparse collection uses for the matrices of the paper's
+// Table 2: "matrix coordinate (real|integer|pattern) (general|symmetric)".
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream into a CSR
+// matrix. Pattern matrices get value 1 for every entry; symmetric matrices
+// are expanded to full storage.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := readNonEmptyLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: missing header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("matrixmarket: bad header %q", header)
+	}
+	if fields[2] != "coordinate" {
+		return nil, fmt.Errorf("matrixmarket: unsupported format %q (only coordinate)", fields[2])
+	}
+	valType := fields[3]
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported value type %q", valType)
+	}
+	symmetry := fields[4]
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported symmetry %q", symmetry)
+	}
+
+	// Size line (after comments).
+	sizeLine, err := readDataLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
+	}
+	var rows, cols int
+	var nnz int64
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("matrixmarket: negative size %d %d %d", rows, cols, nnz)
+	}
+	// Column indices are stored as int32 throughout this library.
+	const maxDim = 1 << 31
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("matrixmarket: dimensions %dx%d exceed int32 index space", rows, cols)
+	}
+
+	coo := &COO{Rows: rows, Cols: cols, Entries: make([]Entry, 0, nnz)}
+	for k := int64(0); k < nnz; k++ {
+		line, err := readDataLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: entry %d: %w", k, err)
+		}
+		f := strings.Fields(line)
+		want := 3
+		if valType == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("matrixmarket: entry %d: short line %q", k, line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: entry %d row: %w", k, err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: entry %d col: %w", k, err)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrixmarket: entry %d value: %w", k, err)
+			}
+		}
+		// Matrix Market is 1-indexed.
+		row, col := int32(i-1), int32(j-1)
+		coo.Append(row, col, v)
+		if row != col {
+			switch symmetry {
+			case "symmetric":
+				coo.Append(col, row, v)
+			case "skew-symmetric":
+				coo.Append(col, row, -v)
+			}
+		}
+	}
+	if err := coo.Validate(); err != nil {
+		return nil, err
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes m in "matrix coordinate real general" format.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[p]+1, m.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func readNonEmptyLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// readDataLine skips blank and comment lines.
+func readDataLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			return trimmed, nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}

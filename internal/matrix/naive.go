@@ -1,0 +1,103 @@
+package matrix
+
+import "math"
+
+// NaiveMultiply computes a·b sequentially with a map accumulator. It is the
+// correctness oracle for every SpGEMM implementation in this repository: slow
+// but obviously right. The output has sorted, compacted rows.
+func NaiveMultiply(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic("matrix: NaiveMultiply dimension mismatch")
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
+	acc := make(map[int32]float64)
+	for i := 0; i < a.Rows; i++ {
+		clear(acc)
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			k := a.ColIdx[p]
+			av := a.Val[p]
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			for q := blo; q < bhi; q++ {
+				acc[b.ColIdx[q]] += av * b.Val[q]
+			}
+		}
+		cols := make([]int32, 0, len(acc))
+		for c := range acc {
+			cols = append(cols, c)
+		}
+		// Insertion sort: rows are short in tests.
+		for x := 1; x < len(cols); x++ {
+			for y := x; y > 0 && cols[y] < cols[y-1]; y-- {
+				cols[y], cols[y-1] = cols[y-1], cols[y]
+			}
+		}
+		for _, c := range cols {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, acc[c])
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out
+}
+
+// Equal reports exact structural and numerical equality (same dimensions,
+// row pointers, column order and values). Both matrices should be in the same
+// canonical form for this to be meaningful.
+func Equal(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b represent the same matrix up to
+// floating-point tolerance, after canonicalizing both (sorting rows and
+// merging duplicates). Entries smaller than tol in both matrices are treated
+// as zero, so algorithms that drop or keep numeric zeros both pass.
+func EqualApprox(a, b *CSR, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	ca := a.Clone().Compact()
+	cb := b.Clone().Compact()
+	for i := 0; i < ca.Rows; i++ {
+		alo, ahi := ca.RowPtr[i], ca.RowPtr[i+1]
+		blo, bhi := cb.RowPtr[i], cb.RowPtr[i+1]
+		pa, pb := alo, blo
+		for pa < ahi || pb < bhi {
+			switch {
+			case pb >= bhi || (pa < ahi && ca.ColIdx[pa] < cb.ColIdx[pb]):
+				if math.Abs(ca.Val[pa]) > tol {
+					return false
+				}
+				pa++
+			case pa >= ahi || cb.ColIdx[pb] < ca.ColIdx[pa]:
+				if math.Abs(cb.Val[pb]) > tol {
+					return false
+				}
+				pb++
+			default:
+				va, vb := ca.Val[pa], cb.Val[pb]
+				diff := math.Abs(va - vb)
+				scale := math.Max(math.Abs(va), math.Abs(vb))
+				if diff > tol && diff > tol*scale {
+					return false
+				}
+				pa++
+				pb++
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package matrix
+
+import "math/rand"
+
+// Random returns a rows×cols matrix where each entry is nonzero independently
+// with probability density; values are uniform in [-1, 1). Intended for tests
+// and examples — the evaluation workloads use the R-MAT generators in
+// internal/gen.
+func Random(rows, cols int, density float64, rng *rand.Rand) *CSR {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1), Sorted: true}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Val = append(m.Val, rng.Float64()*2-1)
+			}
+		}
+		m.RowPtr[i+1] = int64(len(m.ColIdx))
+	}
+	return m
+}
+
+// RandomWithDegree returns a rows×cols matrix with exactly min(deg, cols)
+// distinct nonzeros per row at uniformly random columns.
+func RandomWithDegree(rows, cols, deg int, rng *rand.Rand) *CSR {
+	if deg > cols {
+		deg = cols
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1), Sorted: true}
+	seen := make(map[int32]bool, deg)
+	row := make([]int32, 0, deg)
+	for i := 0; i < rows; i++ {
+		clear(seen)
+		row = row[:0]
+		for len(row) < deg {
+			c := int32(rng.Intn(cols))
+			if !seen[c] {
+				seen[c] = true
+				row = append(row, c)
+			}
+		}
+		// Insertion sort keeps rows sorted.
+		for x := 1; x < len(row); x++ {
+			for y := x; y > 0 && row[y] < row[y-1]; y-- {
+				row[y], row[y-1] = row[y-1], row[y]
+			}
+		}
+		for _, c := range row {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, rng.Float64()*2-1)
+		}
+		m.RowPtr[i+1] = int64(len(m.ColIdx))
+	}
+	return m
+}
+
+// ShuffleRowEntries returns a copy of m in which the stored order of each
+// row's entries is randomly shuffled. The matrix it represents is unchanged;
+// only the storage order (and the Sorted flag) differ. This is the paper's
+// "unsorted input" evaluation mode: same problem, rows no longer sorted.
+func (m *CSR) ShuffleRowEntries(rng *rand.Rand) *CSR {
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+		n := int(hi - lo)
+		cols := out.ColIdx[lo:hi]
+		vals := out.Val[lo:hi]
+		rng.Shuffle(n, func(a, b int) {
+			cols[a], cols[b] = cols[b], cols[a]
+			vals[a], vals[b] = vals[b], vals[a]
+		})
+	}
+	out.Sorted = false
+	return out
+}
+
+// RandomPermutation returns a uniformly random permutation of 0..n-1 as
+// int32, for use with PermuteCols.
+func RandomPermutation(n int, rng *rand.Rand) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

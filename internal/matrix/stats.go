@@ -1,0 +1,132 @@
+package matrix
+
+import "math"
+
+// Stats summarizes the structural quantities the paper's evaluation keys on
+// (Table 2 and the compression-ratio plots of Figures 14 and 17).
+type Stats struct {
+	Rows, Cols int
+	NNZ        int64 // nonzeros of the input matrix
+	Flop       int64 // scalar multiplications to form the product
+	NNZOut     int64 // nonzeros of the product
+	// CompressionRatio is Flop / NNZOut — the paper's "compression ratio"
+	// (how many intermediate products merge into each output nonzero).
+	CompressionRatio float64
+}
+
+// Flop returns the number of non-trivial scalar multiplications required to
+// compute A·B by a row-wise algorithm (the paper's "flop"), together with the
+// per-row counts that drive the balanced scheduler of Figure 6.
+func Flop(a, b *CSR) (total int64, perRow []int64) {
+	if a.Cols != b.Rows {
+		panic("matrix: Flop dimension mismatch")
+	}
+	perRow = make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		var f int64
+		for p := lo; p < hi; p++ {
+			k := a.ColIdx[p]
+			f += b.RowPtr[k+1] - b.RowPtr[k]
+		}
+		perRow[i] = f
+		total += f
+	}
+	return total, perRow
+}
+
+// MaxRowNNZ returns the maximum number of stored entries in any row.
+func (m *CSR) MaxRowNNZ() int64 {
+	var mx int64
+	for i := 0; i < m.Rows; i++ {
+		if r := m.RowPtr[i+1] - m.RowPtr[i]; r > mx {
+			mx = r
+		}
+	}
+	return mx
+}
+
+// AvgRowNNZ returns the mean number of entries per row (the "edge factor" of
+// the paper's synthetic matrices).
+func (m *CSR) AvgRowNNZ() float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.Rows)
+}
+
+// ProductStats computes the Table 2 style statistics of the product a·b
+// without materializing the product values: nnz of the inputs, flop, nnz of
+// the output (via a symbolic pass with a dense generation-stamped accumulator)
+// and the compression ratio.
+func ProductStats(a, b *CSR) Stats {
+	flop, _ := Flop(a, b)
+	nnzOut := SymbolicNNZ(a, b)
+	cr := math.Inf(1)
+	if nnzOut > 0 {
+		cr = float64(flop) / float64(nnzOut)
+	}
+	return Stats{
+		Rows: a.Rows, Cols: b.Cols,
+		NNZ:              a.NNZ(),
+		Flop:             flop,
+		NNZOut:           nnzOut,
+		CompressionRatio: cr,
+	}
+}
+
+// SymbolicNNZ returns nnz(a·b) using a sequential symbolic pass. It is the
+// simple reference used for statistics; the parallel symbolic phases live in
+// the spgemm package.
+func SymbolicNNZ(a, b *CSR) int64 {
+	if a.Cols != b.Rows {
+		panic("matrix: SymbolicNNZ dimension mismatch")
+	}
+	mark := make([]int32, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var total int64
+	for i := 0; i < a.Rows; i++ {
+		stamp := int32(i)
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			k := a.ColIdx[p]
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			for q := blo; q < bhi; q++ {
+				c := b.ColIdx[q]
+				if mark[c] != stamp {
+					mark[c] = stamp
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// DegreeHistogram returns counts of rows by nnz bucket: bucket i counts rows
+// with nnz in [2^(i-1), 2^i), bucket 0 counts empty rows. Used to
+// characterize skew (ER vs G500) in the experiment reports.
+func (m *CSR) DegreeHistogram() []int64 {
+	var hist []int64
+	bump := func(b int) {
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		d := m.RowPtr[i+1] - m.RowPtr[i]
+		if d == 0 {
+			bump(0)
+			continue
+		}
+		b := 1
+		for v := d; v > 1; v >>= 1 {
+			b++
+		}
+		bump(b)
+	}
+	return hist
+}

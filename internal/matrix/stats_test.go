@@ -1,0 +1,114 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFlopSmall(t *testing.T) {
+	// A = [1 1; 0 1], B = [1 1; 1 0]
+	a := FromDense(&Dense{Rows: 2, Cols: 2, Data: []float64{1, 1, 0, 1}})
+	b := FromDense(&Dense{Rows: 2, Cols: 2, Data: []float64{1, 1, 1, 0}})
+	total, perRow := Flop(a, b)
+	// Row 0 of A touches B rows 0 (2 nnz) and 1 (1 nnz) = 3 flop.
+	// Row 1 of A touches B row 1 (1 nnz) = 1 flop.
+	if total != 4 || perRow[0] != 3 || perRow[1] != 1 {
+		t.Fatalf("flop = %d, perRow = %v", total, perRow)
+	}
+}
+
+func TestFlopMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		a := Random(1+rng.Intn(20), 1+rng.Intn(20), 0.3, rng)
+		b := Random(a.Cols, 1+rng.Intn(20), 0.3, rng)
+		total, perRow := Flop(a, b)
+		var brute int64
+		for i := 0; i < a.Rows; i++ {
+			var rowf int64
+			acols, _ := a.Row(i)
+			for _, k := range acols {
+				rowf += b.RowNNZ(int(k))
+			}
+			if rowf != perRow[i] {
+				t.Fatalf("trial %d row %d: perRow=%d brute=%d", trial, i, perRow[i], rowf)
+			}
+			brute += rowf
+		}
+		if total != brute {
+			t.Fatalf("trial %d: total=%d brute=%d", trial, total, brute)
+		}
+	}
+}
+
+func TestSymbolicNNZMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		a := Random(1+rng.Intn(25), 1+rng.Intn(25), 0.25, rng)
+		b := Random(a.Cols, 1+rng.Intn(25), 0.25, rng)
+		sym := SymbolicNNZ(a, b)
+		// NaiveMultiply keeps numerically-cancelled entries out, so compare
+		// against the structural count: union of patterns.
+		c := NaiveMultiply(a, b)
+		// SymbolicNNZ counts structural nonzeros, which can exceed numeric
+		// nnz if values cancel; with random floats cancellation has
+		// probability zero.
+		if sym != c.NNZ() {
+			t.Fatalf("trial %d: symbolic=%d naive=%d", trial, sym, c.NNZ())
+		}
+	}
+}
+
+func TestProductStats(t *testing.T) {
+	a := Identity(4)
+	s := ProductStats(a, a)
+	if s.Flop != 4 || s.NNZOut != 4 || s.CompressionRatio != 1 {
+		t.Fatalf("I*I stats = %+v", s)
+	}
+}
+
+func TestProductStatsEmptyProduct(t *testing.T) {
+	a := NewCSR(3, 3)
+	s := ProductStats(a, a)
+	if s.NNZOut != 0 || !math.IsInf(s.CompressionRatio, 1) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMaxAvgRowNNZ(t *testing.T) {
+	m := &CSR{
+		Rows: 3, Cols: 5,
+		RowPtr: []int64{0, 1, 4, 4},
+		ColIdx: []int32{0, 1, 2, 3},
+		Val:    []float64{1, 1, 1, 1},
+		Sorted: true,
+	}
+	if m.MaxRowNNZ() != 3 {
+		t.Fatalf("MaxRowNNZ = %d", m.MaxRowNNZ())
+	}
+	if got := m.AvgRowNNZ(); math.Abs(got-4.0/3.0) > 1e-15 {
+		t.Fatalf("AvgRowNNZ = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	m := &CSR{
+		Rows: 4, Cols: 8,
+		RowPtr: []int64{0, 0, 1, 3, 7},
+		ColIdx: []int32{0, 1, 2, 3, 4, 5, 6},
+		Val:    make([]float64, 7),
+		Sorted: true,
+	}
+	h := m.DegreeHistogram()
+	// Row degrees: 0, 1, 2, 4 → buckets 0, 1, 2, 3.
+	want := []int64{1, 1, 1, 1}
+	if len(h) != len(want) {
+		t.Fatalf("hist = %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", h, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package mempool implements the memory-management schemes of the paper's
+// Section 3.2.
+//
+// The paper finds that on KNL, deallocating one large shared allocation
+// ("single") costs orders of magnitude more than letting each thread
+// allocate and free its own share ("parallel"), and that SpGEMM should
+// therefore size thread-private scratch up front and reuse it across rows.
+// This package provides (a) per-worker reusable scratch buffers with
+// ensure-capacity semantics — the allocate-once, reinitialize-per-row
+// discipline of the Hash/Heap SpGEMM kernels — and (b) the single/parallel
+// allocation round-trip measurements behind Figure 4.
+package mempool
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Scratch is one worker's reusable scratch space. Slices only ever grow;
+// reusing a Scratch across rows therefore performs no allocation after the
+// high-water mark is reached — the paper's "allocate the table once per
+// thread, reinitialize per row" discipline.
+type Scratch struct {
+	Int32A  []int32
+	Int32B  []int32
+	Int64A  []int64
+	Float64 []float64
+}
+
+// EnsureInt32A returns s.Int32A with length at least n (contents undefined).
+func (s *Scratch) EnsureInt32A(n int) []int32 {
+	if cap(s.Int32A) < n {
+		s.Int32A = make([]int32, n)
+	}
+	s.Int32A = s.Int32A[:n]
+	return s.Int32A
+}
+
+// EnsureInt32B returns s.Int32B with length at least n (contents undefined).
+func (s *Scratch) EnsureInt32B(n int) []int32 {
+	if cap(s.Int32B) < n {
+		s.Int32B = make([]int32, n)
+	}
+	s.Int32B = s.Int32B[:n]
+	return s.Int32B
+}
+
+// EnsureInt64A returns s.Int64A with length at least n (contents undefined).
+func (s *Scratch) EnsureInt64A(n int) []int64 {
+	if cap(s.Int64A) < n {
+		s.Int64A = make([]int64, n)
+	}
+	s.Int64A = s.Int64A[:n]
+	return s.Int64A
+}
+
+// EnsureFloat64 returns s.Float64 with length at least n (contents undefined).
+func (s *Scratch) EnsureFloat64(n int) []float64 {
+	if cap(s.Float64) < n {
+		s.Float64 = make([]float64, n)
+	}
+	s.Float64 = s.Float64[:n]
+	return s.Float64
+}
+
+// Pool is a set of per-worker Scratch spaces. Worker w owns Get(w); no
+// locking is needed because each worker only touches its own entry.
+type Pool struct {
+	scratch []Scratch
+}
+
+// NewPool returns a pool with one Scratch per worker.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
+	return &Pool{scratch: make([]Scratch, workers)}
+}
+
+// Workers returns the number of per-worker slots.
+func (p *Pool) Workers() int { return len(p.scratch) }
+
+// Get returns worker w's scratch space.
+func (p *Pool) Get(w int) *Scratch { return &p.scratch[w] }
+
+// ---------------------------------------------------------------------------
+// Figure 4: single vs parallel allocation/deallocation round trips.
+// ---------------------------------------------------------------------------
+
+// AllocTiming reports the cost of one allocate–touch–release round trip.
+// In Go "release" means dropping the last reference and forcing a collection,
+// which is the closest observable analogue of delete/scalable_free.
+type AllocTiming struct {
+	Alloc   time.Duration // allocation + first touch
+	Dealloc time.Duration // release + forced GC
+}
+
+// touchPageSize is the stride used for first-touch writes; 4KiB matches the
+// default page size the paper's first-touch costs are governed by.
+const touchPageSize = 4096
+
+// MeasureSingle performs the paper's "single" scheme: one goroutine
+// allocates totalBytes, touches every page, then releases the whole block.
+func MeasureSingle(totalBytes int) AllocTiming {
+	start := time.Now()
+	buf := make([]byte, totalBytes)
+	for i := 0; i < len(buf); i += touchPageSize {
+		buf[i] = 1
+	}
+	alloc := time.Since(start)
+
+	start = time.Now()
+	sink(buf)
+	buf = nil
+	_ = buf
+	runtime.GC()
+	dealloc := time.Since(start)
+	return AllocTiming{Alloc: alloc, Dealloc: dealloc}
+}
+
+// MeasureParallel performs the paper's "parallel" scheme of Figure 3: each
+// of the workers allocates totalBytes/workers, touches its own pages, and
+// releases its own share. The release phase still needs one GC cycle, but
+// the allocation, touching and unlinking are all thread-local.
+func MeasureParallel(totalBytes, workers int) AllocTiming {
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
+	each := totalBytes / workers
+	if each < 1 {
+		each = 1
+	}
+	bufs := make([][]byte, workers)
+
+	start := time.Now()
+	sched.RunWorkers(workers, func(w int) {
+		b := make([]byte, each)
+		for i := 0; i < len(b); i += touchPageSize {
+			b[i] = 1
+		}
+		bufs[w] = b
+	})
+	alloc := time.Since(start)
+
+	start = time.Now()
+	sched.RunWorkers(workers, func(w int) {
+		sink(bufs[w])
+		bufs[w] = nil
+	})
+	runtime.GC()
+	dealloc := time.Since(start)
+	return AllocTiming{Alloc: alloc, Dealloc: dealloc}
+}
+
+// sinkByte defeats dead-store elimination of the touch loops.
+var sinkByte byte
+
+func sink(b []byte) {
+	if len(b) > 0 {
+		sinkByte += b[0]
+	}
+}

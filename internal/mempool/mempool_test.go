@@ -1,0 +1,87 @@
+package mempool
+
+import (
+	"testing"
+)
+
+func TestScratchEnsureGrowsAndReuses(t *testing.T) {
+	var s Scratch
+	a := s.EnsureInt32A(10)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	a[5] = 42
+	// Shrinking request must not reallocate.
+	b := s.EnsureInt32A(4)
+	if len(b) != 4 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if &b[0] != &a[0] {
+		t.Fatal("shrink reallocated")
+	}
+	// Growing request reallocates.
+	c := s.EnsureInt32A(100)
+	if len(c) != 100 {
+		t.Fatalf("len = %d", len(c))
+	}
+}
+
+func TestScratchAllBuffers(t *testing.T) {
+	var s Scratch
+	if len(s.EnsureInt32B(7)) != 7 {
+		t.Fatal("Int32B")
+	}
+	if len(s.EnsureInt64A(8)) != 8 {
+		t.Fatal("Int64A")
+	}
+	if len(s.EnsureFloat64(9)) != 9 {
+		t.Fatal("Float64")
+	}
+	// Buffers are independent.
+	s.EnsureInt32A(3)[0] = 1
+	s.EnsureInt32B(3)[0] = 2
+	if s.Int32A[0] == s.Int32B[0] {
+		t.Fatal("buffers alias")
+	}
+}
+
+func TestPoolPerWorkerIsolation(t *testing.T) {
+	p := NewPool(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	p.Get(0).EnsureFloat64(5)[0] = 1.5
+	p.Get(1).EnsureFloat64(5)[0] = 2.5
+	if p.Get(0).Float64[0] != 1.5 || p.Get(1).Float64[0] != 2.5 {
+		t.Fatal("worker scratch not isolated")
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+}
+
+func TestMeasureSingleReturnsPositiveTimes(t *testing.T) {
+	res := MeasureSingle(1 << 20)
+	if res.Alloc <= 0 || res.Dealloc <= 0 {
+		t.Fatalf("timings = %+v", res)
+	}
+}
+
+func TestMeasureParallelReturnsPositiveTimes(t *testing.T) {
+	res := MeasureParallel(1<<20, 4)
+	if res.Alloc <= 0 || res.Dealloc <= 0 {
+		t.Fatalf("timings = %+v", res)
+	}
+}
+
+func TestMeasureParallelTinySize(t *testing.T) {
+	// totalBytes smaller than worker count must not panic or allocate zero.
+	res := MeasureParallel(2, 8)
+	if res.Alloc <= 0 {
+		t.Fatalf("timings = %+v", res)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sched provides the loop-scheduling substrate of the paper's
+// Section 3.1 and Section 4.1.
+//
+// It reimplements the three OpenMP schedules the paper microbenchmarks
+// (static, dynamic, guided — Figure 2) on top of a goroutine worker pool,
+// plus the paper's own contribution: the light-weight load-balanced static
+// schedule of Figure 6, where rows are partitioned by a per-row flop count,
+// a parallel prefix sum, and a binary search (lowbnd) per thread.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how loop iterations are distributed over workers.
+type Schedule int
+
+const (
+	// Static divides the iteration space into one contiguous block per
+	// worker up front. Near-zero scheduling overhead; load balance is only
+	// as good as the uniformity of per-iteration cost.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared atomic counter.
+	// Perfect balance, but every chunk costs a contended atomic operation.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks (remaining/2P, floored
+	// at the grain) from a shared counter: large chunks early, small late.
+	Guided
+	// Balanced is the paper's scheme: a weighted static partition computed
+	// from per-iteration work estimates (see BalancedPartition). It needs
+	// the weights up front, so ParallelFor treats it as Static; SpGEMM
+	// drivers call BalancedPartition explicitly.
+	Balanced
+)
+
+// String returns the lower-case schedule name used in benchmark output.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	case Balanced:
+		return "balanced"
+	}
+	return "unknown"
+}
+
+// DefaultWorkers returns the worker count to use when the caller does not
+// specify one: GOMAXPROCS, the Go analogue of omp_get_max_threads().
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ParallelFor runs body(worker, lo, hi) over the half-open range [0, n) split
+// according to the schedule, using the given number of workers (0 means
+// DefaultWorkers). grain is the minimum chunk size for Dynamic and Guided
+// (0 means 1). It returns only when every iteration has run.
+//
+// body may be called concurrently from different goroutines with disjoint
+// [lo, hi) ranges; worker identifies the calling worker in [0, workers) so
+// bodies can use per-worker scratch space.
+func ParallelFor(workers, n int, s Schedule, grain int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	switch s {
+	case Static, Balanced:
+		// Contiguous blocks, sized within ±1 iteration of each other.
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				if lo < hi {
+					body(w, lo, hi)
+				}
+			}(w, lo, hi)
+		}
+	case Dynamic:
+		var next int64
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+					if lo >= n {
+						return
+					}
+					hi := lo + grain
+					if hi > n {
+						hi = n
+					}
+					body(w, lo, hi)
+				}
+			}(w)
+		}
+	case Guided:
+		var next int64
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					// Chunk size proportional to remaining work: the
+					// classic guided heuristic remaining/(2P), floored at
+					// the grain. Computed optimistically; the CAS-free
+					// fetch-add keeps it cheap and any overshoot is
+					// clamped.
+					cur := atomic.LoadInt64(&next)
+					if cur >= int64(n) {
+						return
+					}
+					chunk := (int64(n) - cur) / int64(2*workers)
+					if chunk < int64(grain) {
+						chunk = int64(grain)
+					}
+					lo := atomic.AddInt64(&next, chunk) - chunk
+					if lo >= int64(n) {
+						return
+					}
+					hi := lo + chunk
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					body(w, int(lo), int(hi))
+				}
+			}(w)
+		}
+	default:
+		panic("sched: unknown schedule")
+	}
+	wg.Wait()
+}
+
+// RunWorkers starts exactly `workers` goroutines running body(worker) and
+// waits for all of them. It is the building block for drivers that manage
+// their own iteration ranges (e.g. the balanced partition of Figure 6).
+func RunWorkers(workers int, body func(worker int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func coverage(t *testing.T, workers, n int, s Schedule, grain int) {
+	t.Helper()
+	hits := make([]int32, n)
+	ParallelFor(workers, n, s, grain, func(w, lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("%v workers=%d n=%d grain=%d: index %d visited %d times", s, workers, n, grain, i, h)
+		}
+	}
+}
+
+func TestParallelForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, s := range []Schedule{Static, Dynamic, Guided, Balanced} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, n := range []int{1, 2, 7, 100, 1023} {
+				for _, grain := range []int{1, 4, 16} {
+					coverage(t, workers, n, s, grain)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForZeroAndNegativeN(t *testing.T) {
+	called := false
+	ParallelFor(4, 0, Static, 1, func(w, lo, hi int) { called = true })
+	ParallelFor(4, -3, Dynamic, 1, func(w, lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestParallelForWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var bad int32
+	ParallelFor(workers, 1000, Dynamic, 8, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatal("worker id out of range")
+	}
+}
+
+func TestParallelForSingleWorkerIsSequential(t *testing.T) {
+	// With one worker the body must see the whole range in one call.
+	calls := 0
+	ParallelFor(1, 57, Guided, 1, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 57 {
+			t.Fatalf("unexpected call (%d, %d, %d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	names := map[Schedule]string{Static: "static", Dynamic: "dynamic", Guided: "guided", Balanced: "balanced", Schedule(99): "unknown"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	RunWorkers(5, func(w int) {
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+	})
+	if len(seen) != 5 {
+		t.Fatalf("saw %d workers, want 5", len(seen))
+	}
+}
+
+func TestPrefixSumSerialSmall(t *testing.T) {
+	ps := PrefixSum([]int64{3, 1, 4, 1, 5}, nil, 1)
+	want := []int64{0, 3, 4, 8, 9, 14}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("ps = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestPrefixSumParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 1 << 16 // above the serial cutoff
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(rng.Intn(100))
+	}
+	serial := PrefixSum(w, nil, 1)
+	for _, workers := range []int{2, 3, 7} {
+		par := PrefixSum(w, nil, workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: mismatch at %d: %d vs %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestPrefixSumEmpty(t *testing.T) {
+	ps := PrefixSum(nil, nil, 4)
+	if len(ps) != 1 || ps[0] != 0 {
+		t.Fatalf("ps = %v", ps)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	a := []int64{1, 3, 3, 7, 10}
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 3}, {7, 3}, {8, 4}, {10, 4}, {11, 5}}
+	for _, c := range cases {
+		if got := LowerBound(a, c.v); got != c.want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		a := make([]int64, n)
+		var acc int64
+		for i := range a {
+			acc += int64(rng.Intn(5))
+			a[i] = acc
+		}
+		v := int64(rng.Intn(int(acc + 2)))
+		i := LowerBound(a, v)
+		// All elements before i are < v, element at i (if any) is >= v.
+		for j := 0; j < i; j++ {
+			if a[j] >= v {
+				return false
+			}
+		}
+		return i == n || a[i] >= v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedPartitionCoversAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		parts := 1 + rng.Intn(16)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(rng.Intn(50))
+		}
+		off := BalancedPartition(w, parts, 2)
+		if len(off) != parts+1 {
+			t.Fatalf("offsets length %d", len(off))
+		}
+		if off[0] != 0 || off[parts] != n {
+			t.Fatalf("offsets do not span rows: %v", off)
+		}
+		for t2 := 1; t2 <= parts; t2++ {
+			if off[t2] < off[t2-1] {
+				t.Fatalf("offsets not monotone: %v", off)
+			}
+		}
+	}
+}
+
+func TestBalancedPartitionBalancesSkewedWork(t *testing.T) {
+	// Heavy head: first 10 rows carry 100x the work of the rest. A plain
+	// static split over 4 threads puts all heavy rows on thread 0; the
+	// balanced partition must spread them.
+	n := 1000
+	w := make([]int64, n)
+	for i := range w {
+		if i < 10 {
+			w[i] = 1000
+		} else {
+			w[i] = 1
+		}
+	}
+	off := BalancedPartition(w, 4, 1)
+	imb := PartitionImbalance(w, off)
+	if imb > 1.5 {
+		t.Fatalf("balanced partition imbalance %.2f, want <= 1.5 (offsets %v)", imb, off)
+	}
+	// Contrast: equal-rows static split is badly imbalanced on this input.
+	static := []int{0, 250, 500, 750, 1000}
+	if staticImb := PartitionImbalance(w, static); staticImb < 2 {
+		t.Fatalf("test premise broken: static imbalance %.2f should be large", staticImb)
+	}
+}
+
+func TestBalancedPartitionAllZeroWeights(t *testing.T) {
+	off := BalancedPartition(make([]int64, 100), 4, 1)
+	if off[0] != 0 || off[4] != 100 {
+		t.Fatalf("offsets = %v", off)
+	}
+	// Should fall back to even row counts.
+	for t2 := 0; t2 < 4; t2++ {
+		if off[t2+1]-off[t2] != 25 {
+			t.Fatalf("uneven fallback: %v", off)
+		}
+	}
+}
+
+func TestBalancedPartitionEmptyWeights(t *testing.T) {
+	off := BalancedPartition(nil, 4, 1)
+	for _, o := range off {
+		if o != 0 {
+			t.Fatalf("offsets = %v", off)
+		}
+	}
+}
+
+func TestPartitionImbalancePerfect(t *testing.T) {
+	w := []int64{1, 1, 1, 1}
+	if imb := PartitionImbalance(w, []int{0, 2, 4}); imb != 1 {
+		t.Fatalf("imbalance = %v, want 1", imb)
+	}
+}

@@ -1,0 +1,76 @@
+// Package semiring defines the algebraic structures SpGEMM can run over.
+//
+// The paper's SpGEMM kernels compute over the ordinary (+, ×) arithmetic
+// semiring, but the graph applications it motivates — multi-source BFS,
+// triangle counting, Markov clustering — are SpGEMM over other semirings
+// (boolean or-and, tropical min-plus). The accumulators in this repository
+// accept a Semiring so the same kernels serve both worlds; a nil Semiring
+// selects a specialized plus-times fast path.
+package semiring
+
+import "math"
+
+// Semiring packages the two binary operations and the additive identity of a
+// semiring over float64. Mul combines a stored A value with a stored B value;
+// Add merges intermediate products landing on the same output entry.
+type Semiring struct {
+	Name string
+	Add  func(a, b float64) float64
+	Mul  func(a, b float64) float64
+	// Zero is the additive identity: Add(x, Zero) == x. Accumulators
+	// initialize entries with Zero.
+	Zero float64
+}
+
+// PlusTimes is ordinary arithmetic: the semiring of numerical linear algebra.
+func PlusTimes() *Semiring {
+	return &Semiring{
+		Name: "plus-times",
+		Add:  func(a, b float64) float64 { return a + b },
+		Mul:  func(a, b float64) float64 { return a * b },
+		Zero: 0,
+	}
+}
+
+// OrAnd is the boolean semiring with 0/1 encoded as float64. Any nonzero is
+// treated as true. Used by reachability-style algorithms (multi-source BFS).
+func OrAnd() *Semiring {
+	return &Semiring{
+		Name: "or-and",
+		Add: func(a, b float64) float64 {
+			if a != 0 || b != 0 {
+				return 1
+			}
+			return 0
+		},
+		Mul: func(a, b float64) float64 {
+			if a != 0 && b != 0 {
+				return 1
+			}
+			return 0
+		},
+		Zero: 0,
+	}
+}
+
+// MinPlus is the tropical semiring (shortest paths): Add is min, Mul is +,
+// and the additive identity is +Inf.
+func MinPlus() *Semiring {
+	return &Semiring{
+		Name: "min-plus",
+		Add:  math.Min,
+		Mul:  func(a, b float64) float64 { return a + b },
+		Zero: math.Inf(1),
+	}
+}
+
+// MaxTimes selects the strongest product path: Add is max, Mul is ×, identity
+// is 0 (for non-negative weights). Used by Markov-clustering-style kernels.
+func MaxTimes() *Semiring {
+	return &Semiring{
+		Name: "max-times",
+		Add:  math.Max,
+		Mul:  func(a, b float64) float64 { return a * b },
+		Zero: 0,
+	}
+}

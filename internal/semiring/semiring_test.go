@@ -1,0 +1,95 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlusTimesBasics(t *testing.T) {
+	s := PlusTimes()
+	if s.Add(2, 3) != 5 || s.Mul(2, 3) != 6 || s.Zero != 0 {
+		t.Fatal("plus-times wrong")
+	}
+}
+
+func TestOrAndTruthTable(t *testing.T) {
+	s := OrAnd()
+	cases := []struct{ a, b, or, and float64 }{
+		{0, 0, 0, 0},
+		{0, 1, 1, 0},
+		{1, 0, 1, 0},
+		{1, 1, 1, 1},
+		{0.5, 2, 1, 1}, // any nonzero is true
+	}
+	for _, c := range cases {
+		if got := s.Add(c.a, c.b); got != c.or {
+			t.Fatalf("Add(%v,%v)=%v want %v", c.a, c.b, got, c.or)
+		}
+		if got := s.Mul(c.a, c.b); got != c.and {
+			t.Fatalf("Mul(%v,%v)=%v want %v", c.a, c.b, got, c.and)
+		}
+	}
+}
+
+func TestMinPlusIdentityAndOps(t *testing.T) {
+	s := MinPlus()
+	if !math.IsInf(s.Zero, 1) {
+		t.Fatal("min-plus identity must be +Inf")
+	}
+	if s.Add(3, 5) != 3 || s.Mul(3, 5) != 8 {
+		t.Fatal("min-plus ops wrong")
+	}
+	if s.Add(7, s.Zero) != 7 {
+		t.Fatal("Add(x, Zero) != x")
+	}
+}
+
+func TestMaxTimes(t *testing.T) {
+	s := MaxTimes()
+	if s.Add(3, 5) != 5 || s.Mul(3, 5) != 15 || s.Zero != 0 {
+		t.Fatal("max-times wrong")
+	}
+}
+
+// Semiring laws (on non-negative values where applicable): Add associative
+// and commutative, Zero is the Add identity, Mul distributes over Add for
+// the rings where that holds exactly (plus-times with exact values excluded
+// due to float rounding — checked with tolerance).
+func TestSemiringLaws(t *testing.T) {
+	rings := []*Semiring{PlusTimes(), OrAnd(), MinPlus(), MaxTimes()}
+	for _, s := range rings {
+		s := s
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			lim := 10
+			if s.Name == "or-and" {
+				// The float encoding of booleans only forms a semiring on
+				// the carrier {0, 1}.
+				lim = 2
+			}
+			a := float64(rng.Intn(lim))
+			b := float64(rng.Intn(lim))
+			c := float64(rng.Intn(lim))
+			// Commutativity and associativity of Add.
+			if s.Add(a, b) != s.Add(b, a) {
+				return false
+			}
+			if s.Add(s.Add(a, b), c) != s.Add(a, s.Add(b, c)) {
+				return false
+			}
+			// Identity.
+			if s.Add(a, s.Zero) != a {
+				return false
+			}
+			// Distributivity: a*(b+c) == a*b + a*c (exact on small ints).
+			left := s.Mul(a, s.Add(b, c))
+			right := s.Add(s.Mul(a, b), s.Mul(a, c))
+			return left == right || (math.IsInf(left, 1) && math.IsInf(right, 1))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package spgemm
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// escMultiply implements the ESC (expansion, sorting, compression) SpGEMM of
+// Dalton, Olson and Bell (ACM TOMS 2015, the paper's reference [10]): every
+// intermediate product is materialized into a per-row triple buffer
+// (expansion), the buffer is sorted by column (sorting), and adjacent equal
+// columns are summed (compression). ESC was designed for GPUs, where the
+// sort maps onto radix-sort primitives; on CPUs its O(flop·log flop) sort
+// makes it a lower bound illustration of why accumulator-based formulations
+// win — exactly the framing of the paper's Section 2.
+func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	sr := opt.Semiring
+
+	bufCols := make([][]int32, workers)
+	bufVals := make([][]float64, workers)
+	rowNnz := make([]int64, a.Rows)
+	rowOffset := make([]int64, a.Rows)
+
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		var maxFlop int64
+		for i := lo; i < hi; i++ {
+			if flopRow[i] > maxFlop {
+				maxFlop = flopRow[i]
+			}
+		}
+		expCols := make([]int32, maxFlop)
+		expVals := make([]float64, maxFlop)
+		for i := lo; i < hi; i++ {
+			// Expansion.
+			var n int64
+			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				if sr == nil {
+					for q := blo; q < bhi; q++ {
+						expCols[n] = b.ColIdx[q]
+						expVals[n] = av * b.Val[q]
+						n++
+					}
+				} else {
+					for q := blo; q < bhi; q++ {
+						expCols[n] = b.ColIdx[q]
+						expVals[n] = sr.Mul(av, b.Val[q])
+						n++
+					}
+				}
+			}
+			// Sorting.
+			sortInt32Float64(expCols[:n], expVals[:n])
+			// Compression.
+			rowOffset[i] = int64(len(bufCols[w]))
+			var out int64
+			for p := int64(0); p < n; {
+				col := expCols[p]
+				v := expVals[p]
+				p++
+				for p < n && expCols[p] == col {
+					if sr == nil {
+						v += expVals[p]
+					} else {
+						v = sr.Add(v, expVals[p])
+					}
+					p++
+				}
+				bufCols[w] = append(bufCols[w], col)
+				bufVals[w] = append(bufVals[w], v)
+				out++
+			}
+			rowNnz[i] = out
+		}
+	})
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		for i := lo; i < hi; i++ {
+			off := rowOffset[i]
+			n := rowNnz[i]
+			copy(c.ColIdx[rowPtr[i]:rowPtr[i]+n], bufCols[w][off:off+n])
+			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[w][off:off+n])
+		}
+	})
+	return c, nil
+}
+
+// sortInt32Float64 sorts cols ascending carrying vals, same contract as
+// accum's sortPairs but local to avoid exporting that helper; quicksort with
+// median-of-three and insertion-sort base case.
+func sortInt32Float64(cols []int32, vals []float64) {
+	for len(cols) > 24 {
+		n := len(cols)
+		m := n / 2
+		if cols[m] < cols[0] {
+			cols[m], cols[0] = cols[0], cols[m]
+			vals[m], vals[0] = vals[0], vals[m]
+		}
+		if cols[n-1] < cols[0] {
+			cols[n-1], cols[0] = cols[0], cols[n-1]
+			vals[n-1], vals[0] = vals[0], vals[n-1]
+		}
+		if cols[n-1] < cols[m] {
+			cols[n-1], cols[m] = cols[m], cols[n-1]
+			vals[n-1], vals[m] = vals[m], vals[n-1]
+		}
+		pivot := cols[m]
+		i, j := 0, n-1
+		for i <= j {
+			for cols[i] < pivot {
+				i++
+			}
+			for cols[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cols[i], cols[j] = cols[j], cols[i]
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if j+1 < n-i {
+			sortInt32Float64(cols[:j+1], vals[:j+1])
+			cols, vals = cols[i:], vals[i:]
+		} else {
+			sortInt32Float64(cols[i:], vals[i:])
+			cols, vals = cols[:j+1], vals[:j+1]
+		}
+	}
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
+}

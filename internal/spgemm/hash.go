@@ -1,0 +1,72 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// hashMultiply is Hash SpGEMM (Figure 7) and, with vectorized=true,
+// HashVector SpGEMM: two-phase, balanced scheduling, thread-private tables
+// sized to each thread's maximum per-row flop.
+//
+// The common case (plus-times, no mask) runs through the specialized
+// concrete-type driver in hashfast.go — the headline algorithm must not pay
+// an interface dispatch per intermediate product when the hand-written heap
+// driver does not. Masked and semiring multiplications take the generic
+// two-phase driver.
+func hashMultiply(a, b *matrix.CSR, opt *Options, vectorized bool) (*matrix.CSR, error) {
+	if opt.Mask == nil && opt.Semiring == nil {
+		if vectorized {
+			return hashVecFast(a, b, opt)
+		}
+		return hashFast(a, b, opt)
+	}
+	cfg := twoPhaseConfig{
+		schedule: sched.Balanced,
+		factory: func(w int, bound int64) rowAcc {
+			if vectorized {
+				return accum.NewHashVecTable(bound)
+			}
+			return accum.NewHashTable(bound)
+		},
+	}
+	return twoPhase(a, b, opt, cfg)
+}
+
+// spaMultiply is Gustavson's algorithm with a dense sparse accumulator:
+// every worker owns an O(Cols) dense array with generation-stamped
+// occupancy. Balanced scheduling, two-phase for exact allocation.
+func spaMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	cfg := twoPhaseConfig{
+		schedule: sched.Balanced,
+		factory: func(w int, bound int64) rowAcc {
+			return accum.NewSPA(b.Cols)
+		},
+	}
+	return twoPhase(a, b, opt, cfg)
+}
+
+// kokkosMultiply models KokkosKernels' kkmem: two-level hashmap accumulator
+// with dynamic scheduling; unsorted output only (Table 1: "Any/Unsorted").
+// A sorted request is honored by sorting rows afterwards, mirroring how a
+// user of such a library would have to post-process.
+func kokkosMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	inner := *opt
+	inner.Unsorted = true
+	cfg := twoPhaseConfig{
+		schedule: sched.Dynamic,
+		grain:    64,
+		factory: func(w int, bound int64) rowAcc {
+			return accum.NewTwoLevelHash(0)
+		},
+	}
+	c, err := twoPhase(a, b, &inner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.Unsorted {
+		c.SortRows()
+	}
+	return c, nil
+}

@@ -1,0 +1,218 @@
+package spgemm
+
+import (
+	"fmt"
+
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// heapMultiply is Heap SpGEMM (Section 4.2.3): one-phase, k-way merge of the
+// sorted contributing rows of B with a thread-private binary heap. Output
+// rows are produced in sorted order by construction. The five HeapVariant
+// values reproduce the scheduling/memory-management comparison of Figure 9.
+func heapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	if !b.Sorted {
+		return nil, fmt.Errorf("spgemm: heap algorithm requires sorted input rows (B is unsorted)")
+	}
+	switch opt.HeapVariant {
+	case HeapBalancedParallel, HeapBalancedSingle:
+		return heapBalanced(a, b, opt)
+	case HeapStatic:
+		return heapScheduled(a, b, opt, sched.Static, 1)
+	case HeapDynamic:
+		return heapScheduled(a, b, opt, sched.Dynamic, 16)
+	case HeapGuided:
+		return heapScheduled(a, b, opt, sched.Guided, 16)
+	}
+	return nil, fmt.Errorf("spgemm: unknown heap variant %d", opt.HeapVariant)
+}
+
+// heapRow merges output row i into cols/vals (which must hold at least
+// flop(i) entries) and returns the number of entries produced.
+func heapRow(a, b *matrix.CSR, i int, h *accum.MergeHeap, cols []int32, vals []float64, opt *Options) int {
+	h.Reset()
+	alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+	for p := alo; p < ahi; p++ {
+		k := a.ColIdx[p]
+		blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+		if blo < bhi {
+			h.Push(b.ColIdx[blo], a.Val[p], blo, bhi)
+		}
+	}
+	sr := opt.Semiring
+	n := 0
+	for h.Len() > 0 {
+		col, av, pos := h.Min()
+		var prod float64
+		if sr == nil {
+			prod = av * b.Val[pos]
+		} else {
+			prod = sr.Mul(av, b.Val[pos])
+		}
+		if n > 0 && cols[n-1] == col {
+			if sr == nil {
+				vals[n-1] += prod
+			} else {
+				vals[n-1] = sr.Add(vals[n-1], prod)
+			}
+		} else {
+			cols[n] = col
+			vals[n] = prod
+			n++
+		}
+		mpos, mend := h.MinPosEnd()
+		if mpos+1 < mend {
+			h.AdvanceMin(b.ColIdx[mpos+1])
+		} else {
+			h.PopMin()
+		}
+	}
+	return n
+}
+
+// heapBalanced implements the paper's final Heap design: rows partitioned by
+// flop (Figure 6), one-phase with per-thread upper-bound temp buffers.
+// HeapBalancedParallel gives each worker its own allocation ("parallel"
+// memory management, Figure 3); HeapBalancedSingle carves all workers' temp
+// space out of one shared slab ("single"), reproducing the costly variant of
+// Figures 4 and 9.
+func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+	offsets := sched.BalancedPartition(flopRow, workers, workers)
+
+	// Per-worker temp sizes: sum of flop over the worker's rows (each row's
+	// nnz is at most its flop).
+	tempSize := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		var s int64
+		for i := offsets[w]; i < offsets[w+1]; i++ {
+			s += flopRow[i]
+		}
+		tempSize[w] = s
+	}
+
+	tmpCols := make([][]int32, workers)
+	tmpVals := make([][]float64, workers)
+	if opt.HeapVariant == HeapBalancedSingle {
+		// One shared slab, carved into per-worker segments.
+		var total int64
+		for _, s := range tempSize {
+			total += s
+		}
+		allCols := make([]int32, total)
+		allVals := make([]float64, total)
+		var off int64
+		for w := 0; w < workers; w++ {
+			tmpCols[w] = allCols[off : off+tempSize[w]]
+			tmpVals[w] = allVals[off : off+tempSize[w]]
+			off += tempSize[w]
+		}
+	}
+
+	rowNnz := make([]int64, a.Rows)
+	used := make([]int64, workers)
+
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		if opt.HeapVariant == HeapBalancedParallel {
+			// "parallel" memory management: the worker allocates its own
+			// share (first-touched locally).
+			tmpCols[w] = make([]int32, tempSize[w])
+			tmpVals[w] = make([]float64, tempSize[w])
+		}
+		var maxK int64
+		for i := lo; i < hi; i++ {
+			if k := a.RowPtr[i+1] - a.RowPtr[i]; k > maxK {
+				maxK = k
+			}
+		}
+		h := accum.NewMergeHeap(maxK)
+		var pos int64
+		for i := lo; i < hi; i++ {
+			n := heapRow(a, b, i, h, tmpCols[w][pos:], tmpVals[w][pos:], opt)
+			rowNnz[i] = int64(n)
+			pos += int64(n)
+		}
+		used[w] = pos
+	})
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	// Each worker's rows are contiguous in both temp and final storage:
+	// one bulk copy per worker.
+	sched.RunWorkers(workers, func(w int) {
+		lo := offsets[w]
+		if lo >= offsets[w+1] {
+			return
+		}
+		dst := rowPtr[lo]
+		copy(c.ColIdx[dst:dst+used[w]], tmpCols[w][:used[w]])
+		copy(c.Val[dst:dst+used[w]], tmpVals[w][:used[w]])
+	})
+	return c, nil
+}
+
+// heapScheduled is the naive row-parallel Heap with an OpenMP-style schedule
+// (the static/dynamic/guided curves of Figure 9). Workers append finished
+// rows to growable private buffers and the matrix is stitched together at
+// the end.
+func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grain int) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+
+	bufCols := make([][]int32, workers)
+	bufVals := make([][]float64, workers)
+	rowNnz := make([]int64, a.Rows)
+	rowWorker := make([]int32, a.Rows)
+	rowOffset := make([]int64, a.Rows)
+
+	sched.ParallelFor(workers, a.Rows, schedule, grain, func(w, lo, hi int) {
+		h := accum.NewMergeHeap(8)
+		var rowCols []int32
+		var rowVals []float64
+		for i := lo; i < hi; i++ {
+			f := flopRow[i]
+			if int64(cap(rowCols)) < f {
+				rowCols = make([]int32, f)
+				rowVals = make([]float64, f)
+			}
+			n := heapRow(a, b, i, h, rowCols[:f], rowVals[:f], opt)
+			rowNnz[i] = int64(n)
+			rowWorker[i] = int32(w)
+			rowOffset[i] = int64(len(bufCols[w]))
+			bufCols[w] = append(bufCols[w], rowCols[:n]...)
+			bufVals[w] = append(bufVals[w], rowVals[:n]...)
+		}
+	})
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := rowWorker[i]
+			off := rowOffset[i]
+			n := rowNnz[i]
+			copy(c.ColIdx[rowPtr[i]:rowPtr[i]+n], bufCols[src][off:off+n])
+			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[src][off:off+n])
+		}
+	})
+	return c, nil
+}

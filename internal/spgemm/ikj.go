@@ -1,0 +1,108 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// ikjMultiply is the IKJ method of Sulatycke and Ghose (IPPS/SPDP 1998) —
+// per the paper's Section 2, the first shared-memory parallel SpGEMM. The
+// middle loop runs over the full inner dimension k (not just the nonzeros of
+// row a_i*), giving work complexity O(n² + flop): "the IKJ method is only
+// competitive when flop ≥ n², which is rare for SpGEMM". It is included as
+// the historical baseline; BenchmarkAblationIKJ shows the crossover.
+//
+// The row of A is first scattered into a generation-stamped dense vector so
+// the k-loop is a dense scan (the cache-friendly access pattern that
+// motivated the original work), then each hit streams row b_k*.
+func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+	// Balance by flop + the O(n) dense scan each row pays.
+	weights := make([]int64, a.Rows)
+	for i := range weights {
+		weights[i] = flopRow[i] + int64(a.Cols)
+	}
+	offsets := sched.BalancedPartition(weights, workers, workers)
+
+	rowNnz := make([]int64, a.Rows)
+	spas := make([]*accum.SPA, workers)
+	arows := make([]*accum.SPA, workers)
+
+	runRow := func(w int, i int, numeric bool, c *matrix.CSR) {
+		acc := spas[w]
+		arow := arows[w]
+		acc.Reset()
+		arow.Reset()
+		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+		for p := alo; p < ahi; p++ {
+			arow.Accumulate(a.ColIdx[p], a.Val[p])
+		}
+		// The defining dense K loop.
+		for k := 0; k < a.Cols; k++ {
+			av, ok := arow.Lookup(int32(k))
+			if !ok {
+				continue
+			}
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			if numeric {
+				if sr := opt.Semiring; sr != nil {
+					for q := blo; q < bhi; q++ {
+						acc.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
+					}
+				} else {
+					for q := blo; q < bhi; q++ {
+						acc.Accumulate(b.ColIdx[q], av*b.Val[q])
+					}
+				}
+			} else {
+				for q := blo; q < bhi; q++ {
+					acc.InsertSymbolic(b.ColIdx[q])
+				}
+			}
+		}
+		if numeric {
+			start := c.RowPtr[i]
+			cols := c.ColIdx[start : start+rowNnz[i]]
+			vals := c.Val[start : start+rowNnz[i]]
+			if opt.Unsorted {
+				acc.ExtractUnsorted(cols, vals)
+			} else {
+				acc.ExtractSorted(cols, vals)
+			}
+		} else {
+			rowNnz[i] = int64(acc.Len())
+		}
+	}
+
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		spas[w] = accum.NewSPA(b.Cols)
+		arows[w] = accum.NewSPA(a.Cols)
+		for i := lo; i < hi; i++ {
+			runRow(w, i, false, nil)
+		}
+	})
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			runRow(w, i, true, c)
+		}
+	})
+	return c, nil
+}

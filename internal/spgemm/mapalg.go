@@ -1,0 +1,166 @@
+package spgemm
+
+import (
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// mapAcc adapts Go's built-in map to the rowAcc interface. It is the
+// accumulator of the MKL stand-in baseline: a general-purpose associative
+// container with per-operation costs far above the specialized hash table,
+// but completely insensitive to sizing.
+type mapAcc struct {
+	m map[int32]float64
+}
+
+func newMapAcc() *mapAcc { return &mapAcc{m: make(map[int32]float64, 256)} }
+
+func (m *mapAcc) Reset()   { clear(m.m) }
+func (m *mapAcc) Len() int { return len(m.m) }
+
+func (m *mapAcc) InsertSymbolic(key int32) bool {
+	if _, ok := m.m[key]; ok {
+		return false
+	}
+	m.m[key] = 0
+	return true
+}
+
+func (m *mapAcc) Accumulate(key int32, v float64) { m.m[key] += v }
+
+func (m *mapAcc) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
+	if old, ok := m.m[key]; ok {
+		m.m[key] = add(old, v)
+	} else {
+		m.m[key] = v
+	}
+}
+
+func (m *mapAcc) Lookup(key int32) (float64, bool) {
+	v, ok := m.m[key]
+	return v, ok
+}
+
+func (m *mapAcc) ExtractUnsorted(cols []int32, vals []float64) int {
+	i := 0
+	for k, v := range m.m {
+		cols[i] = k
+		vals[i] = v
+		i++
+	}
+	return i
+}
+
+func (m *mapAcc) ExtractSorted(cols []int32, vals []float64) int {
+	n := m.ExtractUnsorted(cols, vals)
+	c := cols[:n]
+	vs := vals[:n]
+	sort.Sort(&colValSorter{c, vs})
+	return n
+}
+
+type colValSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (s *colValSorter) Len() int           { return len(s.cols) }
+func (s *colValSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *colValSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// mapMultiply is the AlgMKL baseline: two-phase map accumulation with plain
+// static scheduling — see the DESIGN.md substitution table for why this
+// reproduces MKL's qualitative profile (load imbalance on skewed inputs,
+// large sorted-vs-unsorted gap, strength at high compression ratio).
+func mapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	cfg := twoPhaseConfig{
+		schedule: sched.Static,
+		factory:  func(w int, bound int64) rowAcc { return newMapAcc() },
+	}
+	return twoPhase(a, b, opt, cfg)
+}
+
+// inspectorMultiply is the AlgMKLInspector baseline: one-phase map
+// accumulation into per-worker growable buffers, unsorted output only,
+// guided scheduling. One-phase means each row's results are appended to the
+// worker's buffer as soon as they are computed and stitched into the final
+// matrix afterwards, trading memory for the skipped symbolic pass.
+func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type rowRef struct {
+		row    int
+		offset int64
+		n      int64
+	}
+	bufCols := make([][]int32, workers)
+	bufVals := make([][]float64, workers)
+	refs := make([][]rowRef, workers)
+	sr := opt.Semiring
+
+	sched.ParallelFor(workers, a.Rows, sched.Guided, 16, func(w, lo, hi int) {
+		acc := newMapAcc()
+		for i := lo; i < hi; i++ {
+			acc.Reset()
+			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				if sr == nil {
+					for q := blo; q < bhi; q++ {
+						acc.m[b.ColIdx[q]] += av * b.Val[q]
+					}
+				} else {
+					for q := blo; q < bhi; q++ {
+						acc.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
+					}
+				}
+			}
+			off := int64(len(bufCols[w]))
+			for k, v := range acc.m {
+				bufCols[w] = append(bufCols[w], k)
+				bufVals[w] = append(bufVals[w], v)
+			}
+			refs[w] = append(refs[w], rowRef{row: i, offset: off, n: int64(len(bufCols[w])) - off})
+		}
+	})
+
+	rowNnz := make([]int64, a.Rows)
+	rowWorker := make([]int32, a.Rows)
+	rowOffset := make([]int64, a.Rows)
+	for w := 0; w < workers; w++ {
+		for _, r := range refs[w] {
+			rowNnz[r.row] = r.n
+			rowWorker[r.row] = int32(w)
+			rowOffset[r.row] = r.offset
+		}
+	}
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	// The inspector path is inherently unsorted; honor a sorted request by
+	// sorting rows at the end (the post-processing a user would need).
+	c := outputShell(a.Rows, b.Cols, rowPtr, false)
+	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := rowWorker[i]
+			off := rowOffset[i]
+			n := rowNnz[i]
+			copy(c.ColIdx[rowPtr[i]:rowPtr[i]+n], bufCols[src][off:off+n])
+			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[src][off:off+n])
+		}
+	})
+	if !opt.Unsorted {
+		c.SortRows()
+	}
+	return c, nil
+}

@@ -1,0 +1,176 @@
+package spgemm
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/semiring"
+)
+
+// mergeMultiply is an iterative row-merging SpGEMM in the style of
+// ViennaCL / Gremse et al.: the contributing (sorted) rows of B are merged
+// pairwise, round after round, like the merge phase of merge sort, combining
+// duplicate columns as they meet. One-phase with growable per-worker output
+// buffers; output is inherently sorted.
+func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	if !b.Sorted {
+		return nil, fmt.Errorf("spgemm: merge algorithm requires sorted input rows (B is unsorted)")
+	}
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+
+	bufCols := make([][]int32, workers)
+	bufVals := make([][]float64, workers)
+	rowNnz := make([]int64, a.Rows)
+	rowWorker := make([]int32, a.Rows)
+	rowOffset := make([]int64, a.Rows)
+	sr := opt.Semiring
+
+	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+		// Ping-pong scratch for merge rounds, grown to the largest row.
+		var sc [2][]int32
+		var sv [2][]float64
+		// Per-round segment boundaries within the scratch buffers.
+		var segs [][2]int64
+		var next [][2]int64
+
+		for i := lo; i < hi; i++ {
+			f := flopRow[i]
+			if int64(cap(sc[0])) < f {
+				sc[0] = make([]int32, f)
+				sc[1] = make([]int32, f)
+				sv[0] = make([]float64, f)
+				sv[1] = make([]float64, f)
+			}
+			// Round 0: copy each contributing row of B, scaled by a_ik,
+			// into scratch 0.
+			segs = segs[:0]
+			var pos int64
+			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				if blo == bhi {
+					continue
+				}
+				start := pos
+				if sr == nil {
+					for q := blo; q < bhi; q++ {
+						sc[0][pos] = b.ColIdx[q]
+						sv[0][pos] = av * b.Val[q]
+						pos++
+					}
+				} else {
+					for q := blo; q < bhi; q++ {
+						sc[0][pos] = b.ColIdx[q]
+						sv[0][pos] = sr.Mul(av, b.Val[q])
+						pos++
+					}
+				}
+				segs = append(segs, [2]int64{start, pos})
+			}
+
+			// Merge rounds: combine segment pairs until one remains.
+			cur := 0
+			for len(segs) > 1 {
+				nxt := cur ^ 1
+				next = next[:0]
+				var out int64
+				for s := 0; s+1 < len(segs); s += 2 {
+					start := out
+					out = mergeSegments(
+						sc[cur], sv[cur], segs[s], segs[s+1],
+						sc[nxt], sv[nxt], out, sr,
+					)
+					next = append(next, [2]int64{start, out})
+				}
+				if len(segs)%2 == 1 {
+					// Odd segment carries over verbatim.
+					last := segs[len(segs)-1]
+					start := out
+					copy(sc[nxt][out:], sc[cur][last[0]:last[1]])
+					copy(sv[nxt][out:], sv[cur][last[0]:last[1]])
+					out += last[1] - last[0]
+					next = append(next, [2]int64{start, out})
+				}
+				segs, next = next, segs
+				cur = nxt
+			}
+
+			var n int64
+			if len(segs) == 1 {
+				n = segs[0][1] - segs[0][0]
+				rowOffset[i] = int64(len(bufCols[w]))
+				bufCols[w] = append(bufCols[w], sc[cur][segs[0][0]:segs[0][1]]...)
+				bufVals[w] = append(bufVals[w], sv[cur][segs[0][0]:segs[0][1]]...)
+			} else {
+				rowOffset[i] = int64(len(bufCols[w]))
+			}
+			rowNnz[i] = n
+			rowWorker[i] = int32(w)
+		}
+	})
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := rowWorker[i]
+			off := rowOffset[i]
+			n := rowNnz[i]
+			copy(c.ColIdx[rowPtr[i]:rowPtr[i]+n], bufCols[src][off:off+n])
+			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[src][off:off+n])
+		}
+	})
+	return c, nil
+}
+
+// mergeSegments merges two sorted segments of (srcC, srcV), combining equal
+// columns, into (dstC, dstV) starting at out; returns the new output cursor.
+// A nil semiring means plus-times.
+func mergeSegments(srcC []int32, srcV []float64, s1, s2 [2]int64, dstC []int32, dstV []float64, out int64, sr *semiring.Semiring) int64 {
+	p, pe := s1[0], s1[1]
+	q, qe := s2[0], s2[1]
+	for p < pe && q < qe {
+		cp, cq := srcC[p], srcC[q]
+		switch {
+		case cp < cq:
+			dstC[out] = cp
+			dstV[out] = srcV[p]
+			p++
+		case cq < cp:
+			dstC[out] = cq
+			dstV[out] = srcV[q]
+			q++
+		default:
+			dstC[out] = cp
+			if sr == nil {
+				dstV[out] = srcV[p] + srcV[q]
+			} else {
+				dstV[out] = sr.Add(srcV[p], srcV[q])
+			}
+			p++
+			q++
+		}
+		out++
+	}
+	for ; p < pe; p++ {
+		dstC[out] = srcC[p]
+		dstV[out] = srcV[p]
+		out++
+	}
+	for ; q < qe; q++ {
+		dstC[out] = srcC[q]
+		dstV[out] = srcV[q]
+		out++
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// hashOnePhase is the one-phase alternative the paper's Section 2 contrasts
+// with the symbolic+numeric design: skip the symbolic pass and write each
+// row into thread-private temp buffers sized at the flop upper bound, then
+// stitch. It trades the symbolic pass's extra computation for O(flop) extra
+// memory — the ablation benchmark BenchmarkAblationPhases quantifies the
+// trade on both sides.
+//
+// Kept unexported: the exported AlgHash is the paper's two-phase design;
+// this variant exists for the ablation study.
+func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+	offsets := sched.BalancedPartition(flopRow, workers, workers)
+
+	tmpCols := make([][]int32, workers)
+	tmpVals := make([][]float64, workers)
+	rowNnz := make([]int64, a.Rows)
+	used := make([]int64, workers)
+	sr := opt.Semiring
+
+	sched.RunWorkers(workers, func(w int) {
+		lo, hi := offsets[w], offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		var tempSize, bound int64
+		for i := lo; i < hi; i++ {
+			tempSize += flopRow[i]
+			if flopRow[i] > bound {
+				bound = flopRow[i]
+			}
+		}
+		tmpCols[w] = make([]int32, tempSize)
+		tmpVals[w] = make([]float64, tempSize)
+		table := accum.NewHashTable(capBound(bound, b.Cols))
+		var pos int64
+		for i := lo; i < hi; i++ {
+			table.Reset()
+			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				if sr == nil {
+					for q := blo; q < bhi; q++ {
+						table.Accumulate(b.ColIdx[q], av*b.Val[q])
+					}
+				} else {
+					for q := blo; q < bhi; q++ {
+						table.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
+					}
+				}
+			}
+			n := table.Len()
+			if opt.Unsorted {
+				table.ExtractUnsorted(tmpCols[w][pos:pos+int64(n)], tmpVals[w][pos:pos+int64(n)])
+			} else {
+				table.ExtractSorted(tmpCols[w][pos:pos+int64(n)], tmpVals[w][pos:pos+int64(n)])
+			}
+			rowNnz[i] = int64(n)
+			pos += int64(n)
+		}
+		used[w] = pos
+	})
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	sched.RunWorkers(workers, func(w int) {
+		lo := offsets[w]
+		if lo >= offsets[w+1] {
+			return
+		}
+		dst := rowPtr[lo]
+		copy(c.ColIdx[dst:dst+used[w]], tmpCols[w][:used[w]])
+		copy(c.Val[dst:dst+used[w]], tmpVals[w][:used[w]])
+	})
+	return c, nil
+}

@@ -1,0 +1,188 @@
+package spgemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestEstimateCompressionRatioExactOnFullSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	a := matrix.Random(40, 40, 0.2, rng)
+	st := matrix.ProductStats(a, a)
+	got := EstimateCompressionRatio(a, a, a.Rows) // full sample → exact
+	if math.Abs(got-st.CompressionRatio) > 1e-9 {
+		t.Fatalf("estimate %v, exact %v", got, st.CompressionRatio)
+	}
+}
+
+func TestEstimateCompressionRatioSampledIsClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	a := matrix.RandomWithDegree(2000, 2000, 8, rng)
+	exact := matrix.ProductStats(a, a).CompressionRatio
+	est := EstimateCompressionRatio(a, a, 200)
+	if est < exact*0.7 || est > exact*1.3 {
+		t.Fatalf("sampled estimate %v too far from exact %v", est, exact)
+	}
+}
+
+func TestEstimateCompressionRatioDegenerate(t *testing.T) {
+	empty := matrix.NewCSR(0, 0)
+	if got := EstimateCompressionRatio(empty, empty, 10); got != 1 {
+		t.Fatalf("empty: %v", got)
+	}
+	z := matrix.NewCSR(5, 5)
+	if got := EstimateCompressionRatio(z, z, 10); got != 1 {
+		t.Fatalf("zero: %v", got)
+	}
+}
+
+func TestIsSkewedDistinguishesUniformFromPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	uniform := matrix.RandomWithDegree(500, 500, 8, rng)
+	if IsSkewed(uniform) {
+		t.Fatal("constant-degree matrix flagged as skewed")
+	}
+	// Power-law-ish: a few huge rows, many tiny.
+	c := matrix.NewCOO(500, 500)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 200; j++ {
+			c.Append(int32(i), int32(rng.Intn(500)), 1)
+		}
+	}
+	for i := 20; i < 500; i++ {
+		c.Append(int32(i), int32(rng.Intn(500)), 1)
+	}
+	skewed := c.ToCSR()
+	if !IsSkewed(skewed) {
+		t.Fatal("power-law matrix not flagged as skewed")
+	}
+}
+
+func TestRecommendCoversTable4(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	dense := matrix.RandomWithDegree(300, 300, 16, rng) // uniform, EF 16
+	sparse := matrix.RandomWithDegree(300, 300, 4, rng) // uniform, EF 4
+
+	// Uniform dense sorted AxA: hash-family expected.
+	if alg := Recommend(dense, dense, true, UseSquare); alg != AlgHash && alg != AlgHeap {
+		t.Fatalf("uniform dense sorted: %v", alg)
+	}
+	// Uniform sparse sorted AxA with low CR: heap (Table 4b).
+	cr := EstimateCompressionRatio(sparse, sparse, 300)
+	if cr <= 2 {
+		if alg := Recommend(sparse, sparse, true, UseSquare); alg != AlgHeap {
+			t.Fatalf("uniform sparse low-CR sorted: %v", alg)
+		}
+	}
+	// Unsorted high-CR: MKL-inspector (Table 4a).
+	band := bandedMatrix(400, 24)
+	if EstimateCompressionRatio(band, band, 400) > 2 {
+		if alg := Recommend(band, band, false, UseSquare); alg != AlgMKLInspector {
+			t.Fatalf("unsorted high-CR: %v", alg)
+		}
+	}
+	// Tall-skinny: hash family always.
+	if alg := Recommend(dense, dense, false, UseTallSkinny); alg != AlgHash {
+		t.Fatalf("tallskinny unsorted: %v", alg)
+	}
+	// Triangle, low CR: heap.
+	if alg := Recommend(sparse, sparse, true, UseTriangle); cr <= 2 && alg != AlgHeap {
+		t.Fatalf("LxU low CR: %v", alg)
+	}
+	// Every recommendation must be a concrete algorithm.
+	for _, uc := range []UseCase{UseSquare, UseTallSkinny, UseTriangle} {
+		for _, sorted := range []bool{true, false} {
+			alg := Recommend(dense, dense, sorted, uc)
+			if alg == AlgAuto {
+				t.Fatalf("Recommend returned AlgAuto for %v sorted=%v", uc, sorted)
+			}
+			if sorted && SupportsUnsorted(alg) == false && alg != AlgHeap && alg != AlgMerge {
+				t.Fatalf("inconsistent recommendation %v", alg)
+			}
+			if !sorted && !SupportsUnsorted(alg) {
+				t.Fatalf("unsorted request got sorting-only algorithm %v", alg)
+			}
+		}
+	}
+}
+
+// bandedMatrix builds a dense band: row i has entries in columns
+// [i-w/2, i+w/2] — a regular pattern with high compression ratio, like the
+// paper's FEM matrices.
+func bandedMatrix(n, w int) *matrix.CSR {
+	c := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for d := -w / 2; d <= w/2; d++ {
+			j := i + d
+			if j >= 0 && j < n {
+				c.Append(int32(i), int32(j), 1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestAutoAlgorithmWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	a := matrix.Random(50, 50, 0.1, rng)
+	want := matrix.NaiveMultiply(a, a)
+	got, err := Multiply(a, a, &Options{Algorithm: AlgAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(want, got, 1e-10) {
+		t.Fatal("auto-selected algorithm produced wrong result")
+	}
+}
+
+func TestUseCaseStrings(t *testing.T) {
+	if UseSquare.String() != "AxA" || UseTallSkinny.String() != "TallSkinny" || UseTriangle.String() != "LxU" {
+		t.Fatal("use case names wrong")
+	}
+	if UseCase(9).String() != "unknown" {
+		t.Fatal("unknown use case name")
+	}
+}
+
+func TestCollectAccessStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	a := matrix.RandomWithDegree(100, 100, 8, rng)
+	st := CollectAccessStats(a, a, 0)
+	flop, _ := matrix.Flop(a, a)
+	if st.Flop != flop {
+		t.Fatalf("Flop = %d, want %d", st.Flop, flop)
+	}
+	if st.RandomBytes != flop*8 {
+		t.Fatalf("RandomBytes = %d", st.RandomBytes)
+	}
+	// Each B row has 8 entries = 96 bytes → bucket 6 ([64,128)).
+	var stanzaTotal int64
+	for k, b := range st.StanzaBytes {
+		stanzaTotal += b
+		if b > 0 && k != 6 {
+			t.Fatalf("unexpected bucket %d with %d bytes", k, b)
+		}
+	}
+	if stanzaTotal != flop*bytesPerEntry {
+		t.Fatalf("stanza bytes %d, want %d", stanzaTotal, flop*bytesPerEntry)
+	}
+	if st.MeanStanzaBytes() < 64 || st.MeanStanzaBytes() >= 128 {
+		t.Fatalf("mean stanza %v out of bucket", st.MeanStanzaBytes())
+	}
+	if st.TotalBytes() <= st.StreamBytes {
+		t.Fatal("TotalBytes must include all categories")
+	}
+}
+
+func TestAccessStatsDenserMeansLongerStanzas(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	sparse := matrix.RandomWithDegree(200, 200, 4, rng)
+	dense := matrix.RandomWithDegree(200, 200, 32, rng)
+	if CollectAccessStats(sparse, sparse, 0).MeanStanzaBytes() >=
+		CollectAccessStats(dense, dense, 0).MeanStanzaBytes() {
+		t.Fatal("denser matrix should have longer stanzas")
+	}
+}

@@ -1,0 +1,265 @@
+// Package spgemm implements the paper's primary contribution: optimized
+// shared-memory sparse matrix-matrix multiplication (SpGEMM) kernels for
+// highly-threaded processors, together with the baseline algorithms the
+// paper evaluates against.
+//
+// All algorithms follow Gustavson's row-wise formulation (Figure 1 of the
+// paper): output row i is the sum of rows b_k* of B scaled by the nonzeros
+// a_ik of row a_i*. They differ in the accumulator that merges intermediate
+// products — hash table, chunked hash table, heap, dense SPA, sorted-list
+// merge, or a general-purpose map — and in phase structure (one-phase with
+// upper-bound allocation vs two-phase symbolic+numeric).
+//
+// Shared architecture-specific machinery (Section 4.1 and 3.2 of the paper):
+// rows are partitioned over workers by per-row flop counts via prefix sum and
+// binary search (sched.BalancedPartition), and every worker allocates its
+// accumulator once at its own upper bound and reinitializes it per row
+// (mempool discipline).
+package spgemm
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/semiring"
+)
+
+// Algorithm selects the SpGEMM implementation.
+type Algorithm int
+
+const (
+	// AlgAuto picks an algorithm with the paper's Table 4 recipe.
+	AlgAuto Algorithm = iota
+	// AlgHash is the paper's optimized hash-table SpGEMM (Section 4.2.1):
+	// two-phase, thread-private linear-probing tables sized to the per-
+	// thread flop upper bound, balanced scheduling. Accepts any input
+	// order; emits sorted or unsorted output ("Any/Select").
+	AlgHash
+	// AlgHashVec is Hash with chunked ("vectorized") probing (Section
+	// 4.2.2), emulating the AVX2/AVX-512 in-register compare.
+	AlgHashVec
+	// AlgHeap is the optimized heap SpGEMM (Section 4.2.3): one-phase,
+	// k-way merge with a thread-private binary heap, thread-private
+	// upper-bound output buffers. Requires sorted inputs and always emits
+	// sorted output ("Sorted/Sorted").
+	AlgHeap
+	// AlgSPA is Gustavson's algorithm with a dense sparse accumulator:
+	// O(Cols) memory per thread, no collisions. Included as the classic
+	// baseline the paper discusses (Section 2).
+	AlgSPA
+	// AlgMKL stands in for Intel MKL's mkl_sparse_spmm: a two-phase
+	// general-purpose map accumulator with plain static scheduling
+	// ("Any/Select"). Proprietary MKL is unavailable; see DESIGN.md for
+	// why this baseline reproduces MKL's qualitative profile (competitive
+	// on small uniform inputs, load-imbalanced on skew, large benefit
+	// from unsorted output).
+	AlgMKL
+	// AlgMKLInspector stands in for the MKL inspector-executor API:
+	// one-phase, unsorted-output-only map accumulation with guided
+	// scheduling; strongest at high compression ratios.
+	AlgMKLInspector
+	// AlgKokkos stands in for KokkosKernels' kkmem: two-phase with a
+	// cache-sized level-1 hash and a growable level-2 overflow,
+	// dynamic scheduling, unsorted output only ("Any/Unsorted").
+	AlgKokkos
+	// AlgMerge is an iterative sorted-list row-merging SpGEMM in the style
+	// of ViennaCL/Gremse et al., included as an additional baseline.
+	// Requires sorted inputs; output is inherently sorted.
+	AlgMerge
+	// AlgIKJ is the IKJ method of Sulatycke and Ghose (Section 2 of the
+	// paper): a dense scan over the inner dimension per row, O(n² + flop)
+	// work, "only competitive when flop ≥ n²". Historical baseline.
+	AlgIKJ
+	// AlgBlockedSPA is the cache-blocked SPA of Patwary et al. (ISC 2015,
+	// the paper's reference [26]): B partitioned into column blocks so the
+	// dense accumulator stays cache-resident.
+	AlgBlockedSPA
+	// AlgESC is the expansion/sorting/compression formulation of Dalton,
+	// Olson and Bell (reference [10]): materialize all intermediate
+	// products, sort, and merge. GPU-oriented; a sort-cost lower-bound
+	// baseline on CPUs.
+	AlgESC
+)
+
+// String returns the name used in benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgHash:
+		return "hash"
+	case AlgHashVec:
+		return "hashvec"
+	case AlgHeap:
+		return "heap"
+	case AlgSPA:
+		return "spa"
+	case AlgMKL:
+		return "mkl"
+	case AlgMKLInspector:
+		return "mkl-inspector"
+	case AlgKokkos:
+		return "kokkos"
+	case AlgMerge:
+		return "merge"
+	case AlgIKJ:
+		return "ikj"
+	case AlgBlockedSPA:
+		return "blockedspa"
+	case AlgESC:
+		return "esc"
+	}
+	return "unknown"
+}
+
+// HeapVariant selects the scheduling/memory-management combination for
+// AlgHeap, reproducing the five curves of the paper's Figure 9.
+type HeapVariant int
+
+const (
+	// HeapBalancedParallel is the paper's final design: flop-balanced row
+	// partition, thread-private temp buffers. The default.
+	HeapBalancedParallel HeapVariant = iota
+	// HeapBalancedSingle uses the balanced partition but one shared temp
+	// allocation carved into per-thread segments ("balanced single").
+	HeapBalancedSingle
+	// HeapStatic, HeapDynamic and HeapGuided parallelize naively by row
+	// with the corresponding OpenMP-style schedule.
+	HeapStatic
+	HeapDynamic
+	HeapGuided
+)
+
+// String returns the Figure 9 curve label.
+func (v HeapVariant) String() string {
+	switch v {
+	case HeapBalancedParallel:
+		return "balanced parallel"
+	case HeapBalancedSingle:
+		return "balanced single"
+	case HeapStatic:
+		return "static"
+	case HeapDynamic:
+		return "dynamic"
+	case HeapGuided:
+		return "guided"
+	}
+	return "unknown"
+}
+
+// Options configures Multiply. The zero value means: auto algorithm,
+// GOMAXPROCS workers, sorted output, plus-times semiring.
+type Options struct {
+	Algorithm Algorithm
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Unsorted requests unsorted output rows where the algorithm supports
+	// the choice (Hash, HashVec, MKL, SPA). Skipping the per-row sort is
+	// the significant optimization of the paper's Section 5.4.4.
+	Unsorted bool
+	// HeapVariant selects the Figure 9 scheduling/memory variant of
+	// AlgHeap.
+	HeapVariant HeapVariant
+	// Semiring, when non-nil, replaces (+, ×). The nil default uses a
+	// specialized plus-times fast path.
+	Semiring *semiring.Semiring
+	// Mask, when non-nil, restricts the output pattern: only entries whose
+	// position is nonzero in Mask are produced. Used by the triangle
+	// counting use case. Supported by the hash-family algorithms.
+	Mask *matrix.CSR
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return sched.DefaultWorkers()
+}
+
+// Multiply computes C = A·B with the selected algorithm. A and B must agree
+// on the inner dimension. The returned matrix has compacted rows; its Sorted
+// flag reflects the actual ordering produced.
+func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	alg := opt.Algorithm
+	if alg == AlgAuto {
+		alg = Recommend(a, b, !opt.Unsorted, UseSquare)
+	}
+	if opt.Mask != nil {
+		switch alg {
+		case AlgHash, AlgHashVec:
+		default:
+			return nil, fmt.Errorf("spgemm: mask is only supported by hash and hashvec, not %v", alg)
+		}
+		if opt.Mask.Rows != a.Rows || opt.Mask.Cols != b.Cols {
+			return nil, fmt.Errorf("spgemm: mask dimensions %dx%d do not match output %dx%d",
+				opt.Mask.Rows, opt.Mask.Cols, a.Rows, b.Cols)
+		}
+	}
+	switch alg {
+	case AlgHash:
+		return hashMultiply(a, b, opt, false)
+	case AlgHashVec:
+		return hashMultiply(a, b, opt, true)
+	case AlgHeap:
+		return heapMultiply(a, b, opt)
+	case AlgSPA:
+		return spaMultiply(a, b, opt)
+	case AlgMKL:
+		return mapMultiply(a, b, opt)
+	case AlgMKLInspector:
+		return inspectorMultiply(a, b, opt)
+	case AlgKokkos:
+		return kokkosMultiply(a, b, opt)
+	case AlgMerge:
+		return mergeMultiply(a, b, opt)
+	case AlgIKJ:
+		return ikjMultiply(a, b, opt)
+	case AlgBlockedSPA:
+		return blockedSPAMultiply(a, b, opt, blockedSPAConfig{})
+	case AlgESC:
+		return escMultiply(a, b, opt)
+	}
+	return nil, fmt.Errorf("spgemm: unknown algorithm %d", alg)
+}
+
+// Flop re-exports the flop count used for balancing and MFLOPS metrics.
+func Flop(a, b *matrix.CSR) (total int64, perRow []int64) {
+	return matrix.Flop(a, b)
+}
+
+// SupportsUnsorted reports whether the algorithm can skip output sorting
+// (the paper's Table 1 "Sortedness" column).
+func SupportsUnsorted(a Algorithm) bool {
+	switch a {
+	case AlgHash, AlgHashVec, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgIKJ, AlgBlockedSPA:
+		return true
+	}
+	return false
+}
+
+// RequiresSortedInput reports whether the algorithm needs sorted input rows
+// (Heap and Merge operate on sorted streams).
+func RequiresSortedInput(a Algorithm) bool {
+	return a == AlgHeap || a == AlgMerge
+}
+
+// outputShell allocates the column/value arrays of the result once the row
+// pointer array is final.
+func outputShell(rows, cols int, rowPtr []int64, sorted bool) *matrix.CSR {
+	nnz := rowPtr[rows]
+	return &matrix.CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: rowPtr,
+		ColIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+		Sorted: sorted,
+	}
+}

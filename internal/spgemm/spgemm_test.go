@@ -1,0 +1,423 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// allAlgorithms lists every concrete algorithm with its capabilities.
+var allAlgorithms = []struct {
+	alg           Algorithm
+	unsortedOut   bool // supports Unsorted option natively
+	unsortedInput bool // accepts unsorted input rows
+}{
+	{AlgHash, true, true},
+	{AlgHashVec, true, true},
+	{AlgHeap, false, false},
+	{AlgSPA, true, true},
+	{AlgMKL, true, true},
+	{AlgMKLInspector, true, true},
+	{AlgKokkos, true, true},
+	{AlgMerge, false, false},
+	{AlgIKJ, true, true},
+	{AlgBlockedSPA, true, true},
+	{AlgESC, false, true},
+}
+
+func randPair(rng *rand.Rand, maxDim int, density float64) (*matrix.CSR, *matrix.CSR) {
+	m := 1 + rng.Intn(maxDim)
+	k := 1 + rng.Intn(maxDim)
+	n := 1 + rng.Intn(maxDim)
+	return matrix.Random(m, k, density, rng), matrix.Random(k, n, density, rng)
+}
+
+func TestAllAlgorithmsMatchNaiveSorted(t *testing.T) {
+	for _, tc := range allAlgorithms {
+		t.Run(tc.alg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for trial := 0; trial < 25; trial++ {
+				a, b := randPair(rng, 40, 0.15)
+				want := matrix.NaiveMultiply(a, b)
+				got, err := Multiply(a, b, &Options{Algorithm: tc.alg, Workers: 1 + trial%4})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if err := got.Validate(); err != nil {
+					t.Fatalf("trial %d: invalid output: %v", trial, err)
+				}
+				if !got.IsSortedRows() {
+					t.Fatalf("trial %d: sorted output requested but rows unsorted", trial)
+				}
+				if !matrix.EqualApprox(want, got, 1e-10) {
+					t.Fatalf("trial %d: %v product disagrees with naive (%v × %v)", trial, tc.alg, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestAllAlgorithmsMatchNaiveUnsortedOutput(t *testing.T) {
+	for _, tc := range allAlgorithms {
+		if !tc.unsortedOut {
+			continue
+		}
+		t.Run(tc.alg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(102))
+			for trial := 0; trial < 15; trial++ {
+				a, b := randPair(rng, 40, 0.15)
+				want := matrix.NaiveMultiply(a, b)
+				got, err := Multiply(a, b, &Options{Algorithm: tc.alg, Unsorted: true, Workers: 3})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if got.Sorted {
+					t.Fatal("unsorted output should not claim Sorted")
+				}
+				if !matrix.EqualApprox(want, got, 1e-10) {
+					t.Fatalf("trial %d: %v unsorted product disagrees with naive", trial, tc.alg)
+				}
+			}
+		})
+	}
+}
+
+func TestUnsortedInputAccepted(t *testing.T) {
+	// Hash-family and map algorithms must accept randomly permuted
+	// (unsorted) inputs — the paper's unsorted evaluation mode.
+	rng := rand.New(rand.NewSource(103))
+	a := matrix.Random(30, 30, 0.2, rng)
+	perm := matrix.RandomPermutation(30, rng)
+	ap := a.PermuteCols(perm) // unsorted rows
+	want := matrix.NaiveMultiply(ap, ap)
+	for _, tc := range allAlgorithms {
+		if !tc.unsortedInput {
+			continue
+		}
+		got, err := Multiply(ap, ap, &Options{Algorithm: tc.alg, Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("%v: wrong product on unsorted input", tc.alg)
+		}
+	}
+}
+
+func TestSortedInputRequiredErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	a := matrix.Random(10, 10, 0.3, rng)
+	b := a.PermuteCols(matrix.RandomPermutation(10, rng)) // unsorted
+	for _, alg := range []Algorithm{AlgHeap, AlgMerge} {
+		if _, err := Multiply(a, b, &Options{Algorithm: alg}); err == nil {
+			t.Fatalf("%v: expected error on unsorted B", alg)
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	a := matrix.Identity(3)
+	b := matrix.Identity(4)
+	if _, err := Multiply(a, b, nil); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestHeapVariantsAllCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	a, b := randPair(rng, 50, 0.15)
+	want := matrix.NaiveMultiply(a, b)
+	for _, v := range []HeapVariant{HeapBalancedParallel, HeapBalancedSingle, HeapStatic, HeapDynamic, HeapGuided} {
+		got, err := Multiply(a, b, &Options{Algorithm: AlgHeap, HeapVariant: v, Workers: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !got.IsSortedRows() {
+			t.Fatalf("%v: heap output must be sorted", v)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("%v: wrong product", v)
+		}
+	}
+}
+
+func TestEmptyMatrices(t *testing.T) {
+	for _, tc := range allAlgorithms {
+		empty := matrix.NewCSR(5, 5)
+		got, err := Multiply(empty, empty, &Options{Algorithm: tc.alg})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		if got.NNZ() != 0 || got.Rows != 5 || got.Cols != 5 {
+			t.Fatalf("%v: empty product wrong: %v", tc.alg, got)
+		}
+	}
+}
+
+func TestEmptyTimesNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	b := matrix.Random(5, 7, 0.4, rng)
+	for _, tc := range allAlgorithms {
+		got, err := Multiply(matrix.NewCSR(4, 5), b, &Options{Algorithm: tc.alg})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		if got.NNZ() != 0 {
+			t.Fatalf("%v: nnz = %d", tc.alg, got.NNZ())
+		}
+	}
+}
+
+func TestIdentityProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	m := matrix.Random(25, 25, 0.2, rng)
+	for _, tc := range allAlgorithms {
+		got, err := Multiply(m, matrix.Identity(25), &Options{Algorithm: tc.alg})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		if !matrix.EqualApprox(m, got, 1e-12) {
+			t.Fatalf("%v: M*I != M", tc.alg)
+		}
+	}
+}
+
+func TestRectangularShapes(t *testing.T) {
+	// Tall-skinny and short-fat products (the Section 5.5 use case shape).
+	rng := rand.New(rand.NewSource(108))
+	a := matrix.Random(60, 40, 0.1, rng)
+	b := matrix.Random(40, 5, 0.3, rng)
+	want := matrix.NaiveMultiply(a, b)
+	for _, tc := range allAlgorithms {
+		got, err := Multiply(a, b, &Options{Algorithm: tc.alg, Workers: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("%v: wrong rectangular product", tc.alg)
+		}
+	}
+}
+
+func TestSemiringMinPlus(t *testing.T) {
+	// Min-plus matrix "product" computes single-hop shortest path combos;
+	// verify against a dense reference.
+	rng := rand.New(rand.NewSource(109))
+	sr := semiring.MinPlus()
+	a := matrix.Random(12, 12, 0.4, rng)
+	b := matrix.Random(12, 12, 0.4, rng)
+	// Make all values positive path lengths.
+	for i := range a.Val {
+		a.Val[i] = float64(1 + rng.Intn(9))
+	}
+	for i := range b.Val {
+		b.Val[i] = float64(1 + rng.Intn(9))
+	}
+	// Dense min-plus reference over the sparsity pattern.
+	ref := make(map[[2]int32]float64)
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := a.Row(i)
+		for t2, k := range acols {
+			bcols, bvals := b.Row(int(k))
+			for t3, j := range bcols {
+				key := [2]int32{int32(i), j}
+				v := avals[t2] + bvals[t3]
+				if old, ok := ref[key]; !ok || v < old {
+					ref[key] = v
+				}
+			}
+		}
+	}
+	for _, alg := range []Algorithm{AlgHash, AlgHashVec, AlgHeap, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgMerge, AlgIKJ, AlgBlockedSPA, AlgESC} {
+		got, err := Multiply(a, b, &Options{Algorithm: alg, Semiring: sr, Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		var count int64
+		for i := 0; i < got.Rows; i++ {
+			cols, vals := got.Row(i)
+			for t2, c := range cols {
+				want, ok := ref[[2]int32{int32(i), c}]
+				if !ok {
+					t.Fatalf("%v: spurious entry (%d,%d)", alg, i, c)
+				}
+				if vals[t2] != want {
+					t.Fatalf("%v: (%d,%d) = %v, want %v", alg, i, c, vals[t2], want)
+				}
+				count++
+			}
+		}
+		if count != int64(len(ref)) {
+			t.Fatalf("%v: %d entries, want %d", alg, count, len(ref))
+		}
+	}
+}
+
+func TestSemiringOrAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	a := matrix.Random(15, 15, 0.3, rng)
+	for i := range a.Val {
+		a.Val[i] = 1
+	}
+	want := matrix.NaiveMultiply(a, a) // plus-times pattern == or-and pattern
+	for _, alg := range []Algorithm{AlgHash, AlgHeap, AlgSPA} {
+		got, err := Multiply(a, a, &Options{Algorithm: alg, Semiring: semiring.OrAnd()})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("%v: nnz = %d, want %d", alg, got.NNZ(), want.NNZ())
+		}
+		for _, v := range got.Val {
+			if v != 1 {
+				t.Fatalf("%v: boolean product value %v", alg, v)
+			}
+		}
+	}
+}
+
+func TestMaskedMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		a, b := randPair(rng, 30, 0.2)
+		mask := matrix.Random(a.Rows, b.Cols, 0.3, rng)
+		full := matrix.NaiveMultiply(a, b)
+		// Reference: full product filtered to mask pattern.
+		wantD := full.ToDense()
+		maskD := mask.ToDense()
+		for i := 0; i < wantD.Rows; i++ {
+			for j := 0; j < wantD.Cols; j++ {
+				if maskD.At(i, j) == 0 {
+					wantD.Set(i, j, 0)
+				}
+			}
+		}
+		for _, alg := range []Algorithm{AlgHash, AlgHashVec} {
+			got, err := Multiply(a, b, &Options{Algorithm: alg, Mask: mask, Workers: 2})
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if !got.ToDense().EqualApprox(wantD, 1e-10) {
+				t.Fatalf("trial %d %v: masked product wrong", trial, alg)
+			}
+			// No entry outside the mask.
+			for i := 0; i < got.Rows; i++ {
+				cols, _ := got.Row(i)
+				for _, c := range cols {
+					if maskD.At(i, int(c)) == 0 {
+						t.Fatalf("%v: entry (%d,%d) outside mask", alg, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaskRejectedForOtherAlgorithms(t *testing.T) {
+	a := matrix.Identity(4)
+	if _, err := Multiply(a, a, &Options{Algorithm: AlgHeap, Mask: a}); err == nil {
+		t.Fatal("expected error: mask unsupported for heap")
+	}
+}
+
+func TestMaskDimensionMismatch(t *testing.T) {
+	a := matrix.Identity(4)
+	m := matrix.Identity(5)
+	if _, err := Multiply(a, a, &Options{Algorithm: AlgHash, Mask: m}); err == nil {
+		t.Fatal("expected mask dimension error")
+	}
+}
+
+func TestNilOptionsDefaults(t *testing.T) {
+	a := matrix.Identity(6)
+	got, err := Multiply(a, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(a, got, 0) {
+		t.Fatal("I*I != I")
+	}
+}
+
+func TestSymbolicCountsMatchNumericNNZ(t *testing.T) {
+	// The two-phase algorithms allocate exactly; verify rowptr equals the
+	// reference nnz structure (no over-allocation leaks into the result).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randPair(rng, 30, 0.2)
+		want := matrix.SymbolicNNZ(a, b)
+		c, err := Multiply(a, b, &Options{Algorithm: AlgHash})
+		if err != nil {
+			return false
+		}
+		return c.NNZ() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all algorithms produce identical results on the same input.
+func TestAlgorithmsAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randPair(rng, 25, 0.2)
+		base, err := Multiply(a, b, &Options{Algorithm: AlgHash})
+		if err != nil {
+			return false
+		}
+		for _, tc := range allAlgorithms[1:] {
+			got, err := Multiply(a, b, &Options{Algorithm: tc.alg, Workers: 1 + rng.Intn(4)})
+			if err != nil || !matrix.EqualApprox(base, got, 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerCountsDoNotChangeResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	a, b := randPair(rng, 60, 0.1)
+	want, _ := Multiply(a, b, &Options{Algorithm: AlgHash, Workers: 1})
+	for _, workers := range []int{2, 3, 7, 16, 64, 1000} {
+		for _, alg := range []Algorithm{AlgHash, AlgHeap, AlgMKLInspector} {
+			got, err := Multiply(a, b, &Options{Algorithm: alg, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d %v: %v", workers, alg, err)
+			}
+			if !matrix.EqualApprox(want, got, 1e-10) {
+				t.Fatalf("workers=%d %v: result changed", workers, alg)
+			}
+		}
+	}
+}
+
+func TestSupportsUnsortedTable(t *testing.T) {
+	if SupportsUnsorted(AlgHeap) || SupportsUnsorted(AlgMerge) {
+		t.Fatal("heap/merge cannot skip sorting (output inherently sorted)")
+	}
+	if !SupportsUnsorted(AlgHash) || !SupportsUnsorted(AlgMKLInspector) {
+		t.Fatal("hash family must support unsorted")
+	}
+	if !RequiresSortedInput(AlgHeap) || RequiresSortedInput(AlgHash) {
+		t.Fatal("sorted-input requirements wrong")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, tc := range allAlgorithms {
+		if tc.alg.String() == "unknown" {
+			t.Fatalf("missing name for %d", tc.alg)
+		}
+	}
+	if AlgAuto.String() != "auto" || Algorithm(99).String() != "unknown" {
+		t.Fatal("string mapping wrong")
+	}
+}

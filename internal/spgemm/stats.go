@@ -1,0 +1,100 @@
+package spgemm
+
+import "repro/internal/matrix"
+
+// AccessStats characterizes the memory traffic of a row-wise SpGEMM A·B, in
+// the three categories of the paper's Section 3.3: streaming access (row
+// pointers of A, writing of C), stanza access (reads of B rows at random
+// row starts with contiguous runs inside the row), and fine-grained random
+// access (accumulator updates). The stanza-length histogram feeds the
+// two-tier memory model of internal/memmodel to estimate the MCDRAM benefit
+// of Figure 10.
+type AccessStats struct {
+	// StanzaBytes[k] is the total bytes moved by B-row reads whose stanza
+	// length falls in bucket k: [2^k, 2^(k+1)) bytes.
+	StanzaBytes []int64
+	// StreamBytes is the streamed traffic: reading A once and writing C
+	// once.
+	StreamBytes int64
+	// RandomBytes is the fine-grained accumulator traffic: one 8-byte
+	// update per flop.
+	RandomBytes int64
+	// Flop is the multiplication count, for normalization.
+	Flop int64
+	// Rows is the number of output rows (per-row overheads in memory
+	// models scale with it).
+	Rows int
+}
+
+// bytesPerEntry is the storage cost of one CSR entry: a 4-byte column index
+// plus an 8-byte value.
+const bytesPerEntry = 12
+
+// CollectAccessStats derives AccessStats from the structure of A and B
+// alone — no multiplication is performed. nnzC, when known (>0), improves
+// the stream estimate; pass 0 to estimate C as flop-sized.
+func CollectAccessStats(a, b *matrix.CSR, nnzC int64) AccessStats {
+	var st AccessStats
+	st.StanzaBytes = make([]int64, 32)
+	st.Rows = a.Rows
+	for i := 0; i < a.Rows; i++ {
+		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+		for p := alo; p < ahi; p++ {
+			k := a.ColIdx[p]
+			rlen := b.RowPtr[k+1] - b.RowPtr[k]
+			if rlen == 0 {
+				continue
+			}
+			bytes := rlen * bytesPerEntry
+			st.StanzaBytes[bucketOf(bytes)] += bytes
+			st.Flop += rlen
+		}
+	}
+	if nnzC <= 0 {
+		nnzC = st.Flop
+	}
+	st.StreamBytes = a.NNZ()*bytesPerEntry + int64(a.Rows+1)*8 + nnzC*bytesPerEntry
+	st.RandomBytes = st.Flop * 8
+	return st
+}
+
+// bucketOf returns k such that 2^k <= bytes < 2^(k+1), clamped to the
+// histogram range.
+func bucketOf(bytes int64) int {
+	k := 0
+	for v := bytes; v > 1; v >>= 1 {
+		k++
+	}
+	if k > 31 {
+		k = 31
+	}
+	return k
+}
+
+// MeanStanzaBytes returns the byte-weighted mean stanza length of the B-row
+// accesses — the single number that locates a workload on the Figure 5
+// bandwidth curve.
+func (s AccessStats) MeanStanzaBytes() float64 {
+	var total, weighted float64
+	for k, b := range s.StanzaBytes {
+		if b == 0 {
+			continue
+		}
+		mid := float64(int64(3)<<uint(k)) / 2 // midpoint of [2^k, 2^(k+1))
+		total += float64(b)
+		weighted += float64(b) * mid
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// TotalBytes returns all traffic categories summed.
+func (s AccessStats) TotalBytes() int64 {
+	t := s.StreamBytes + s.RandomBytes
+	for _, b := range s.StanzaBytes {
+		t += b
+	}
+	return t
+}

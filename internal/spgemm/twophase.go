@@ -1,0 +1,261 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// rowAcc is the per-row accumulator contract shared by the two-phase
+// algorithms (Hash, HashVector, SPA, Kokkos-style and the MKL map stand-in).
+// An accumulator is owned by one worker, allocated once, and Reset between
+// rows — the paper's thread-private "parallel" memory discipline.
+type rowAcc interface {
+	Reset()
+	Len() int
+	InsertSymbolic(key int32) bool
+	Accumulate(key int32, v float64)
+	AccumulateFunc(key int32, v float64, add func(a, b float64) float64)
+	Lookup(key int32) (float64, bool)
+	ExtractUnsorted(cols []int32, vals []float64) int
+	ExtractSorted(cols []int32, vals []float64) int
+}
+
+// Interface conformance for the accum package types.
+var (
+	_ rowAcc = (*accum.HashTable)(nil)
+	_ rowAcc = (*accum.HashVecTable)(nil)
+	_ rowAcc = (*accum.SPA)(nil)
+	_ rowAcc = (*accum.TwoLevelHash)(nil)
+)
+
+// twoPhaseConfig parameterizes the shared symbolic+numeric driver.
+type twoPhaseConfig struct {
+	// factory builds worker w's accumulator. bound is an upper bound on
+	// the entries any single row handled by this worker can produce
+	// (max per-row flop, capped at the column count) — the paper's
+	// Figure 7 sizing rule.
+	factory func(w int, bound int64) rowAcc
+	// schedule distributes rows over workers. Balanced uses the flop-
+	// weighted partition of Figure 6; the others exist to reproduce
+	// baseline behaviour (MKL: static; Kokkos: dynamic).
+	schedule sched.Schedule
+	// grain is the chunk size for dynamic/guided scheduling.
+	grain int
+}
+
+// twoPhase runs the symbolic phase (per-row output sizes), materializes the
+// row pointer array with a parallel prefix sum, and runs the numeric phase
+// into the exactly-sized output — Figure 7 of the paper.
+func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, error) {
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopRow := perRowFlop(a, b)
+
+	// Row → worker assignment.
+	var offsets []int
+	balanced := cfg.schedule == sched.Balanced
+	if balanced {
+		offsets = sched.BalancedPartition(flopRow, workers, workers)
+	}
+
+	// Upper bound for accumulator sizing. Balanced workers size to their
+	// own rows' max flop; other schedules cannot know their rows up front
+	// and size to the global max (still capped at Cols).
+	globalBound := int64(0)
+	if !balanced {
+		for _, f := range flopRow {
+			if f > globalBound {
+				globalBound = f
+			}
+		}
+		globalBound = capBound(globalBound, b.Cols)
+	}
+
+	accs := make([]rowAcc, workers)
+	var maskAccs []*accum.HashTable
+	if opt.Mask != nil {
+		maskAccs = make([]*accum.HashTable, workers)
+	}
+	getAcc := func(w int, bound int64) rowAcc {
+		if accs[w] == nil {
+			accs[w] = cfg.factory(w, bound)
+			if maskAccs != nil {
+				maskBound := capBound(opt.Mask.MaxRowNNZ(), b.Cols)
+				maskAccs[w] = accum.NewHashTable(maskBound)
+			}
+		}
+		return accs[w]
+	}
+
+	rowNnz := make([]int64, a.Rows)
+
+	symbolicRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
+		acc.Reset()
+		if maskAcc != nil {
+			loadMask(maskAcc, opt.Mask, i)
+		}
+		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+		for p := alo; p < ahi; p++ {
+			k := a.ColIdx[p]
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			for q := blo; q < bhi; q++ {
+				c := b.ColIdx[q]
+				if maskAcc != nil {
+					if _, ok := maskAcc.Lookup(c); !ok {
+						continue
+					}
+				}
+				acc.InsertSymbolic(c)
+			}
+		}
+		rowNnz[i] = int64(acc.Len())
+	}
+
+	// --- Symbolic phase ---
+	if balanced {
+		sched.RunWorkers(workers, func(w int) {
+			lo, hi := offsets[w], offsets[w+1]
+			bound := int64(0)
+			for i := lo; i < hi; i++ {
+				if flopRow[i] > bound {
+					bound = flopRow[i]
+				}
+			}
+			acc := getAcc(w, capBound(bound, b.Cols))
+			var maskAcc *accum.HashTable
+			if maskAccs != nil {
+				maskAcc = maskAccs[w]
+			}
+			for i := lo; i < hi; i++ {
+				symbolicRow(acc, maskAcc, i)
+			}
+		})
+	} else {
+		sched.ParallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+			acc := getAcc(w, globalBound)
+			var maskAcc *accum.HashTable
+			if maskAccs != nil {
+				maskAcc = maskAccs[w]
+			}
+			for i := lo; i < hi; i++ {
+				symbolicRow(acc, maskAcc, i)
+			}
+		})
+	}
+
+	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+
+	sr := opt.Semiring
+	numericRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
+		acc.Reset()
+		if maskAcc != nil {
+			loadMask(maskAcc, opt.Mask, i)
+		}
+		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+		if sr == nil {
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				for q := blo; q < bhi; q++ {
+					col := b.ColIdx[q]
+					if maskAcc != nil {
+						if _, ok := maskAcc.Lookup(col); !ok {
+							continue
+						}
+					}
+					acc.Accumulate(col, av*b.Val[q])
+				}
+			}
+		} else {
+			for p := alo; p < ahi; p++ {
+				k := a.ColIdx[p]
+				av := a.Val[p]
+				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+				for q := blo; q < bhi; q++ {
+					col := b.ColIdx[q]
+					if maskAcc != nil {
+						if _, ok := maskAcc.Lookup(col); !ok {
+							continue
+						}
+					}
+					acc.AccumulateFunc(col, sr.Mul(av, b.Val[q]), sr.Add)
+				}
+			}
+		}
+		start := c.RowPtr[i]
+		cols := c.ColIdx[start : start+rowNnz[i]]
+		vals := c.Val[start : start+rowNnz[i]]
+		if opt.Unsorted {
+			acc.ExtractUnsorted(cols, vals)
+		} else {
+			acc.ExtractSorted(cols, vals)
+		}
+	}
+
+	// --- Numeric phase ---
+	if balanced {
+		sched.RunWorkers(workers, func(w int) {
+			lo, hi := offsets[w], offsets[w+1]
+			acc := accs[w]
+			if acc == nil { // worker had no rows in symbolic (possible with 0-row spans)
+				return
+			}
+			var maskAcc *accum.HashTable
+			if maskAccs != nil {
+				maskAcc = maskAccs[w]
+			}
+			for i := lo; i < hi; i++ {
+				numericRow(acc, maskAcc, i)
+			}
+		})
+	} else {
+		sched.ParallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+			acc := getAcc(w, globalBound)
+			var maskAcc *accum.HashTable
+			if maskAccs != nil {
+				maskAcc = maskAccs[w]
+			}
+			for i := lo; i < hi; i++ {
+				numericRow(acc, maskAcc, i)
+			}
+		})
+	}
+	return c, nil
+}
+
+// perRowFlop returns the flop count of each output row.
+func perRowFlop(a, b *matrix.CSR) []int64 {
+	_, perRow := matrix.Flop(a, b)
+	return perRow
+}
+
+// capBound clamps an accumulator size bound at the number of output columns
+// (a row cannot have more distinct entries than columns) — the min(Ncol,
+// size) of the paper's Figure 7.
+func capBound(bound int64, cols int) int64 {
+	if bound > int64(cols) {
+		return int64(cols)
+	}
+	if bound < 1 {
+		return 1
+	}
+	return bound
+}
+
+// loadMask fills the worker's mask table with the column pattern of mask row
+// i.
+func loadMask(maskAcc *accum.HashTable, mask *matrix.CSR, i int) {
+	maskAcc.Reset()
+	lo, hi := mask.RowPtr[i], mask.RowPtr[i+1]
+	for p := lo; p < hi; p++ {
+		maskAcc.InsertSymbolic(mask.ColIdx[p])
+	}
+}

@@ -1,0 +1,90 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestWorkspaceMatchesMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	ws := NewWorkspace(3)
+	for trial := 0; trial < 15; trial++ {
+		a, b := randPair(rng, 40, 0.2)
+		want := matrix.NaiveMultiply(a, b)
+		for _, unsorted := range []bool{false, true} {
+			got, err := ws.Multiply(a, b, unsorted)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !matrix.EqualApprox(want, got, 1e-10) {
+				t.Fatalf("trial %d unsorted=%v: workspace product wrong", trial, unsorted)
+			}
+		}
+	}
+}
+
+func TestWorkspaceReuseAcrossShrinkingAndGrowingInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	ws := NewWorkspace(2)
+	sizes := []int{50, 10, 80, 5, 80}
+	for _, n := range sizes {
+		a := matrix.Random(n, n, 0.2, rng)
+		want := matrix.NaiveMultiply(a, a)
+		got, err := ws.Multiply(a, a, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("n=%d: wrong product after reuse", n)
+		}
+	}
+}
+
+func TestWorkspaceOutputsAreIndependent(t *testing.T) {
+	// Consecutive results must not alias each other's storage.
+	rng := rand.New(rand.NewSource(143))
+	ws := NewWorkspace(1)
+	a := matrix.Random(20, 20, 0.3, rng)
+	c1, err := ws.Multiply(a, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := c1.Clone()
+	if _, err := ws.Multiply(a, a, false); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(c1, saved) {
+		t.Fatal("second Multiply mutated the first result")
+	}
+}
+
+func TestWorkspaceDimensionMismatch(t *testing.T) {
+	ws := NewWorkspace(0)
+	if _, err := ws.Multiply(matrix.Identity(3), matrix.Identity(4), false); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestWorkspaceIterativeSquaring(t *testing.T) {
+	// MCL-style loop: repeated squaring stays correct with one workspace.
+	rng := rand.New(rand.NewSource(144))
+	ws := NewWorkspace(2)
+	m := matrix.Random(15, 15, 0.25, rng)
+	ref := m.Clone()
+	for iter := 0; iter < 3; iter++ {
+		var err error
+		m, err = ws.Multiply(m, m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = matrix.NaiveMultiply(ref, ref)
+		if !matrix.EqualApprox(ref, m, 1e-6) {
+			t.Fatalf("iteration %d diverged", iter)
+		}
+	}
+}
