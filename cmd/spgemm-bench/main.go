@@ -7,6 +7,7 @@
 //	spgemm-bench -list
 //	spgemm-bench -exp fig11
 //	spgemm-bench -exp all -preset quick -csv
+//	spgemm-bench -breakdown -preset tiny
 //
 // Presets: tiny (seconds, CI-sized), quick (default, minutes), full
 // (paper-scale inputs; hours and tens of GiB for the largest proxies).
@@ -29,9 +30,17 @@ func main() {
 		reps    = flag.Int("reps", 0, "timing repetitions (0 = preset default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned columns")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		brk     = flag.Bool("breakdown", false, "print the per-phase ExecStats breakdown (shortcut for -exp fig8)")
 	)
 	flag.Parse()
 
+	if *brk {
+		if *exp != "" && *exp != "fig8" {
+			fmt.Fprintln(os.Stderr, "spgemm-bench: -breakdown conflicts with -exp", *exp)
+			os.Exit(2)
+		}
+		*exp = "fig8"
+	}
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)

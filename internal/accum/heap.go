@@ -12,6 +12,10 @@ type MergeHeap struct {
 	aval []float64
 	pos  []int64
 	end  []int64
+	// pushes counts cursor pushes across the heap's lifetime (one per
+	// non-empty contributing row of B), feeding the per-worker HeapPushes
+	// counter of the ExecStats instrumentation.
+	pushes int64
 }
 
 // NewMergeHeap returns a heap with initial capacity for bound cursors.
@@ -35,9 +39,13 @@ func (h *MergeHeap) Reset() {
 	h.end = h.end[:0]
 }
 
+// Pushes returns the cumulative number of Push calls.
+func (h *MergeHeap) Pushes() int64 { return h.pushes }
+
 // Push adds a cursor: the merge source currently at column col with scale
 // aval, reading B storage positions [pos, end).
 func (h *MergeHeap) Push(col int32, aval float64, pos, end int64) {
+	h.pushes++
 	h.col = append(h.col, col)
 	h.aval = append(h.aval, aval)
 	h.pos = append(h.pos, pos)

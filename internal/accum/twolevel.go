@@ -25,6 +25,9 @@ type TwoLevelHash struct {
 	l1Used []int32
 	l1Mask uint32
 	l2     *HashTable
+	// overflows counts operations delegated to level 2 after an exhausted
+	// level-1 probe sequence, feeding the L2Overflows ExecStats counter.
+	overflows int64
 }
 
 // l1ProbeBound is the maximum linear-probe distance in level 1 before
@@ -72,6 +75,16 @@ func (t *TwoLevelHash) Len() int { return len(t.l1Used) + t.l2.Len() }
 // L2Len returns the number of keys that overflowed to level 2 (test hook).
 func (t *TwoLevelHash) L2Len() int { return t.l2.Len() }
 
+// Overflows returns the cumulative count of operations delegated to level 2.
+func (t *TwoLevelHash) Overflows() int64 { return t.overflows }
+
+// Lookups returns the cumulative operation count of the level-2 table (the
+// level-1 fast path is deliberately uncounted to keep its CAS loop lean).
+func (t *TwoLevelHash) Lookups() int64 { return t.l2.Lookups() }
+
+// Probes returns the collision probe steps of the level-2 table.
+func (t *TwoLevelHash) Probes() int64 { return t.l2.Probes() }
+
 // InsertSymbolic inserts key if absent, reporting whether it was new.
 func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
 	s := (uint32(key) * hashConst) & t.l1Mask
@@ -91,6 +104,7 @@ func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
 		}
 		s = (s + 1) & t.l1Mask
 	}
+	t.overflows++
 	return t.l2.InsertSymbolic(key)
 }
 
@@ -124,6 +138,7 @@ func (t *TwoLevelHash) accumulate(key int32, v float64, add func(a, b float64) f
 		}
 		s = (s + 1) & t.l1Mask
 	}
+	t.overflows++
 	if add == nil {
 		t.l2.Accumulate(key, v)
 	} else {

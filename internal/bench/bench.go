@@ -91,6 +91,7 @@ func Registry() []Experiment {
 		{"fig2", "OpenMP-style scheduling cost vs iteration count (Figure 2)", runFig2},
 		{"fig4", "Memory deallocation cost, single vs parallel (Figure 4)", runFig4},
 		{"fig5", "Stanza bandwidth: DDR measured, MCDRAM modeled (Figure 5)", runFig5},
+		{"fig8", "Per-phase time breakdown with ExecStats (Figure 8)", runFig8},
 		{"fig9", "Heap SpGEMM scheduling variants on G500 (Figure 9)", runFig9},
 		{"fig10", "Modeled MCDRAM speedup vs edge factor (Figure 10)", runFig10},
 		{"fig11", "Scaling with density, ER and G500 (Figure 11)", runFig11},

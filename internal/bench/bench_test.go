@@ -41,7 +41,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	reg := Registry()
-	want := []string{"fig2", "fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps"}
+	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}

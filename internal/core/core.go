@@ -25,6 +25,13 @@ type (
 	HeapVariant = spgemm.HeapVariant
 	// UseCase classifies the multiplication scenario for the recipe.
 	UseCase = spgemm.UseCase
+	// ExecStats receives per-phase wall times and per-worker counters when
+	// pointed to by Options.Stats.
+	ExecStats = spgemm.ExecStats
+	// WorkerStats is one worker's counter block inside ExecStats.
+	WorkerStats = spgemm.WorkerStats
+	// Phase indexes ExecStats.Phases.
+	Phase = spgemm.Phase
 )
 
 // Re-exported algorithm selectors.

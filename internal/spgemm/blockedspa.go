@@ -35,10 +35,6 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	if nBlocks < 1 {
 		nBlocks = 1
 	}
-	// Split B by columns: blocks[k] holds B's entries with column in
-	// [k·blockCols, (k+1)·blockCols), columns relabeled to block-local.
-	blocks := splitColumns(b, blockCols, nBlocks)
-
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -46,8 +42,13 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
+	// Split B by columns: blocks[k] holds B's entries with column in
+	// [k·blockCols, (k+1)·blockCols), columns relabeled to block-local.
+	blocks := splitColumns(b, blockCols, nBlocks)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 	sr := opt.Semiring
 
 	// One-phase with per-worker growable buffers; rows stay contiguous per
@@ -105,12 +106,18 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 			}
 			rowNnz[i] = produced
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	// Blocks are emitted in increasing column order, so with sorted
 	// per-block extraction the whole row is sorted.
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 	sched.RunWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		for i := lo; i < hi; i++ {
@@ -120,6 +127,8 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[w][off:off+n])
 		}
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }
 

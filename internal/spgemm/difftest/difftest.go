@@ -1,0 +1,214 @@
+// Package difftest is the randomized differential correctness harness for
+// the SpGEMM implementations: every Algorithm is cross-checked against the
+// sequential matrix.NaiveMultiply oracle over a suite of generated inputs
+// (ER, G500, tall-skinny, and degenerate shapes, in sorted and unsorted row
+// order), via one canonical equivalence predicate.
+//
+// # Output contract
+//
+// The contract every algorithm must satisfy, and that Equivalent encodes:
+//
+//   - Rows are compacted: within a row, each column index appears at most
+//     once (duplicate intermediate products are merged by the accumulator).
+//   - Explicit zeros are permitted: a cancellation (e.g. 1·x + (-1)·x) may be
+//     kept as an explicit 0 entry or dropped; both representations are
+//     equivalent. Structural positions therefore may differ between
+//     algorithms, but never the represented values.
+//   - The Sorted flag is honest: when the output's Sorted field is true, each
+//     row's column indices are strictly increasing.
+//   - RowPtr is monotone, starts at 0, and ends at len(ColIdx) == len(Val);
+//     every column index is within [0, Cols).
+//
+// The package is a plain library so both `go test` (including -race) and the
+// native fuzz target in this package's tests can share the generators and
+// the predicate.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/spgemm"
+)
+
+// Tol is the relative/absolute tolerance of the canonical predicate. The
+// oracle and the kernels sum identical products in different orders, so only
+// rounding noise separates them.
+const Tol = 1e-9
+
+// Algorithms is every concrete algorithm the harness cross-checks, plus
+// AlgAuto (whose recipe dispatch is itself under test).
+var Algorithms = []spgemm.Algorithm{
+	spgemm.AlgAuto,
+	spgemm.AlgHash,
+	spgemm.AlgHashVec,
+	spgemm.AlgHeap,
+	spgemm.AlgSPA,
+	spgemm.AlgMKL,
+	spgemm.AlgMKLInspector,
+	spgemm.AlgKokkos,
+	spgemm.AlgMerge,
+	spgemm.AlgIKJ,
+	spgemm.AlgBlockedSPA,
+	spgemm.AlgESC,
+}
+
+// Case is one input pair of the differential suite.
+type Case struct {
+	Name string
+	A, B *matrix.CSR
+}
+
+// Cases generates the differential suite from rng: the paper's synthetic
+// workload families at small scale plus the degenerate shapes that historically
+// break SpGEMM implementations (empty matrices, zero dimensions, all-empty
+// rows, duplicate-heavy COO inputs, exact cancellations) — each also in
+// unsorted-row form where meaningful.
+func Cases(rng *rand.Rand) []Case {
+	er := gen.ER(6, 4, rng)
+	g500 := gen.RMAT(6, 8, gen.G500Params, rng)
+	ts := gen.TallSkinny(er, 3, rng)
+
+	cases := []Case{
+		{Name: "er-squared", A: er, B: er},
+		{Name: "g500-squared", A: g500, B: g500},
+		{Name: "er-tallskinny", A: er, B: ts},
+		{Name: "er-unsortedB", A: er, B: gen.Unsorted(er, rng)},
+		{Name: "er-unsortedAB", A: gen.Unsorted(er, rng), B: gen.Unsorted(er, rng)},
+		{Name: "g500-unsortedB", A: g500, B: gen.Unsorted(g500, rng)},
+	}
+
+	// Degenerate shapes: 0×0, zero inner dimension, zero output columns, and
+	// a matrix with no entries at all.
+	empty0 := matrix.NewCOO(0, 0).ToCSR()
+	cases = append(cases,
+		Case{Name: "0x0", A: empty0, B: empty0},
+		Case{Name: "inner-dim-0", A: matrix.NewCOO(4, 0).ToCSR(), B: matrix.NewCOO(0, 5).ToCSR()},
+		Case{Name: "zero-cols-out", A: randomCSR(rng, 5, 4, 8), B: matrix.NewCOO(4, 0).ToCSR()},
+		Case{Name: "all-empty-rows", A: matrix.NewCOO(8, 8).ToCSR(), B: randomCSR(rng, 8, 8, 12)},
+		Case{Name: "empty-times-empty", A: matrix.NewCOO(6, 7).ToCSR(), B: matrix.NewCOO(7, 5).ToCSR()},
+	)
+
+	// Duplicate-merged input: COO with many repeated coordinates, so ToCSR
+	// exercises the duplicate-merge path before the multiply does.
+	dup := matrix.NewCOO(16, 16)
+	for e := 0; e < 200; e++ {
+		dup.Append(int32(rng.Intn(16)), int32(rng.Intn(16)), 1-rng.Float64())
+	}
+	dupCSR := dup.ToCSR()
+	cases = append(cases,
+		Case{Name: "duplicate-merged", A: dupCSR, B: dupCSR},
+		Case{Name: "duplicate-merged-unsorted", A: dupCSR, B: gen.Unsorted(dupCSR, rng)},
+	)
+
+	// Exact cancellation: A = [1 -1] meeting equal rows of B produces a zero
+	// that algorithms may keep explicitly or drop; both must pass.
+	cancel := matrix.NewCOO(1, 2)
+	cancel.Append(0, 0, 1)
+	cancel.Append(0, 1, -1)
+	ones := matrix.NewCOO(2, 3)
+	for j := int32(0); j < 3; j++ {
+		ones.Append(0, j, 1)
+		ones.Append(1, j, 1)
+	}
+	cases = append(cases, Case{Name: "cancellation", A: cancel.ToCSR(), B: ones.ToCSR()})
+
+	// Sparse rectangular with interleaved empty rows.
+	cases = append(cases, Case{Name: "ragged-rect", A: randomCSR(rng, 31, 17, 40), B: randomCSR(rng, 17, 23, 30)})
+
+	return cases
+}
+
+// randomCSR builds a rows×cols matrix with about nnz uniform entries
+// (duplicates merged), leaving some rows empty by construction.
+func randomCSR(rng *rand.Rand, rows, cols, nnz int) *matrix.CSR {
+	coo := matrix.NewCOO(rows, cols)
+	if rows > 0 && cols > 0 {
+		for e := 0; e < nnz; e++ {
+			coo.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Invariants verifies the structural output contract of a CSR result (see
+// the package comment): consistent RowPtr, in-range columns, no duplicate
+// columns within a row, and an honest Sorted flag.
+func Invariants(c *matrix.CSR) error {
+	if len(c.RowPtr) != c.Rows+1 {
+		return fmt.Errorf("RowPtr length %d, want Rows+1 = %d", len(c.RowPtr), c.Rows+1)
+	}
+	if c.RowPtr[0] != 0 {
+		return fmt.Errorf("RowPtr[0] = %d, want 0", c.RowPtr[0])
+	}
+	for i := 0; i < c.Rows; i++ {
+		if c.RowPtr[i+1] < c.RowPtr[i] {
+			return fmt.Errorf("RowPtr not monotone at row %d: %d > %d", i, c.RowPtr[i], c.RowPtr[i+1])
+		}
+	}
+	if n := c.RowPtr[c.Rows]; int(n) != len(c.ColIdx) || int(n) != len(c.Val) {
+		return fmt.Errorf("RowPtr end %d disagrees with len(ColIdx)=%d len(Val)=%d", n, len(c.ColIdx), len(c.Val))
+	}
+	seen := make(map[int32]struct{})
+	for i := 0; i < c.Rows; i++ {
+		lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+		clear(seen)
+		for p := lo; p < hi; p++ {
+			col := c.ColIdx[p]
+			if col < 0 || int(col) >= c.Cols {
+				return fmt.Errorf("row %d: column %d out of range [0,%d)", i, col, c.Cols)
+			}
+			if _, dup := seen[col]; dup {
+				return fmt.Errorf("row %d: duplicate column %d (rows must be compacted)", i, col)
+			}
+			seen[col] = struct{}{}
+			if c.Sorted && p > lo && c.ColIdx[p-1] >= col {
+				return fmt.Errorf("row %d: Sorted=true but columns not strictly increasing at %d", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Equivalent is the canonical equality predicate of the differential
+// harness: got must satisfy the structural Invariants and represent the same
+// matrix as want up to Tol, with explicit zeros and entry order ignored
+// (matrix.EqualApprox canonicalizes both sides).
+func Equivalent(got, want *matrix.CSR) error {
+	if err := Invariants(got); err != nil {
+		return err
+	}
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		return fmt.Errorf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if !matrix.EqualApprox(got, want, Tol) {
+		return fmt.Errorf("values differ from oracle beyond tol=%g", Tol)
+	}
+	return nil
+}
+
+// Check multiplies c.A·c.B with the given algorithm and options and verifies
+// the result against the NaiveMultiply oracle. Algorithms that require sorted
+// input rows are expected to reject unsorted B with an error — a wrong
+// result, or a sorted-only algorithm chosen by AlgAuto for unsorted input,
+// is a failure.
+func Check(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
+	opt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers}
+	got, err := spgemm.Multiply(c.A, c.B, opt)
+	if err != nil {
+		if spgemm.RequiresSortedInput(alg) && !c.B.Sorted {
+			return nil // documented rejection, not a defect
+		}
+		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+	}
+	if spgemm.RequiresSortedInput(alg) && !c.B.Sorted {
+		return fmt.Errorf("%s/%v: accepted unsorted input instead of rejecting it", c.Name, alg)
+	}
+	want := matrix.NaiveMultiply(c.A, c.B)
+	if err := Equivalent(got, want); err != nil {
+		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+	}
+	return nil
+}

@@ -21,8 +21,10 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 	sr := opt.Semiring
 
 	bufCols := make([][]int32, workers)
@@ -88,10 +90,16 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			}
 			rowNnz[i] = out
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
+	pt.tick(PhaseAlloc)
 	sched.RunWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		for i := lo; i < hi; i++ {
@@ -101,6 +109,8 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[w][off:off+n])
 		}
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }
 

@@ -1,0 +1,266 @@
+package spgemm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one stage of a SpGEMM kernel. Not every algorithm has
+// every phase: one-phase algorithms have no symbolic pass, and algorithms
+// that write rows directly into the exactly-sized output have no assemble
+// pass. Phases an algorithm does not execute stay at zero.
+type Phase int
+
+const (
+	// PhasePartition is the pre-pass: per-row flop counting and the
+	// flop-balanced row partition (Figure 6), or whatever input
+	// preprocessing a baseline needs (e.g. BlockedSPA's column split).
+	PhasePartition Phase = iota
+	// PhaseSymbolic is the symbolic pass of two-phase algorithms: computing
+	// per-row output sizes without touching values (Figure 7, left half).
+	PhaseSymbolic
+	// PhaseAlloc covers the row-pointer prefix sum and the allocation of
+	// the output (and, for one-phase algorithms, upper-bound temp buffers).
+	PhaseAlloc
+	// PhaseNumeric is the numeric pass: the actual multiply-accumulate work
+	// including per-row extraction/sorting.
+	PhaseNumeric
+	// PhaseAssemble is the final stitching of per-worker temp buffers into
+	// the output matrix (one-phase algorithms), plus any post-pass such as
+	// sorting rows to honor a sorted-output request.
+	PhaseAssemble
+	// NumPhases is the number of phases; ExecStats.Phases has this length.
+	NumPhases
+)
+
+// String returns the phase name used in breakdown tables.
+func (p Phase) String() string {
+	switch p {
+	case PhasePartition:
+		return "partition"
+	case PhaseSymbolic:
+		return "symbolic"
+	case PhaseAlloc:
+		return "alloc"
+	case PhaseNumeric:
+		return "numeric"
+	case PhaseAssemble:
+		return "assemble"
+	}
+	return "unknown"
+}
+
+// WorkerStats holds one worker's counters for a single Multiply call.
+// Counters an algorithm's accumulator does not maintain stay at zero.
+type WorkerStats struct {
+	// Rows is the number of output rows this worker produced.
+	Rows int64
+	// Flop is the multiply-accumulate count over this worker's rows.
+	Flop int64
+	// HashLookups counts insert/accumulate operations into a hash-family
+	// accumulator (each corresponds to one intermediate product or one
+	// symbolic insert).
+	HashLookups int64
+	// HashProbes counts collision probe steps beyond the first slot/chunk;
+	// HashProbes/HashLookups is the mean collision factor of the paper's
+	// Equation (2).
+	HashProbes int64
+	// HeapPushes counts cursor pushes into the merge heap (Heap SpGEMM).
+	HeapPushes int64
+	// L2Overflows counts keys delegated to the level-2 table of the
+	// two-level (Kokkos-style) accumulator.
+	L2Overflows int64
+}
+
+func (w *WorkerStats) add(o WorkerStats) {
+	w.Rows += o.Rows
+	w.Flop += o.Flop
+	w.HashLookups += o.HashLookups
+	w.HashProbes += o.HashProbes
+	w.HeapPushes += o.HeapPushes
+	w.L2Overflows += o.L2Overflows
+}
+
+// ExecStats collects per-phase wall times and per-worker counters for one
+// Multiply call. Point Options.Stats at a zero ExecStats to enable
+// collection; a nil Options.Stats costs a handful of pointer compares per
+// call and performs no clock reads and no allocations.
+//
+// Workers write only their own Workers[w] entry and the driver joins them
+// with the synchronization already inherent in the fork/join worker pool, so
+// collection is race-free (verified under `go test -race`).
+type ExecStats struct {
+	// Algorithm is the concrete algorithm that ran (after AlgAuto
+	// resolution).
+	Algorithm Algorithm
+	// Phases holds wall time per phase, indexed by Phase.
+	Phases [NumPhases]time.Duration
+	// Total is the wall time of the whole kernel. The per-phase times are
+	// measured back-to-back, so Phases sums to Total up to clock
+	// granularity.
+	Total time.Duration
+	// Workers holds one entry per worker that ran.
+	Workers []WorkerStats
+}
+
+// reset prepares the stats for a new run with the given worker count,
+// reusing the Workers slice when possible.
+func (s *ExecStats) reset(workers int) {
+	s.Phases = [NumPhases]time.Duration{}
+	s.Total = 0
+	if cap(s.Workers) >= workers {
+		s.Workers = s.Workers[:workers]
+		for i := range s.Workers {
+			s.Workers[i] = WorkerStats{}
+		}
+	} else {
+		s.Workers = make([]WorkerStats, workers)
+	}
+}
+
+// PhaseSum returns the sum of the per-phase times.
+func (s *ExecStats) PhaseSum() time.Duration {
+	var t time.Duration
+	for _, d := range s.Phases {
+		t += d
+	}
+	return t
+}
+
+// TotalWorker returns all worker counters summed.
+func (s *ExecStats) TotalWorker() WorkerStats {
+	var t WorkerStats
+	for i := range s.Workers {
+		t.add(s.Workers[i])
+	}
+	return t
+}
+
+// CollisionFactor returns mean hash probes per lookup plus one — the paper's
+// collision factor c (Equation 2). Returns 0 when no hash lookups were
+// recorded.
+func (s *ExecStats) CollisionFactor() float64 {
+	t := s.TotalWorker()
+	if t.HashLookups == 0 {
+		return 0
+	}
+	return 1 + float64(t.HashProbes)/float64(t.HashLookups)
+}
+
+// addPhase adds an out-of-band duration (e.g. a post-pass sort) to a phase
+// and to the total. Safe on a nil receiver so call sites need no guard.
+func (s *ExecStats) addPhase(p Phase, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Phases[p] += d
+	s.Total += d
+}
+
+// String renders a compact one-call breakdown: phase times with percentages
+// and the aggregate counters.
+func (s *ExecStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s total=%v", s.Algorithm, s.Total)
+	for p := Phase(0); p < NumPhases; p++ {
+		d := s.Phases[p]
+		if d == 0 {
+			continue
+		}
+		pct := 0.0
+		if s.Total > 0 {
+			pct = 100 * float64(d) / float64(s.Total)
+		}
+		fmt.Fprintf(&b, " %s=%v(%.0f%%)", p, d, pct)
+	}
+	t := s.TotalWorker()
+	fmt.Fprintf(&b, " workers=%d rows=%d flop=%d", len(s.Workers), t.Rows, t.Flop)
+	if t.HashLookups > 0 {
+		fmt.Fprintf(&b, " lookups=%d probes=%d cf=%.2f", t.HashLookups, t.HashProbes, s.CollisionFactor())
+	}
+	if t.HeapPushes > 0 {
+		fmt.Fprintf(&b, " heap_pushes=%d", t.HeapPushes)
+	}
+	if t.L2Overflows > 0 {
+		fmt.Fprintf(&b, " l2_overflows=%d", t.L2Overflows)
+	}
+	return b.String()
+}
+
+// phaseTimer stamps phase boundaries into an ExecStats. The zero value (from
+// a nil *ExecStats) is inert: tick and finish return immediately without
+// reading the clock, which is what keeps the disabled-stats overhead to a
+// nil compare per phase boundary.
+type phaseTimer struct {
+	st    *ExecStats
+	start time.Time
+	last  time.Time
+}
+
+// startPhases resets st for a run with the given worker count and starts the
+// clock. A nil st yields an inert timer.
+func startPhases(st *ExecStats, workers int) phaseTimer {
+	if st == nil {
+		return phaseTimer{}
+	}
+	st.reset(workers)
+	now := time.Now()
+	return phaseTimer{st: st, start: now, last: now}
+}
+
+// tick charges the time since the previous boundary to phase p.
+func (t *phaseTimer) tick(p Phase) {
+	if t.st == nil {
+		return
+	}
+	now := time.Now()
+	t.st.Phases[p] += now.Sub(t.last)
+	t.last = now
+}
+
+// finish records the total wall time.
+func (t *phaseTimer) finish() {
+	if t.st == nil {
+		return
+	}
+	t.st.Total = time.Since(t.start)
+}
+
+// worker returns the pointer to worker w's counter block, or nil when stats
+// are disabled. Kernels hold the pointer for the duration of a parallel
+// region and write through it once at the end of the region.
+func (t *phaseTimer) worker(w int) *WorkerStats {
+	if t.st == nil || w >= len(t.st.Workers) {
+		return nil
+	}
+	return &t.st.Workers[w]
+}
+
+// statsNow reads the clock only when stats are enabled; paired with
+// statsSince it brackets post-passes (e.g. a sorted-output SortRows) without
+// costing disabled callers a clock read.
+func statsNow(st *ExecStats) time.Time {
+	if st == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// statsSince returns the elapsed time since start, or 0 with stats disabled.
+func statsSince(st *ExecStats, start time.Time) time.Duration {
+	if st == nil {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// rangeFlop sums flopRow over [lo, hi) — the per-worker Flop counter for
+// contiguous partitions.
+func rangeFlop(flopRow []int64, lo, hi int) int64 {
+	var f int64
+	for i := lo; i < hi; i++ {
+		f += flopRow[i]
+	}
+	return f
+}

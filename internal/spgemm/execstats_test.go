@@ -1,0 +1,269 @@
+package spgemm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// statsAlgorithms is every algorithm the breakdown instrumentation covers.
+var statsAlgorithms = []Algorithm{
+	AlgHash, AlgHashVec, AlgHeap, AlgSPA, AlgMKL, AlgMKLInspector,
+	AlgKokkos, AlgMerge, AlgIKJ, AlgBlockedSPA, AlgESC,
+}
+
+// TestExecStatsPhaseSumMatchesTotal is the tentpole acceptance criterion:
+// phases are timed back-to-back, so their sum must account for the measured
+// total within 5% (plus a small absolute floor for clock granularity on the
+// cheapest algorithms).
+func TestExecStatsPhaseSumMatchesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.ER(10, 8, rng)
+	for _, alg := range statsAlgorithms {
+		var st ExecStats
+		if _, err := Multiply(g, g, &Options{Algorithm: alg, Stats: &st}); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if st.Total <= 0 {
+			t.Fatalf("%v: Total = %v, want > 0", alg, st.Total)
+		}
+		diff := st.Total - st.PhaseSum()
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(st.Total)+float64(200_000) { // 0.2ms floor
+			t.Errorf("%v: PhaseSum %v vs Total %v (diff %v > 5%%)", alg, st.PhaseSum(), st.Total, diff)
+		}
+		if st.Algorithm != alg {
+			t.Errorf("%v: Stats.Algorithm = %v", alg, st.Algorithm)
+		}
+	}
+}
+
+// TestExecStatsCounters checks the per-worker counters against ground truth:
+// rows and flop are exact, and each accumulator family reports its own
+// operation counts.
+func TestExecStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := gen.ER(9, 8, rng)
+	totalFlop, _ := Flop(g, g)
+	for _, alg := range statsAlgorithms {
+		var st ExecStats
+		if _, err := Multiply(g, g, &Options{Algorithm: alg, Workers: 4, Stats: &st}); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		tot := st.TotalWorker()
+		if tot.Rows != int64(g.Rows) {
+			t.Errorf("%v: worker rows sum to %d, want %d", alg, tot.Rows, g.Rows)
+		}
+		if tot.Flop != totalFlop {
+			t.Errorf("%v: worker flop sums to %d, want %d", alg, tot.Flop, totalFlop)
+		}
+		switch alg {
+		case AlgHash, AlgHashVec:
+			if tot.HashLookups < totalFlop {
+				// Symbolic + numeric passes each touch every product once.
+				t.Errorf("%v: HashLookups = %d, want >= flop %d", alg, tot.HashLookups, totalFlop)
+			}
+			if cf := st.CollisionFactor(); cf < 1 {
+				t.Errorf("%v: collision factor %f < 1", alg, cf)
+			}
+		case AlgHeap:
+			if tot.HeapPushes == 0 {
+				t.Errorf("%v: no heap pushes recorded", alg)
+			}
+		case AlgKokkos:
+			// The two-level table counts only level-2 traffic (the L1 CAS
+			// loop stays uncounted by design), so lookups == delegations.
+			if tot.HashLookups != tot.L2Overflows {
+				t.Errorf("%v: HashLookups %d != L2Overflows %d", alg, tot.HashLookups, tot.L2Overflows)
+			}
+		}
+	}
+}
+
+// TestExecStatsHeapVariants covers the Figure 9 scheduling variants, which
+// take a different driver than the default balanced heap.
+func TestExecStatsHeapVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.ER(8, 4, rng)
+	for _, v := range []HeapVariant{HeapBalancedParallel, HeapBalancedSingle, HeapStatic, HeapDynamic, HeapGuided} {
+		var st ExecStats
+		if _, err := Multiply(g, g, &Options{Algorithm: AlgHeap, HeapVariant: v, Workers: 3, Stats: &st}); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if tot := st.TotalWorker(); tot.Rows != int64(g.Rows) || tot.HeapPushes == 0 {
+			t.Errorf("%v: rows=%d pushes=%d", v, tot.Rows, tot.HeapPushes)
+		}
+	}
+}
+
+// TestExecStatsReusedAcrossCalls verifies a Stats struct is reset per call,
+// not accumulated, including when the worker count changes.
+func TestExecStatsReusedAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := gen.ER(8, 4, rng)
+	var st ExecStats
+	if _, err := Multiply(g, g, &Options{Algorithm: AlgHash, Workers: 4, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	first := st.TotalWorker()
+	if _, err := Multiply(g, g, &Options{Algorithm: AlgHash, Workers: 2, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("Workers len = %d after 2-worker run", len(st.Workers))
+	}
+	second := st.TotalWorker()
+	if second.Rows != first.Rows || second.Flop != first.Flop {
+		t.Errorf("stats accumulated across calls: %+v vs %+v", second, first)
+	}
+}
+
+// TestExecStatsString smoke-tests the breakdown rendering.
+func TestExecStatsString(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := gen.ER(7, 4, rng)
+	var st ExecStats
+	if _, err := Multiply(g, g, &Options{Algorithm: AlgHash, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.String()
+	for _, want := range []string{"hash", "total=", "numeric=", "flop="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	for p := Phase(0); p <= NumPhases; p++ {
+		_ = p.String()
+	}
+}
+
+// TestExecStatsNilSafe pins the nil-Stats contract: the helpers used on hot
+// paths must be inert on nil.
+func TestExecStatsNilSafe(t *testing.T) {
+	pt := startPhases(nil, 8)
+	pt.tick(PhaseNumeric)
+	pt.finish()
+	if ws := pt.worker(0); ws != nil {
+		t.Fatal("worker() on disabled timer returned non-nil")
+	}
+	var nilStats *ExecStats
+	nilStats.addPhase(PhaseAssemble, 1) // must not panic
+	if !statsNow(nil).IsZero() {
+		t.Fatal("statsNow(nil) read the clock")
+	}
+	if statsSince(nil, statsNow(nil)) != 0 {
+		t.Fatal("statsSince(nil) nonzero")
+	}
+}
+
+// TestCapBoundDegenerate is the regression for the capBound bug: a
+// zero-column output must get a zero bound (the old code returned 1, making
+// accumulators allocate for impossible entries).
+func TestCapBoundDegenerate(t *testing.T) {
+	cases := []struct {
+		bound int64
+		cols  int
+		want  int64
+	}{
+		{5, 0, 0}, {0, 10, 0}, {-3, 10, 0}, {20, 10, 10}, {7, 10, 7}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := capBound(c.bound, c.cols); got != c.want {
+			t.Errorf("capBound(%d, %d) = %d, want %d", c.bound, c.cols, got, c.want)
+		}
+	}
+}
+
+// TestRecommendNeverReturnsSortedOnlyForUnsortedB is the dispatch-bug
+// regression (the PR's headline fix): whatever Table 4 says, Recommend must
+// not hand an unsorted B to Heap or Merge. The ER scale-10 sorted-output
+// request is the original repro — low compression ratio and low degree made
+// Table 4 pick Heap, which then rejected the unsorted input.
+func TestRecommendNeverReturnsSortedOnlyForUnsortedB(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	er := gen.ER(10, 4, rng)
+	erU := gen.Unsorted(er, rng)
+	if alg := recommendTable4(er, er, true, UseSquare); alg != AlgHeap {
+		t.Skipf("table 4 no longer picks heap for this input (got %v); repro void", alg)
+	}
+	for _, uc := range []UseCase{UseSquare, UseTallSkinny, UseTriangle} {
+		for _, sorted := range []bool{true, false} {
+			if alg := Recommend(er, erU, sorted, uc); RequiresSortedInput(alg) {
+				t.Errorf("Recommend(sorted=%v, %v) = %v for unsorted B", sorted, uc, alg)
+			}
+		}
+	}
+	// The original failure: AlgAuto on unsorted input returned "heap
+	// algorithm requires sorted input rows".
+	got, err := Multiply(er, erU, &Options{Algorithm: AlgAuto})
+	if err != nil {
+		t.Fatalf("AlgAuto on unsorted B: %v", err)
+	}
+	if !matrix.EqualApprox(got, matrix.NaiveMultiply(er, erU), 1e-9) {
+		t.Fatal("AlgAuto fallback produced wrong result")
+	}
+}
+
+// TestUseCasePlumbing verifies Multiply consults Options.UseCase (it used to
+// hardcode UseSquare): for each use case the algorithm recorded in Stats
+// matches a direct Recommend call with that use case.
+func TestUseCasePlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := gen.RMAT(8, 8, gen.G500Params, rng)
+	ts := gen.TallSkinny(g, 3, rng)
+	pairs := []struct {
+		uc   UseCase
+		a, b *matrix.CSR
+	}{
+		{UseSquare, g, g},
+		{UseTallSkinny, g, ts},
+		{UseTriangle, g, g},
+	}
+	for _, p := range pairs {
+		var st ExecStats
+		got, err := Multiply(p.a, p.b, &Options{Algorithm: AlgAuto, UseCase: p.uc, Stats: &st})
+		if err != nil {
+			t.Fatalf("%v: %v", p.uc, err)
+		}
+		want := Recommend(p.a, p.b, true, p.uc)
+		if st.Algorithm != want {
+			t.Errorf("%v: dispatched %v, Recommend says %v", p.uc, st.Algorithm, want)
+		}
+		if !matrix.EqualApprox(got, matrix.NaiveMultiply(p.a, p.b), 1e-9) {
+			t.Errorf("%v: wrong result", p.uc)
+		}
+	}
+}
+
+// BenchmarkStatsOverhead quantifies the disabled-stats cost for the PR's
+// <2% acceptance criterion: run with
+//
+//	go test -bench BenchmarkStatsOverhead -benchtime 3s ./internal/spgemm
+//
+// and compare the nil and enabled lines.
+func BenchmarkStatsOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	g := gen.ER(12, 8, rng)
+	for _, cfg := range []struct {
+		name  string
+		stats *ExecStats
+	}{
+		{"nil", nil},
+		{"enabled", &ExecStats{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opt := &Options{Algorithm: AlgHash, Stats: cfg.stats}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Multiply(g, g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -66,7 +66,9 @@ func kokkosMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		return nil, err
 	}
 	if !opt.Unsorted {
+		start := statsNow(opt.Stats)
 		c.SortRows()
+		opt.Stats.addPhase(PhaseAssemble, statsSince(opt.Stats, start))
 	}
 	return c, nil
 }

@@ -25,8 +25,10 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 	rowNnz := make([]int64, a.Rows)
 	tables := make([]*accum.HashTable, workers)
 
@@ -57,9 +59,11 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			rowNnz[i] = int64(table.Len())
 		}
 	})
+	pt.tick(PhaseSymbolic)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 
 	// Numeric phase.
 	sched.RunWorkers(workers, func(w int) {
@@ -88,7 +92,15 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				table.ExtractSorted(cols, vals)
 			}
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+			ws.HashLookups = table.Lookups()
+			ws.HashProbes = table.Probes()
+		}
 	})
+	pt.tick(PhaseNumeric)
+	pt.finish()
 	return c, nil
 }
 
@@ -101,8 +113,10 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 	rowNnz := make([]int64, a.Rows)
 	tables := make([]*accum.HashVecTable, workers)
 
@@ -132,9 +146,11 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			rowNnz[i] = int64(table.Len())
 		}
 	})
+	pt.tick(PhaseSymbolic)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 
 	sched.RunWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
@@ -162,6 +178,14 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				table.ExtractSorted(cols, vals)
 			}
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+			ws.HashLookups = table.Lookups()
+			ws.HashProbes = table.Probes()
+		}
 	})
+	pt.tick(PhaseNumeric)
+	pt.finish()
 	return c, nil
 }

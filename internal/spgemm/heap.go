@@ -86,8 +86,10 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 
 	// Per-worker temp sizes: sum of flop over the worker's rows (each row's
 	// nnz is at most its flop).
@@ -146,10 +148,17 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			pos += int64(n)
 		}
 		used[w] = pos
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+			ws.HeapPushes = h.Pushes()
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	pt.tick(PhaseAlloc)
 	// Each worker's rows are contiguous in both temp and final storage:
 	// one bulk copy per worker.
 	sched.RunWorkers(workers, func(w int) {
@@ -161,6 +170,8 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		copy(c.ColIdx[dst:dst+used[w]], tmpCols[w][:used[w]])
 		copy(c.Val[dst:dst+used[w]], tmpVals[w][:used[w]])
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }
 
@@ -176,7 +187,9 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
+	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
@@ -201,10 +214,19 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 			bufCols[w] = append(bufCols[w], rowCols[:n]...)
 			bufVals[w] = append(bufVals[w], rowVals[:n]...)
 		}
+		if ws := pt.worker(w); ws != nil {
+			// The heap is chunk-local under dynamic/guided schedules, so
+			// its cumulative count is added, not assigned.
+			ws.Rows += int64(hi - lo)
+			ws.Flop += rangeFlop(flopRow, lo, hi)
+			ws.HeapPushes += h.Pushes()
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	pt.tick(PhaseAlloc)
 	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
@@ -214,5 +236,7 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[src][off:off+n])
 		}
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }

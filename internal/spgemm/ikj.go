@@ -24,6 +24,7 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	// Balance by flop + the O(n) dense scan each row pays.
 	weights := make([]int64, a.Rows)
@@ -31,6 +32,7 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		weights[i] = flopRow[i] + int64(a.Cols)
 	}
 	offsets := sched.BalancedPartition(weights, workers, workers)
+	pt.tick(PhasePartition)
 
 	rowNnz := make([]int64, a.Rows)
 	spas := make([]*accum.SPA, workers)
@@ -93,8 +95,10 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			runRow(w, i, false, nil)
 		}
 	})
+	pt.tick(PhaseSymbolic)
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 	sched.RunWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
@@ -103,6 +107,12 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		for i := lo; i < hi; i++ {
 			runRow(w, i, true, c)
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+		}
 	})
+	pt.tick(PhaseNumeric)
+	pt.finish()
 	return c, nil
 }

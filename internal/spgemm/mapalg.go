@@ -103,6 +103,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		offset int64
 		n      int64
 	}
+	pt := startPhases(opt.Stats, workers)
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
 	refs := make([][]rowRef, workers)
@@ -134,7 +135,18 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			}
 			refs[w] = append(refs[w], rowRef{row: i, offset: off, n: int64(len(bufCols[w])) - off})
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows += int64(hi - lo)
+			for i := lo; i < hi; i++ {
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for p := alo; p < ahi; p++ {
+					k := a.ColIdx[p]
+					ws.Flop += b.RowPtr[k+1] - b.RowPtr[k]
+				}
+			}
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowNnz := make([]int64, a.Rows)
 	rowWorker := make([]int32, a.Rows)
@@ -150,6 +162,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	// The inspector path is inherently unsorted; honor a sorted request by
 	// sorting rows at the end (the post-processing a user would need).
 	c := outputShell(a.Rows, b.Cols, rowPtr, false)
+	pt.tick(PhaseAlloc)
 	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
@@ -162,5 +175,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if !opt.Unsorted {
 		c.SortRows()
 	}
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }

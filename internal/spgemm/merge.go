@@ -24,7 +24,9 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
+	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
@@ -117,10 +119,16 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			rowNnz[i] = n
 			rowWorker[i] = int32(w)
 		}
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows += int64(hi - lo)
+			ws.Flop += rangeFlop(flopRow, lo, hi)
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	pt.tick(PhaseAlloc)
 	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
@@ -130,6 +138,8 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			copy(c.Val[rowPtr[i]:rowPtr[i]+n], bufVals[src][off:off+n])
 		}
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }
 

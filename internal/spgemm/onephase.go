@@ -23,8 +23,10 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	pt.tick(PhasePartition)
 
 	tmpCols := make([][]int32, workers)
 	tmpVals := make([][]float64, workers)
@@ -75,10 +77,18 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			pos += int64(n)
 		}
 		used[w] = pos
+		if ws := pt.worker(w); ws != nil {
+			ws.Rows = int64(hi - lo)
+			ws.Flop = rangeFlop(flopRow, lo, hi)
+			ws.HashLookups = table.Lookups()
+			ws.HashProbes = table.Probes()
+		}
 	})
+	pt.tick(PhaseNumeric)
 
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 	sched.RunWorkers(workers, func(w int) {
 		lo := offsets[w]
 		if lo >= offsets[w+1] {
@@ -88,5 +98,7 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		copy(c.ColIdx[dst:dst+used[w]], tmpCols[w][:used[w]])
 		copy(c.Val[dst:dst+used[w]], tmpVals[w][:used[w]])
 	})
+	pt.tick(PhaseAssemble)
+	pt.finish()
 	return c, nil
 }

@@ -36,7 +36,21 @@ func (u UseCase) String() string {
 // given inputs, sortedness requirement and use case, expressed with this
 // repository's algorithm set (MKL-inspector stands in for the paper's
 // MKL-inspector column).
+// Recommendations are additionally constrained by the inputs themselves:
+// algorithms that consume sorted row streams (Heap, Merge) are never
+// proposed when B's rows are unsorted — Hash accepts any input order and is
+// the recipe's fallback, so Multiply with AlgAuto succeeds for every
+// (sorted, unsorted) input combination.
 func Recommend(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
+	alg := recommendTable4(a, b, sorted, uc)
+	if RequiresSortedInput(alg) && !b.Sorted {
+		return AlgHash
+	}
+	return alg
+}
+
+// recommendTable4 is the unconstrained Table 4 lookup.
+func recommendTable4(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
 	ef := a.AvgRowNNZ()
 	cr := EstimateCompressionRatio(a, b, 1000)
 	skewed := IsSkewed(a)

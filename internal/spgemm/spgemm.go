@@ -168,6 +168,15 @@ type Options struct {
 	// position is nonzero in Mask are produced. Used by the triangle
 	// counting use case. Supported by the hash-family algorithms.
 	Mask *matrix.CSR
+	// UseCase tells the AlgAuto recipe which Table 4 scenario this product
+	// is (squaring-like, square × tall-skinny, or triangular L×U). The zero
+	// value is UseSquare. Ignored unless Algorithm is AlgAuto.
+	UseCase UseCase
+	// Stats, when non-nil, receives per-phase wall times and per-worker
+	// counters for the call (previous contents are overwritten). A nil
+	// Stats costs a few pointer compares and nothing else — no clock reads,
+	// no allocations.
+	Stats *ExecStats
 }
 
 func (o *Options) workers() int {
@@ -189,7 +198,10 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	}
 	alg := opt.Algorithm
 	if alg == AlgAuto {
-		alg = Recommend(a, b, !opt.Unsorted, UseSquare)
+		alg = Recommend(a, b, !opt.Unsorted, opt.UseCase)
+	}
+	if opt.Stats != nil {
+		opt.Stats.Algorithm = alg
 	}
 	if opt.Mask != nil {
 		switch alg {

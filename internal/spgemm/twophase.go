@@ -55,6 +55,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	if workers < 1 {
 		workers = 1
 	}
+	pt := startPhases(opt.Stats, workers)
 	flopRow := perRowFlop(a, b)
 
 	// Row → worker assignment.
@@ -76,6 +77,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 		}
 		globalBound = capBound(globalBound, b.Cols)
 	}
+	pt.tick(PhasePartition)
 
 	accs := make([]rowAcc, workers)
 	var maskAccs []*accum.HashTable
@@ -94,6 +96,33 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	}
 
 	rowNnz := make([]int64, a.Rows)
+
+	// recordWorker folds worker w's row/flop tally and its accumulator's
+	// cumulative counters into the stats. Called at the end of each numeric
+	// chunk; the counter reads are assignments of cumulative values, so
+	// repeated calls from the same worker are idempotent-safe.
+	recordWorker := func(w, rows int, flop int64) {
+		ws := pt.worker(w)
+		if ws == nil {
+			return
+		}
+		ws.Rows += int64(rows)
+		ws.Flop += flop
+		acc := accs[w]
+		if acc == nil {
+			return
+		}
+		if pc, ok := acc.(interface {
+			Probes() int64
+			Lookups() int64
+		}); ok {
+			ws.HashProbes = pc.Probes()
+			ws.HashLookups = pc.Lookups()
+		}
+		if oc, ok := acc.(interface{ Overflows() int64 }); ok {
+			ws.L2Overflows = oc.Overflows()
+		}
+	}
 
 	symbolicRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
 		acc.Reset()
@@ -149,8 +178,11 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 		})
 	}
 
+	pt.tick(PhaseSymbolic)
+
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	pt.tick(PhaseAlloc)
 
 	sr := opt.Semiring
 	numericRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
@@ -215,6 +247,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			for i := lo; i < hi; i++ {
 				numericRow(acc, maskAcc, i)
 			}
+			recordWorker(w, hi-lo, rangeFlop(flopRow, lo, hi))
 		})
 	} else {
 		sched.ParallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
@@ -226,8 +259,11 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			for i := lo; i < hi; i++ {
 				numericRow(acc, maskAcc, i)
 			}
+			recordWorker(w, hi-lo, rangeFlop(flopRow, lo, hi))
 		})
 	}
+	pt.tick(PhaseNumeric)
+	pt.finish()
 	return c, nil
 }
 
@@ -239,13 +275,15 @@ func perRowFlop(a, b *matrix.CSR) []int64 {
 
 // capBound clamps an accumulator size bound at the number of output columns
 // (a row cannot have more distinct entries than columns) — the min(Ncol,
-// size) of the paper's Figure 7.
+// size) of the paper's Figure 7. A matrix with no columns needs no
+// accumulator capacity at all, so cols == 0 yields 0 (the accumulator
+// constructors apply their own minimum capacities).
 func capBound(bound int64, cols int) int64 {
 	if bound > int64(cols) {
-		return int64(cols)
+		bound = int64(cols)
 	}
-	if bound < 1 {
-		return 1
+	if bound < 0 {
+		bound = 0
 	}
 	return bound
 }
