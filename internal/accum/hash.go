@@ -302,3 +302,8 @@ func sortPairs(cols []int32, vals []float64) {
 		vals[j+1] = v
 	}
 }
+
+// ResetCounters zeroes the cumulative probe/lookup counters without touching
+// the table contents or capacity. spgemm.Context calls it when reusing a
+// cached table so per-call ExecStats keep the semantics of a fresh table.
+func (h *HashTable) ResetCounters() { h.probes, h.lookups = 0, 0 }

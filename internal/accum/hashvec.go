@@ -195,3 +195,8 @@ func (h *HashVecTable) ExtractSorted(cols []int32, vals []float64) int {
 	sortPairs(cols[:n], vals[:n])
 	return n
 }
+
+// ResetCounters zeroes the cumulative probe/lookup counters without touching
+// the table contents or capacity. spgemm.Context calls it when reusing a
+// cached table so per-call ExecStats keep the semantics of a fresh table.
+func (h *HashVecTable) ResetCounters() { h.probes, h.lookups = 0, 0 }

@@ -132,3 +132,8 @@ func (h *MergeHeap) CheckInvariant() bool {
 	}
 	return true
 }
+
+// ResetCounters zeroes the cumulative push counter without touching the
+// heap's capacity. spgemm.Context calls it when reusing a cached heap so
+// per-call ExecStats keep the semantics of a fresh heap.
+func (h *MergeHeap) ResetCounters() { h.pushes = 0 }

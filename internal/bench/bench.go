@@ -105,6 +105,7 @@ func Registry() []Experiment {
 		{"table4", "Best-algorithm recipe from measured runs (Table 4)", runTable4},
 		{"hmean", "Harmonic-mean unsorted speedup (Section 5.4.4)", runHMean},
 		{"apps", "Graph applications built on SpGEMM (Section 1 workloads)", runApps},
+		{"reuse", "Context/Plan reuse for iterative SpGEMM (inspector-executor)", runReuse},
 	}
 }
 

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -41,7 +43,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	reg := Registry()
-	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps"}
+	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps", "reuse"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}
@@ -60,6 +62,49 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 	}
 	if Find("fig11") == nil || Find("nope") != nil {
 		t.Fatal("Find broken")
+	}
+}
+
+func TestReuseSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	s, err := ReuseSnapshot(Config{Preset: Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "reuse" || s.Scale != 8 || len(s.Results) != 6 {
+		t.Fatalf("unexpected snapshot: %+v", s)
+	}
+	for _, r := range s.Results {
+		if r.NsPerOp <= 0 || r.MFLOPS <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+	}
+	// The reuse variants must allocate strictly less than one-shot.
+	byVariant := map[string]uint64{}
+	for _, r := range s.Results {
+		if r.Alg == "hash" {
+			byVariant[r.Variant] = r.Allocs
+		}
+	}
+	if byVariant["context"] >= byVariant["oneshot"] || byVariant["plan"] > byVariant["context"] {
+		t.Fatalf("allocs not monotone: %v", byVariant)
+	}
+	path := t.TempDir() + "/snap.json"
+	if err := WriteSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != s.Experiment || len(back.Results) != len(s.Results) {
+		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }
 

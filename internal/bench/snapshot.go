@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Snapshot is the machine-readable record of a reuse-experiment run, written
+// by spgemm-bench -snapshot. Checked-in snapshots (BENCH_spgemm.json at the
+// repository root) give later sessions a baseline to diff regressions
+// against; the file is deterministic modulo timings for a fixed
+// preset/seed/workers triple.
+type Snapshot struct {
+	Schema     int            `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Go         string         `json:"go"`
+	OS         string         `json:"os"`
+	Arch       string         `json:"arch"`
+	CPUs       int            `json:"cpus"`
+	Workers    int            `json:"workers"`
+	Preset     string         `json:"preset"`
+	Seed       int64          `json:"seed"`
+	Scale      int            `json:"scale"`
+	EdgeFactor int            `json:"edge_factor"`
+	Flop       int64          `json:"flop"`
+	Iters      int            `json:"iters"`
+	Results    []reuseVariant `json:"results"`
+}
+
+// presetName is the inverse of ParsePreset, for the snapshot record.
+func presetName(p Preset) string {
+	switch p {
+	case Tiny:
+		return "tiny"
+	case Full:
+		return "full"
+	default:
+		return "quick"
+	}
+}
+
+// ReuseSnapshot runs the reuse experiment and packages the results.
+func ReuseSnapshot(cfg Config) (*Snapshot, error) {
+	scale, flop, rows, err := measureReuse(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Schema:     1,
+		Experiment: "reuse",
+		Go:         runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Workers:    cfg.workers(),
+		Preset:     presetName(cfg.Preset),
+		Seed:       cfg.seed(),
+		Scale:      scale,
+		EdgeFactor: 16,
+		Flop:       flop,
+		Iters:      cfg.reps(),
+		Results:    rows,
+	}, nil
+}
+
+// WriteSnapshot serializes s as indented JSON to path.
+func WriteSnapshot(path string, s *Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -32,7 +32,16 @@ type (
 	WorkerStats = spgemm.WorkerStats
 	// Phase indexes ExecStats.Phases.
 	Phase = spgemm.Phase
+	// Context carries reusable execution state (worker pool, accumulators,
+	// scratch) across Multiply calls; see spgemm.Context.
+	Context = spgemm.Context
+	// Plan caches the symbolic phase of a product for repeated numeric
+	// re-execution; see spgemm.Plan.
+	Plan = spgemm.Plan
 )
+
+// ErrPlanStale is returned by Plan.Execute when the input structure changed.
+var ErrPlanStale = spgemm.ErrPlanStale
 
 // Re-exported algorithm selectors.
 const (
@@ -60,6 +69,19 @@ const (
 // Multiply computes C = A·B. See spgemm.Multiply.
 func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	return spgemm.Multiply(a, b, opt)
+}
+
+// NewContext returns an empty reusable execution context. Point
+// Options.Context at it and call Multiply in a loop; see spgemm.NewContext.
+func NewContext() *Context {
+	return spgemm.NewContext()
+}
+
+// NewPlan runs the inspector (partition + symbolic) once for C = A·B and
+// returns a Plan whose Execute replays only the numeric phase while the input
+// structures are unchanged. See spgemm.NewPlan.
+func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
+	return spgemm.NewPlan(a, b, opt)
 }
 
 // Recommend returns the paper's Table 4 recipe choice. See spgemm.Recommend.

@@ -22,6 +22,41 @@ func TestFacadeMultiply(t *testing.T) {
 	}
 }
 
+func TestFacadeContextAndPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(25, 25, 0.2, rng)
+	want := matrix.NaiveMultiply(a, a)
+
+	ctx := NewContext()
+	for i := 0; i < 3; i++ {
+		got, err := Multiply(a, a, &Options{Algorithm: AlgHash, Context: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("round %d: wrong product through context facade", i)
+		}
+	}
+
+	plan, err := NewPlan(a, a, &Options{Algorithm: AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := plan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.EqualApprox(want, got, 1e-10) {
+			t.Fatalf("round %d: wrong product through plan facade", i)
+		}
+	}
+	plan.Invalidate()
+	if _, err := plan.Execute(); err != ErrPlanStale {
+		t.Fatalf("invalidated plan: err = %v, want ErrPlanStale", err)
+	}
+}
+
 func TestFacadeRecommendAndFlop(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	a := matrix.Random(30, 30, 0.2, rng)

@@ -44,6 +44,10 @@ func Betweenness(adj *matrix.CSR, sources []int32, batchSize int, opt *spgemm.Op
 	inner.Semiring = nil
 	inner.Mask = nil
 	inner.Unsorted = false
+	if inner.Context == nil {
+		// One reusable context across both sweeps of every batch.
+		inner.Context = spgemm.NewContext()
+	}
 
 	bc := make([]float64, n)
 	for start := 0; start < len(sources); start += batchSize {

@@ -39,6 +39,10 @@ func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, err
 	inner.Semiring = semiring.OrAnd()
 	inner.Mask = nil
 	inner.Unsorted = false
+	if inner.Context == nil {
+		// One reusable context across the frontier sweeps.
+		inner.Context = spgemm.NewContext()
+	}
 
 	// The frontier advances along edges u→v for each edge (u,v); with the
 	// frontier stored as an n×k matrix F, the next frontier is Aᵀ·F. Build

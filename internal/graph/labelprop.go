@@ -55,6 +55,10 @@ func LabelPropagation(adj *matrix.CSR, maxIters int, rng *rand.Rand, opt *spgemm
 	inner.Mask = nil
 	inner.Semiring = nil
 	inner.Unsorted = true // argmax scan does not need sorted rows
+	if inner.Context == nil {
+		// One reusable context across the propagation rounds.
+		inner.Context = spgemm.NewContext()
+	}
 
 	labels := make([]int32, n)
 	for v := range labels {

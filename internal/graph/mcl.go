@@ -75,10 +75,22 @@ func MCL(adj *matrix.CSR, o *MCLOptions) (*MCLResult, error) {
 	m := coo.ToCSR()
 	normalizeRows(m)
 
+	// Every expansion is an A²-shaped product: reuse one execution context
+	// across iterations so per-worker accumulators and bookkeeping are paid
+	// for once (the structure changes each round, so a Plan does not apply,
+	// but the scratch does).
+	inner := spgemm.Options{}
+	if opt.SpGEMM != nil {
+		inner = *opt.SpGEMM
+	}
+	if inner.Context == nil {
+		inner.Context = spgemm.NewContext()
+	}
+
 	iters := 0
 	for ; iters < opt.MaxIters; iters++ {
 		// Expansion.
-		next, err := spgemm.Multiply(m, m, opt.SpGEMM)
+		next, err := spgemm.Multiply(m, m, &inner)
 		if err != nil {
 			return nil, err
 		}

@@ -18,10 +18,22 @@ type Stats struct {
 // compute A·B by a row-wise algorithm (the paper's "flop"), together with the
 // per-row counts that drive the balanced scheduler of Figure 6.
 func Flop(a, b *CSR) (total int64, perRow []int64) {
+	return FlopInto(a, b, nil)
+}
+
+// FlopInto is Flop with a caller-provided per-row buffer: when cap(buf) is at
+// least a.Rows the counts are written in place and no allocation happens,
+// otherwise a new slice is allocated. Iterative callers (spgemm.Context) pass
+// the same buffer every multiplication so the flop pre-pass stops allocating
+// at steady state.
+func FlopInto(a, b *CSR, buf []int64) (total int64, perRow []int64) {
 	if a.Cols != b.Rows {
 		panic("matrix: Flop dimension mismatch")
 	}
-	perRow = make([]int64, a.Rows)
+	if cap(buf) < a.Rows {
+		buf = make([]int64, a.Rows)
+	}
+	perRow = buf[:a.Rows]
 	for i := 0; i < a.Rows; i++ {
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
 		var f int64
@@ -33,6 +45,36 @@ func Flop(a, b *CSR) (total int64, perRow []int64) {
 		total += f
 	}
 	return total, perRow
+}
+
+// StructureChecksum returns an FNV-1a hash over the matrix's dimensions, row
+// pointers and column indices — the sparsity structure, deliberately blind to
+// the values. spgemm.Plan uses it to validate that a cached symbolic phase
+// still applies: numeric re-execution is sound whenever the structure is
+// unchanged, however much the values moved. Cost is O(rows + nnz), far below
+// the O(flop) symbolic pass it guards.
+func (m *CSR) StructureChecksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	for _, p := range m.RowPtr {
+		mix(uint64(p))
+	}
+	for _, c := range m.ColIdx {
+		mix(uint64(uint32(c)))
+	}
+	return h
 }
 
 // MaxRowNNZ returns the maximum number of stored entries in any row.

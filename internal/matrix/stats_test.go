@@ -112,3 +112,70 @@ func TestDegreeHistogram(t *testing.T) {
 		}
 	}
 }
+
+func TestFlopIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Random(40, 30, 0.2, rng)
+	b := Random(30, 25, 0.2, rng)
+	wantTotal, wantRows := Flop(a, b)
+
+	buf := make([]int64, 0, 64)
+	gotTotal, gotRows := FlopInto(a, b, buf)
+	if gotTotal != wantTotal {
+		t.Fatalf("total = %d, want %d", gotTotal, wantTotal)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("perRow length %d, want %d", len(gotRows), len(wantRows))
+	}
+	for i := range wantRows {
+		if gotRows[i] != wantRows[i] {
+			t.Fatalf("perRow[%d] = %d, want %d", i, gotRows[i], wantRows[i])
+		}
+	}
+	if &gotRows[0] != &buf[:1][0] {
+		t.Fatal("buffer with sufficient capacity was not reused")
+	}
+	// Undersized buffer: must allocate, not panic.
+	gotTotal2, rows2 := FlopInto(a, b, make([]int64, 0, 1))
+	if gotTotal2 != wantTotal || len(rows2) != a.Rows {
+		t.Fatalf("undersized-buffer FlopInto wrong: %d, %d rows", gotTotal2, len(rows2))
+	}
+}
+
+func TestStructureChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Random(30, 30, 0.2, rng)
+
+	// Stable across calls and clones.
+	if m.StructureChecksum() != m.StructureChecksum() {
+		t.Fatal("checksum not deterministic")
+	}
+	if m.Clone().StructureChecksum() != m.StructureChecksum() {
+		t.Fatal("clone checksum differs")
+	}
+
+	// Blind to values.
+	vc := m.Clone()
+	for i := range vc.Val {
+		vc.Val[i] *= 3.25
+	}
+	if vc.StructureChecksum() != m.StructureChecksum() {
+		t.Fatal("value change altered the structure checksum")
+	}
+
+	// Sensitive to structure: column relabeling and row-pointer shifts.
+	cc := m.Clone()
+	if len(cc.ColIdx) == 0 {
+		t.Skip("empty random matrix")
+	}
+	cc.ColIdx[0] = (cc.ColIdx[0] + 1) % int32(cc.Cols)
+	if cc.StructureChecksum() == m.StructureChecksum() {
+		t.Fatal("column change not detected")
+	}
+	dd := m.Clone()
+	dd.Rows++
+	dd.RowPtr = append(dd.RowPtr, dd.RowPtr[len(dd.RowPtr)-1])
+	if dd.StructureChecksum() == m.StructureChecksum() {
+		t.Fatal("dimension change not detected")
+	}
+}

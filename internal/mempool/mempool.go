@@ -23,10 +23,11 @@ import (
 // high-water mark is reached — the paper's "allocate the table once per
 // thread, reinitialize per row" discipline.
 type Scratch struct {
-	Int32A  []int32
-	Int32B  []int32
-	Int64A  []int64
-	Float64 []float64
+	Int32A   []int32
+	Int32B   []int32
+	Int64A   []int64
+	Float64  []float64
+	Float64B []float64
 }
 
 // EnsureInt32A returns s.Int32A with length at least n (contents undefined).
@@ -65,6 +66,17 @@ func (s *Scratch) EnsureFloat64(n int) []float64 {
 	return s.Float64
 }
 
+// EnsureFloat64B returns s.Float64B with length at least n (contents
+// undefined). A second float64 buffer for kernels that ping-pong between two
+// (the merge SpGEMM rounds).
+func (s *Scratch) EnsureFloat64B(n int) []float64 {
+	if cap(s.Float64B) < n {
+		s.Float64B = make([]float64, n)
+	}
+	s.Float64B = s.Float64B[:n]
+	return s.Float64B
+}
+
 // Pool is a set of per-worker Scratch spaces. Worker w owns Get(w); no
 // locking is needed because each worker only touches its own entry.
 type Pool struct {
@@ -84,6 +96,19 @@ func (p *Pool) Workers() int { return len(p.scratch) }
 
 // Get returns worker w's scratch space.
 func (p *Pool) Get(w int) *Scratch { return &p.scratch[w] }
+
+// Ensure grows the pool to at least workers slots, preserving the existing
+// Scratch spaces (and their high-water-mark buffers). A no-op when the pool
+// is already large enough. Must not be called while workers are using the
+// pool; spgemm.Context calls it between parallel regions.
+func (p *Pool) Ensure(workers int) {
+	if workers <= len(p.scratch) {
+		return
+	}
+	grown := make([]Scratch, workers)
+	copy(grown, p.scratch)
+	p.scratch = grown
+}
 
 // ---------------------------------------------------------------------------
 // Figure 4: single vs parallel allocation/deallocation round trips.

@@ -85,3 +85,37 @@ func TestMeasureParallelTinySize(t *testing.T) {
 		t.Fatalf("timings = %+v", res)
 	}
 }
+
+func TestScratchEnsureFloat64B(t *testing.T) {
+	var s Scratch
+	b1 := s.EnsureFloat64B(100)
+	if len(b1) != 100 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	b1[99] = 7
+	b2 := s.EnsureFloat64B(50)
+	if len(b2) != 50 || cap(b2) < 100 {
+		t.Fatalf("shrink reallocated: len=%d cap=%d", len(b2), cap(b2))
+	}
+	// Independent of the primary float64 buffer.
+	f := s.EnsureFloat64(10)
+	if &f[0] == &b2[0] {
+		t.Fatal("Float64 and Float64B alias")
+	}
+}
+
+func TestPoolEnsureGrowsPreservingScratch(t *testing.T) {
+	p := NewPool(2)
+	p.Get(1).EnsureInt32A(64)[0] = 42
+	p.Ensure(5)
+	if p.Workers() != 5 {
+		t.Fatalf("Workers = %d, want 5", p.Workers())
+	}
+	if got := p.Get(1).Int32A; len(got) != 64 || got[0] != 42 {
+		t.Fatalf("scratch not preserved across Ensure: len=%d", len(got))
+	}
+	p.Ensure(3) // shrink request is a no-op
+	if p.Workers() != 5 {
+		t.Fatalf("Workers shrank to %d", p.Workers())
+	}
+}

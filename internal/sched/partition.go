@@ -11,7 +11,14 @@ package sched
 // out. If out is nil a new slice is allocated. The sum is computed in
 // parallel for large inputs: each worker sums a block, block offsets are
 // combined serially (P values), then blocks are fixed up in parallel.
+// Parallel regions run on the process-wide default pool; callers with a
+// dedicated pool use the Pool method.
 func PrefixSum(weights []int64, out []int64, workers int) []int64 {
+	return Default().PrefixSum(weights, out, workers)
+}
+
+// PrefixSum is the free PrefixSum with parallel regions running on this pool.
+func (p *Pool) PrefixSum(weights []int64, out []int64, workers int) []int64 {
 	n := len(weights)
 	if out == nil {
 		out = make([]int64, n+1)
@@ -36,7 +43,7 @@ func PrefixSum(weights []int64, out []int64, workers int) []int64 {
 		workers = n
 	}
 	blockSums := make([]int64, workers)
-	RunWorkers(workers, func(w int) {
+	p.RunWorkers(workers, func(w int) {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
 		var acc int64
@@ -53,7 +60,7 @@ func PrefixSum(weights []int64, out []int64, workers int) []int64 {
 		acc += blockSums[w]
 	}
 	out[0] = 0
-	RunWorkers(workers, func(w int) {
+	p.RunWorkers(workers, func(w int) {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
 		off := offsets[w]
@@ -89,15 +96,39 @@ func LowerBound(a []int64, v int64) int {
 // total weight is within one row's weight of the average. The prefix sum is
 // computed in parallel; each boundary is found with one binary search.
 func BalancedPartition(weights []int64, parts int, workers int) []int {
+	return BalancedPartitionInto(weights, parts, workers, nil, nil)
+}
+
+// BalancedPartitionInto is BalancedPartition with caller-provided buffers:
+// offsets receives the partition (grown when its capacity is below parts+1)
+// and ps is scratch for the prefix sum (grown when below len(weights)+1).
+// Either may be nil. Iterative callers (spgemm.Context) pass the same buffers
+// every multiplication so the partition allocates nothing at steady state.
+func BalancedPartitionInto(weights []int64, parts, workers int, offsets []int, ps []int64) []int {
+	return Default().BalancedPartitionInto(weights, parts, workers, offsets, ps)
+}
+
+// BalancedPartitionInto is the free BalancedPartitionInto with the prefix sum
+// running on this pool.
+func (p *Pool) BalancedPartitionInto(weights []int64, parts, workers int, offsets []int, ps []int64) []int {
 	n := len(weights)
 	if parts <= 0 {
 		parts = 1
 	}
-	offsets := make([]int, parts+1)
+	if cap(offsets) < parts+1 {
+		offsets = make([]int, parts+1)
+	}
+	offsets = offsets[:parts+1]
+	for i := range offsets {
+		offsets[i] = 0
+	}
 	if n == 0 {
 		return offsets
 	}
-	ps := PrefixSum(weights, nil, workers)
+	if cap(ps) < n+1 {
+		ps = make([]int64, n+1)
+	}
+	ps = p.PrefixSum(weights, ps[:n+1], workers)
 	total := ps[n]
 	if total == 0 {
 		// Degenerate: all weights zero; fall back to equal row counts.

@@ -10,8 +10,6 @@ package sched
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Schedule selects how loop iterations are distributed over workers.
@@ -62,112 +60,17 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // body may be called concurrently from different goroutines with disjoint
 // [lo, hi) ranges; worker identifies the calling worker in [0, workers) so
 // bodies can use per-worker scratch space.
+//
+// The iterations run on the process-wide default Pool: goroutines are parked
+// between regions rather than spawned per call.
 func ParallelFor(workers, n int, s Schedule, grain int, body func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		body(0, 0, n)
-		return
-	}
-	if grain < 1 {
-		grain = 1
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	switch s {
-	case Static, Balanced:
-		// Contiguous blocks, sized within ±1 iteration of each other.
-		for w := 0; w < workers; w++ {
-			lo := w * n / workers
-			hi := (w + 1) * n / workers
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				if lo < hi {
-					body(w, lo, hi)
-				}
-			}(w, lo, hi)
-		}
-	case Dynamic:
-		var next int64
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					lo := int(atomic.AddInt64(&next, int64(grain))) - grain
-					if lo >= n {
-						return
-					}
-					hi := lo + grain
-					if hi > n {
-						hi = n
-					}
-					body(w, lo, hi)
-				}
-			}(w)
-		}
-	case Guided:
-		var next int64
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					// Chunk size proportional to remaining work: the
-					// classic guided heuristic remaining/(2P), floored at
-					// the grain. Computed optimistically; the CAS-free
-					// fetch-add keeps it cheap and any overshoot is
-					// clamped.
-					cur := atomic.LoadInt64(&next)
-					if cur >= int64(n) {
-						return
-					}
-					chunk := (int64(n) - cur) / int64(2*workers)
-					if chunk < int64(grain) {
-						chunk = int64(grain)
-					}
-					lo := atomic.AddInt64(&next, chunk) - chunk
-					if lo >= int64(n) {
-						return
-					}
-					hi := lo + chunk
-					if hi > int64(n) {
-						hi = int64(n)
-					}
-					body(w, int(lo), int(hi))
-				}
-			}(w)
-		}
-	default:
-		panic("sched: unknown schedule")
-	}
-	wg.Wait()
+	Default().ParallelFor(workers, n, s, grain, body)
 }
 
-// RunWorkers starts exactly `workers` goroutines running body(worker) and
-// waits for all of them. It is the building block for drivers that manage
-// their own iteration ranges (e.g. the balanced partition of Figure 6).
+// RunWorkers starts exactly `workers` invocations of body(worker) and waits
+// for all of them. It is the building block for drivers that manage their
+// own iteration ranges (e.g. the balanced partition of Figure 6). Workers
+// run on the process-wide default Pool.
 func RunWorkers(workers int, body func(worker int)) {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers == 1 {
-		body(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			body(w)
-		}(w)
-	}
-	wg.Wait()
+	Default().RunWorkers(workers, body)
 }

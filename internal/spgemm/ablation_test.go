@@ -101,7 +101,7 @@ func BenchmarkAblationSchedHash(b *testing.B) {
 			cfg := twoPhaseConfig{
 				schedule: s,
 				grain:    16,
-				factory:  func(w int, bound int64) rowAcc { return accum.NewHashTable(bound) },
+				factory:  func(ctx *Context, w int, bound int64) rowAcc { return accum.NewHashTable(bound) },
 			}
 			for i := 0; i < b.N; i++ {
 				if _, err := twoPhase(a, a, &Options{}, cfg); err != nil {

@@ -1,0 +1,193 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/mempool"
+	"repro/internal/sched"
+)
+
+// Context is the reusable execution state of the SpGEMM kernels: the
+// per-worker accumulators (hash tables, chunked hash tables, merge heaps),
+// the per-worker mempool.Scratch temp buffers of the one-phase kernels, and
+// the per-row bookkeeping arrays (flop counts, row sizes, partition offsets,
+// prefix-sum scratch). All of it grows monotonically and is reused across
+// Multiply calls, so iterative workloads — MCL's repeated M·M, multi-source
+// BFS frontiers, label propagation, betweenness — pay the paper's Section 3.2
+// memory-management bill once instead of every call. After warm-up, a hash
+// SpGEMM through a Context allocates only the output matrix.
+//
+// Usage: create one Context, point Options.Context at it, and call Multiply
+// in a loop. A nil Options.Context preserves the one-shot behavior (every
+// call allocates fresh state, exactly as before Contexts existed).
+//
+// A Context is NOT safe for concurrent use: concurrent Multiply calls must
+// use distinct Contexts (or nil). The optional worker pool is the exception —
+// sched.Pool is concurrency-safe and may be shared.
+type Context struct {
+	// Pool, when non-nil, runs this context's parallel regions on a caller-
+	// managed worker pool instead of the process-wide default pool. Both are
+	// persistent (parked goroutines); a dedicated pool only isolates this
+	// context's regions from unrelated traffic.
+	Pool *sched.Pool
+
+	// Per-worker accumulator state, grown on demand.
+	hash    []*accum.HashTable
+	hashVec []*accum.HashVecTable
+	heaps   []*accum.MergeHeap
+	scratch *mempool.Pool
+
+	// Per-row bookkeeping, grown on demand.
+	flopRow []int64
+	rowNnz  []int64
+	offsets []int
+	ps      []int64
+}
+
+// NewContext returns an empty Context. Buffers are sized on first use and
+// grow monotonically afterwards.
+func NewContext() *Context { return &Context{} }
+
+// ctx returns the reusable context for this call: the caller's when set, or
+// a fresh transient one, which makes every ensure-method allocate — byte-for-
+// byte the pre-Context one-shot behavior.
+func (o *Options) ctx() *Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return &Context{}
+}
+
+// pool returns the worker pool this context's parallel regions run on: the
+// caller-managed one when set, the process-wide default otherwise.
+func (c *Context) pool() *sched.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return sched.Default()
+}
+
+// runWorkers runs a parallel region on the context's pool (or the default).
+func (c *Context) runWorkers(workers int, body func(worker int)) {
+	c.pool().RunWorkers(workers, body)
+}
+
+// parallelFor runs a scheduled loop on the context's pool (or the default).
+func (c *Context) parallelFor(workers, n int, s sched.Schedule, grain int, body func(worker, lo, hi int)) {
+	c.pool().ParallelFor(workers, n, s, grain, body)
+}
+
+// prefixSum computes the exclusive prefix sum on the context's pool.
+func (c *Context) prefixSum(weights, out []int64, workers int) []int64 {
+	return c.pool().PrefixSum(weights, out, workers)
+}
+
+// perRowFlop computes the per-row flop counts into the context's reusable
+// buffer (the FlopInto satellite of the allocate-once discipline).
+func (c *Context) perRowFlop(a, b *matrix.CSR) []int64 {
+	_, perRow := matrix.FlopInto(a, b, c.flopRow)
+	c.flopRow = perRow
+	return perRow
+}
+
+// partition computes the flop-balanced row partition (Figure 6) into the
+// context's reusable offsets and prefix-sum buffers.
+func (c *Context) partition(flopRow []int64, parts, workers int) []int {
+	if n := len(flopRow); cap(c.ps) < n+1 {
+		c.ps = make([]int64, n+1)
+	}
+	c.offsets = c.pool().BalancedPartitionInto(flopRow, parts, workers, c.offsets, c.ps)
+	return c.offsets
+}
+
+// rowNnzBuf returns the per-row output-size array, zeroed, with length rows.
+func (c *Context) rowNnzBuf(rows int) []int64 {
+	if cap(c.rowNnz) < rows {
+		c.rowNnz = make([]int64, rows)
+	}
+	c.rowNnz = c.rowNnz[:rows]
+	for i := range c.rowNnz {
+		c.rowNnz[i] = 0
+	}
+	return c.rowNnz
+}
+
+// ensureWorkers grows the per-worker accumulator slices to at least n slots.
+func (c *Context) ensureWorkers(n int) {
+	if n > len(c.hash) {
+		grown := make([]*accum.HashTable, n)
+		copy(grown, c.hash)
+		c.hash = grown
+	}
+	if n > len(c.hashVec) {
+		grown := make([]*accum.HashVecTable, n)
+		copy(grown, c.hashVec)
+		c.hashVec = grown
+	}
+	if n > len(c.heaps) {
+		grown := make([]*accum.MergeHeap, n)
+		copy(grown, c.heaps)
+		c.heaps = grown
+	}
+	if c.scratch == nil {
+		c.scratch = mempool.NewPool(n)
+	} else {
+		c.scratch.Ensure(n)
+	}
+}
+
+// hashTable returns worker w's hash table with capacity for bound entries:
+// cached when large enough (reset), re-reserved when the bound grew,
+// allocated on first use. ensureWorkers(>w) must have been called.
+func (c *Context) hashTable(w int, bound int64) *accum.HashTable {
+	t := c.hash[w]
+	switch {
+	case t == nil:
+		t = accum.NewHashTable(bound)
+		c.hash[w] = t
+		return t
+	case int64(t.Cap()) <= bound:
+		t.Reserve(bound)
+	default:
+		t.Reset()
+	}
+	t.ResetCounters() // per-call ExecStats semantics, as with a fresh table
+	return t
+}
+
+// hashVecTable is hashTable for the chunked (HashVector) table.
+func (c *Context) hashVecTable(w int, bound int64) *accum.HashVecTable {
+	t := c.hashVec[w]
+	switch {
+	case t == nil:
+		t = accum.NewHashVecTable(bound)
+		c.hashVec[w] = t
+		return t
+	case int64(t.Cap()) <= bound:
+		t.Reserve(bound)
+	default:
+		t.Reset()
+	}
+	t.ResetCounters()
+	return t
+}
+
+// mergeHeap returns worker w's merge heap, reset, with capacity for bound
+// cursors. ensureWorkers(>w) must have been called.
+func (c *Context) mergeHeap(w int, bound int64) *accum.MergeHeap {
+	h := c.heaps[w]
+	if h == nil {
+		h = accum.NewMergeHeap(bound)
+		c.heaps[w] = h
+	} else {
+		h.Reset()
+		h.ResetCounters()
+	}
+	return h
+}
+
+// workerScratch returns worker w's reusable temp-buffer set. ensureWorkers
+// must have been called with a count above w.
+func (c *Context) workerScratch(w int) *mempool.Scratch {
+	return c.scratch.Get(w)
+}

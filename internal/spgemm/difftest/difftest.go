@@ -212,3 +212,109 @@ func Check(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
 	}
 	return nil
 }
+
+// identical reports whether two results are bit-identical: same shape, same
+// Sorted flag, same row pointers, columns and value bytes. Stricter than
+// Equivalent — used to pin down reusable-state paths (Context, Plan), which
+// must reproduce the one-shot result exactly, not merely up to tolerance.
+func identical(got, want *matrix.CSR) error {
+	if got.Rows != want.Rows || got.Cols != want.Cols || got.Sorted != want.Sorted {
+		return fmt.Errorf("shape/sortedness differ: %dx%d sorted=%v vs %dx%d sorted=%v",
+			got.Rows, got.Cols, got.Sorted, want.Rows, want.Cols, want.Sorted)
+	}
+	for i := range want.RowPtr {
+		if got.RowPtr[i] != want.RowPtr[i] {
+			return fmt.Errorf("RowPtr[%d] = %d, want %d", i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	if len(got.ColIdx) != len(want.ColIdx) {
+		return fmt.Errorf("nnz %d, want %d", len(got.ColIdx), len(want.ColIdx))
+	}
+	for i := range want.ColIdx {
+		if got.ColIdx[i] != want.ColIdx[i] {
+			return fmt.Errorf("ColIdx[%d] = %d, want %d", i, got.ColIdx[i], want.ColIdx[i])
+		}
+		if got.Val[i] != want.Val[i] {
+			return fmt.Errorf("Val[%d] = %v, want %v", i, got.Val[i], want.Val[i])
+		}
+	}
+	return nil
+}
+
+// CheckContext is Check through a caller-supplied reusable Context: the
+// result must satisfy the oracle predicate exactly like a one-shot call, and
+// for deterministic (sorted-output) calls must be bit-identical to one.
+// Passing the same ctx across many calls is the point — cached state from
+// one case must never leak into the next.
+func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx *spgemm.Context) error {
+	opt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: ctx}
+	got, err := spgemm.Multiply(c.A, c.B, opt)
+	if err != nil {
+		if spgemm.RequiresSortedInput(alg) && !c.B.Sorted {
+			return nil
+		}
+		return fmt.Errorf("%s/%v ctx unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+	}
+	want := matrix.NaiveMultiply(c.A, c.B)
+	if err := Equivalent(got, want); err != nil {
+		return fmt.Errorf("%s/%v ctx unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+	}
+	if !unsorted {
+		oneShot := &spgemm.Options{Algorithm: alg, Workers: workers}
+		fresh, err := spgemm.Multiply(c.A, c.B, oneShot)
+		if err != nil {
+			return fmt.Errorf("%s/%v one-shot: %w", c.Name, alg, err)
+		}
+		if fresh.Sorted { // map-backed baselines emit nondeterministic order pre-sort only
+			if err := identical(got, fresh); err != nil {
+				return fmt.Errorf("%s/%v ctx result not bit-identical to one-shot: %w", c.Name, alg, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPlan builds a Plan for c.A·c.B, executes it repeatedly (perturbing
+// values between rounds), and verifies every execution is bit-identical to a
+// fresh Multiply with the same options — the plan-reuse soundness criterion.
+// It then perturbs B's structure and verifies the fingerprint rejects the
+// plan.
+func CheckPlan(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
+	opt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: spgemm.NewContext()}
+	plan, err := spgemm.NewPlan(c.A, c.B, opt)
+	if err != nil {
+		return fmt.Errorf("%s/%v plan: %w", c.Name, alg, err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := plan.Execute()
+		if err != nil {
+			return fmt.Errorf("%s/%v execute round %d: %w", c.Name, alg, round, err)
+		}
+		fresh, err := spgemm.Multiply(c.A, c.B, opt)
+		if err != nil {
+			return fmt.Errorf("%s/%v fresh round %d: %w", c.Name, alg, round, err)
+		}
+		if err := identical(got, fresh); err != nil {
+			return fmt.Errorf("%s/%v round %d plan result not bit-identical: %w", c.Name, alg, round, err)
+		}
+		want := matrix.NaiveMultiply(c.A, c.B)
+		if err := Equivalent(got, want); err != nil {
+			return fmt.Errorf("%s/%v round %d vs oracle: %w", c.Name, alg, round, err)
+		}
+		for i := range c.B.Val {
+			c.B.Val[i] *= 0.5
+		}
+	}
+	// Structural perturbation must stale the plan.
+	if len(c.B.ColIdx) > 0 && c.B.Cols > 1 {
+		old := c.B.ColIdx[0]
+		c.B.ColIdx[0] = (old + 1) % int32(c.B.Cols)
+		if c.B.ColIdx[0] != old {
+			if _, err := plan.Execute(); err == nil {
+				return fmt.Errorf("%s/%v: structure change not detected by plan fingerprint", c.Name, alg)
+			}
+		}
+		c.B.ColIdx[0] = old
+	}
+	return nil
+}

@@ -133,12 +133,12 @@ func TestInvariantsRejectsBadOutputs(t *testing.T) {
 		t.Fatalf("good matrix rejected: %v", err)
 	}
 	bad := []*matrix.CSR{
-		{Rows: 2, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{0, 2}, Val: []float64{1, 2}},                               // short RowPtr
-		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{0, 5}, Val: []float64{1, 2}},                               // col out of range
-		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{1, 1}, Val: []float64{1, 2}},                               // duplicate col
-		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{2, 0}, Val: []float64{1, 2}, Sorted: true},                 // dishonest Sorted
-		{Rows: 2, Cols: 3, RowPtr: []int64{0, 2, 1}, ColIdx: []int32{0, 1}, Val: []float64{1, 2}},                            // non-monotone
-		{Rows: 1, Cols: 3, RowPtr: []int64{0, 1}, ColIdx: []int32{0, 1}, Val: []float64{1, 2}},                               // length mismatch
+		{Rows: 2, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{0, 2}, Val: []float64{1, 2}},               // short RowPtr
+		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{0, 5}, Val: []float64{1, 2}},               // col out of range
+		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{1, 1}, Val: []float64{1, 2}},               // duplicate col
+		{Rows: 1, Cols: 3, RowPtr: []int64{0, 2}, ColIdx: []int32{2, 0}, Val: []float64{1, 2}, Sorted: true}, // dishonest Sorted
+		{Rows: 2, Cols: 3, RowPtr: []int64{0, 2, 1}, ColIdx: []int32{0, 1}, Val: []float64{1, 2}},            // non-monotone
+		{Rows: 1, Cols: 3, RowPtr: []int64{0, 1}, ColIdx: []int32{0, 1}, Val: []float64{1, 2}},               // length mismatch
 	}
 	for i, m := range bad {
 		if err := Invariants(m); err == nil {
@@ -148,5 +148,42 @@ func TestInvariantsRejectsBadOutputs(t *testing.T) {
 	if matrix.EqualApprox(good, &matrix.CSR{Rows: 2, Cols: 3, RowPtr: []int64{0, 2, 3},
 		ColIdx: []int32{0, 2, 1}, Val: []float64{1, 2, 4}, Sorted: true}, Tol) {
 		t.Error("EqualApprox accepted differing values")
+	}
+}
+
+// TestDifferentialContextReuse drives every algorithm over the whole suite
+// through ONE shared Context per algorithm: cached accumulators and
+// bookkeeping grown by one case must never corrupt the next (including the
+// degenerate 0×0 and empty-row shapes).
+func TestDifferentialContextReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := Cases(rng)
+	for _, alg := range Algorithms {
+		ctx := spgemm.NewContext()
+		for _, c := range cases {
+			for _, unsorted := range []bool{false, true} {
+				if err := CheckContext(c, alg, unsorted, 3, ctx); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialPlanReuse runs the plan-reuse soundness check (repeated
+// bit-identical executions, value perturbation, structural-staleness
+// detection) for both plannable algorithms across the suite.
+func TestDifferentialPlanReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec} {
+		for _, c := range Cases(rng) {
+			for _, unsorted := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					if err := CheckPlan(c, alg, unsorted, workers); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}
 	}
 }

@@ -2,7 +2,6 @@ package spgemm
 
 import (
 	"repro/internal/matrix"
-	"repro/internal/sched"
 )
 
 // escMultiply implements the ESC (expansion, sorting, compression) SpGEMM of
@@ -21,18 +20,20 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
 	sr := opt.Semiring
 
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -43,8 +44,9 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				maxFlop = flopRow[i]
 			}
 		}
-		expCols := make([]int32, maxFlop)
-		expVals := make([]float64, maxFlop)
+		s := ctx.workerScratch(w)
+		expCols := s.EnsureInt32A(int(maxFlop))
+		expVals := s.EnsureFloat64(int(maxFlop))
 		for i := lo; i < hi; i++ {
 			// Expansion.
 			var n int64
@@ -97,10 +99,10 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseNumeric)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
 	pt.tick(PhaseAlloc)
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		for i := lo; i < hi; i++ {
 			off := rowOffset[i]

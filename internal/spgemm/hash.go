@@ -24,11 +24,11 @@ func hashMultiply(a, b *matrix.CSR, opt *Options, vectorized bool) (*matrix.CSR,
 	}
 	cfg := twoPhaseConfig{
 		schedule: sched.Balanced,
-		factory: func(w int, bound int64) rowAcc {
+		factory: func(ctx *Context, w int, bound int64) rowAcc {
 			if vectorized {
-				return accum.NewHashVecTable(bound)
+				return ctx.hashVecTable(w, bound)
 			}
-			return accum.NewHashTable(bound)
+			return ctx.hashTable(w, bound)
 		},
 	}
 	return twoPhase(a, b, opt, cfg)
@@ -40,7 +40,7 @@ func hashMultiply(a, b *matrix.CSR, opt *Options, vectorized bool) (*matrix.CSR,
 func spaMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	cfg := twoPhaseConfig{
 		schedule: sched.Balanced,
-		factory: func(w int, bound int64) rowAcc {
+		factory: func(ctx *Context, w int, bound int64) rowAcc {
 			return accum.NewSPA(b.Cols)
 		},
 	}
@@ -57,7 +57,7 @@ func kokkosMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	cfg := twoPhaseConfig{
 		schedule: sched.Dynamic,
 		grain:    64,
-		factory: func(w int, bound int64) rowAcc {
+		factory: func(ctx *Context, w int, bound int64) rowAcc {
 			return accum.NewTwoLevelHash(0)
 		},
 	}

@@ -1,9 +1,7 @@
 package spgemm
 
 import (
-	"repro/internal/accum"
 	"repro/internal/matrix"
-	"repro/internal/sched"
 )
 
 // Specialized plus-times drivers for Hash and HashVector SpGEMM.
@@ -15,6 +13,10 @@ import (
 // measured position relative to the hand-written heap driver (which has no
 // interface in its inner loop either) is the headline result; routing them
 // through an interface would tax exactly the algorithms the paper optimizes.
+//
+// All transient state (flop counts, partition, row sizes, hash tables) lives
+// in the call's Context, so iterative callers that pass Options.Context reach
+// a steady state where only the output matrix is allocated.
 
 // hashFast is the plus-times, unmasked Hash SpGEMM.
 func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
@@ -25,15 +27,16 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
-	rowNnz := make([]int64, a.Rows)
-	tables := make([]*accum.HashTable, workers)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 
 	// Symbolic phase.
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -44,8 +47,7 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				bound = flopRow[i]
 			}
 		}
-		table := accum.NewHashTable(capBound(bound, b.Cols))
-		tables[w] = table
+		table := ctx.hashTable(w, capBound(bound, b.Cols))
 		for i := lo; i < hi; i++ {
 			table.Reset()
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
@@ -61,17 +63,17 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseSymbolic)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
 	// Numeric phase.
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
 		}
-		table := tables[w]
+		table := ctx.hash[w]
 		for i := lo; i < hi; i++ {
 			table.Reset()
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
@@ -113,14 +115,15 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
-	rowNnz := make([]int64, a.Rows)
-	tables := make([]*accum.HashVecTable, workers)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -131,8 +134,7 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				bound = flopRow[i]
 			}
 		}
-		table := accum.NewHashVecTable(capBound(bound, b.Cols))
-		tables[w] = table
+		table := ctx.hashVecTable(w, capBound(bound, b.Cols))
 		for i := lo; i < hi; i++ {
 			table.Reset()
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
@@ -148,16 +150,16 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseSymbolic)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
 		}
-		table := tables[w]
+		table := ctx.hashVec[w]
 		for i := lo; i < hi; i++ {
 			table.Reset()
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]

@@ -86,9 +86,11 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
 
 	// Per-worker temp sizes: sum of flop over the worker's rows (each row's
@@ -105,7 +107,9 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	tmpCols := make([][]int32, workers)
 	tmpVals := make([][]float64, workers)
 	if opt.HeapVariant == HeapBalancedSingle {
-		// One shared slab, carved into per-worker segments.
+		// One shared slab, carved into per-worker segments. Deliberately
+		// never drawn from the Context: the point of this variant is to
+		// reproduce the costly "single" allocation of Figures 4 and 9.
 		var total int64
 		for _, s := range tempSize {
 			total += s
@@ -120,19 +124,20 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		}
 	}
 
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 	used := make([]int64, workers)
 
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
 		}
 		if opt.HeapVariant == HeapBalancedParallel {
-			// "parallel" memory management: the worker allocates its own
-			// share (first-touched locally).
-			tmpCols[w] = make([]int32, tempSize[w])
-			tmpVals[w] = make([]float64, tempSize[w])
+			// "parallel" memory management: the worker ensures its own
+			// share (first-touched locally, reused across calls).
+			s := ctx.workerScratch(w)
+			tmpCols[w] = s.EnsureInt32A(int(tempSize[w]))
+			tmpVals[w] = s.EnsureFloat64(int(tempSize[w]))
 		}
 		var maxK int64
 		for i := lo; i < hi; i++ {
@@ -140,7 +145,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				maxK = k
 			}
 		}
-		h := accum.NewMergeHeap(maxK)
+		h := ctx.mergeHeap(w, maxK)
 		var pos int64
 		for i := lo; i < hi; i++ {
 			n := heapRow(a, b, i, h, tmpCols[w][pos:], tmpVals[w][pos:], opt)
@@ -156,12 +161,12 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseNumeric)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
 	// Each worker's rows are contiguous in both temp and final storage:
 	// one bulk copy per worker.
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo := offsets[w]
 		if lo >= offsets[w+1] {
 			return
@@ -187,25 +192,28 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
+	flopRow := ctx.perRowFlop(a, b)
 	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowWorker := make([]int32, a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
-	sched.ParallelFor(workers, a.Rows, schedule, grain, func(w, lo, hi int) {
-		h := accum.NewMergeHeap(8)
+	ctx.parallelFor(workers, a.Rows, schedule, grain, func(w, lo, hi int) {
+		h := ctx.mergeHeap(w, 8)
+		sw := ctx.workerScratch(w)
 		var rowCols []int32
 		var rowVals []float64
 		for i := lo; i < hi; i++ {
 			f := flopRow[i]
 			if int64(cap(rowCols)) < f {
-				rowCols = make([]int32, f)
-				rowVals = make([]float64, f)
+				rowCols = sw.EnsureInt32A(int(f))
+				rowVals = sw.EnsureFloat64(int(f))
 			}
 			n := heapRow(a, b, i, h, rowCols[:f], rowVals[:f], opt)
 			rowNnz[i] = int64(n)
@@ -224,10 +232,10 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	})
 	pt.tick(PhaseNumeric)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
-	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
 			off := rowOffset[i]

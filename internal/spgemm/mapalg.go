@@ -80,7 +80,7 @@ func (s *colValSorter) Swap(i, j int) {
 func mapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	cfg := twoPhaseConfig{
 		schedule: sched.Static,
-		factory:  func(w int, bound int64) rowAcc { return newMapAcc() },
+		factory:  func(ctx *Context, w int, bound int64) rowAcc { return newMapAcc() },
 	}
 	return twoPhase(a, b, opt, cfg)
 }

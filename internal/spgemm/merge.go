@@ -24,19 +24,23 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
+	flopRow := ctx.perRowFlop(a, b)
 	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
 	bufVals := make([][]float64, workers)
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowWorker := make([]int32, a.Rows)
 	rowOffset := make([]int64, a.Rows)
 	sr := opt.Semiring
 
-	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
-		// Ping-pong scratch for merge rounds, grown to the largest row.
+	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+		// Ping-pong scratch for merge rounds, grown to the largest row —
+		// the worker's reusable Scratch pair (A/B) from the call's Context.
+		sw := ctx.workerScratch(w)
 		var sc [2][]int32
 		var sv [2][]float64
 		// Per-round segment boundaries within the scratch buffers.
@@ -45,11 +49,11 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 
 		for i := lo; i < hi; i++ {
 			f := flopRow[i]
-			if int64(cap(sc[0])) < f {
-				sc[0] = make([]int32, f)
-				sc[1] = make([]int32, f)
-				sv[0] = make([]float64, f)
-				sv[1] = make([]float64, f)
+			if int64(len(sc[0])) < f {
+				sc[0] = sw.EnsureInt32A(int(f))
+				sc[1] = sw.EnsureInt32B(int(f))
+				sv[0] = sw.EnsureFloat64(int(f))
+				sv[1] = sw.EnsureFloat64B(int(f))
 			}
 			// Round 0: copy each contributing row of B, scaled by a_ik,
 			// into scratch 0.
@@ -126,10 +130,10 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseNumeric)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
-	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
 			off := rowOffset[i]

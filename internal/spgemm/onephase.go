@@ -1,9 +1,7 @@
 package spgemm
 
 import (
-	"repro/internal/accum"
 	"repro/internal/matrix"
-	"repro/internal/sched"
 )
 
 // hashOnePhase is the one-phase alternative the paper's Section 2 contrasts
@@ -23,18 +21,20 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
 
 	tmpCols := make([][]int32, workers)
 	tmpVals := make([][]float64, workers)
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 	used := make([]int64, workers)
 	sr := opt.Semiring
 
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -46,9 +46,10 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				bound = flopRow[i]
 			}
 		}
-		tmpCols[w] = make([]int32, tempSize)
-		tmpVals[w] = make([]float64, tempSize)
-		table := accum.NewHashTable(capBound(bound, b.Cols))
+		s := ctx.workerScratch(w)
+		tmpCols[w] = s.EnsureInt32A(int(tempSize))
+		tmpVals[w] = s.EnsureFloat64(int(tempSize))
+		table := ctx.hashTable(w, capBound(bound, b.Cols))
 		var pos int64
 		for i := lo; i < hi; i++ {
 			table.Reset()
@@ -86,10 +87,10 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseNumeric)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
-	sched.RunWorkers(workers, func(w int) {
+	ctx.runWorkers(workers, func(w int) {
 		lo := offsets[w]
 		if lo >= offsets[w+1] {
 			return

@@ -1,0 +1,251 @@
+package spgemm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// ErrPlanStale is returned by Plan.Execute when the plan no longer applies:
+// the structure of A or B changed since NewPlan, or Invalidate was called.
+// Build a new plan with NewPlan.
+var ErrPlanStale = errors.New("spgemm: plan is stale (input structure changed or plan invalidated)")
+
+// Plan caches the structure-dependent work of a hash SpGEMM — the flop
+// counts, the balanced row partition (Figure 6) and the symbolic phase's
+// per-row output sizes — so that repeated products with the same sparsity
+// structure but updated values skip straight to the numeric phase. This is
+// the inspector-executor separation of MKL's two-stage API
+// (mkl_sparse_sp2m) and KokkosKernels' reusable handle: inspect once,
+// execute many times.
+//
+// Soundness is guarded by a structure fingerprint (matrix.StructureChecksum,
+// an FNV-1a hash of dimensions, row pointers and column indices, blind to
+// values): Execute revalidates both inputs and returns ErrPlanStale on any
+// structural change, however the values moved. The O(nnz) check is far
+// cheaper than the O(flop) symbolic pass it replaces.
+//
+// A Plan is NOT safe for concurrent use, and shares its Context: a plan and
+// other Multiply calls using the same Context must not run concurrently.
+type Plan struct {
+	a, b     *matrix.CSR
+	alg      Algorithm
+	workers  int
+	unsorted bool
+	stats    *ExecStats
+	ctx      *Context
+
+	fpA, fpB uint64
+	// Plan-owned copies of the inspector results: the Context's own buffers
+	// may be overwritten by unrelated Multiply calls between Executes.
+	offsets []int
+	bounds  []int64 // per-worker accumulator size bound (capped at Cols)
+	flopRow []int64
+	rowPtr  []int64
+	valid   bool
+}
+
+// NewPlan runs the inspector: flop counts, balanced partition and symbolic
+// phase for C = A·B, and returns a Plan whose Execute performs the numeric
+// phase only. Supported algorithms are AlgHash and AlgHashVec (AlgAuto
+// resolves through the Table 4 recipe and then must land on a hash variant);
+// Mask and Semiring are not supported. opt.Context, when set, supplies the
+// reusable accumulators Execute will use; opt.Stats, when set, receives
+// per-phase times for the inspector call and for every Execute.
+func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if opt.Mask != nil || opt.Semiring != nil {
+		return nil, fmt.Errorf("spgemm: plans support plus-times unmasked products only")
+	}
+	alg := opt.Algorithm
+	if alg == AlgAuto {
+		alg = Recommend(a, b, !opt.Unsorted, opt.UseCase)
+	}
+	if alg != AlgHash && alg != AlgHashVec {
+		return nil, fmt.Errorf("spgemm: plans support hash and hashvec, not %v", alg)
+	}
+	workers := opt.workers()
+	if workers > a.Rows && a.Rows > 0 {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	ctx.ensureWorkers(workers)
+
+	p := &Plan{
+		a: a, b: b,
+		alg:      alg,
+		workers:  workers,
+		unsorted: opt.Unsorted,
+		stats:    opt.Stats,
+		ctx:      ctx,
+		fpA:      a.StructureChecksum(),
+		fpB:      b.StructureChecksum(),
+	}
+	if opt.Stats != nil {
+		opt.Stats.Algorithm = alg
+	}
+
+	pt := startPhases(opt.Stats, workers)
+	flopRow := ctx.perRowFlop(a, b)
+	p.flopRow = append(p.flopRow[:0], flopRow...)
+	p.offsets = append(p.offsets[:0], ctx.partition(flopRow, workers, workers)...)
+	pt.tick(PhasePartition)
+
+	p.bounds = make([]int64, workers)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
+	ctx.runWorkers(workers, func(w int) {
+		lo, hi := p.offsets[w], p.offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		bound := int64(0)
+		for i := lo; i < hi; i++ {
+			if p.flopRow[i] > bound {
+				bound = p.flopRow[i]
+			}
+		}
+		p.bounds[w] = capBound(bound, b.Cols)
+		if p.alg == AlgHashVec {
+			table := ctx.hashVecTable(w, p.bounds[w])
+			for i := lo; i < hi; i++ {
+				table.Reset()
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for q := alo; q < ahi; q++ {
+					k := a.ColIdx[q]
+					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
+						table.InsertSymbolic(b.ColIdx[r])
+					}
+				}
+				rowNnz[i] = int64(table.Len())
+			}
+		} else {
+			table := ctx.hashTable(w, p.bounds[w])
+			for i := lo; i < hi; i++ {
+				table.Reset()
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for q := alo; q < ahi; q++ {
+					k := a.ColIdx[q]
+					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
+						table.InsertSymbolic(b.ColIdx[r])
+					}
+				}
+				rowNnz[i] = int64(table.Len())
+			}
+		}
+	})
+	pt.tick(PhaseSymbolic)
+	p.rowPtr = ctx.prefixSum(rowNnz, make([]int64, a.Rows+1), workers)
+	pt.finish()
+	p.valid = true
+	return p, nil
+}
+
+// NNZ returns the number of nonzeros every Execute will produce.
+func (p *Plan) NNZ() int64 { return p.rowPtr[len(p.rowPtr)-1] }
+
+// Invalidate marks the plan stale; every later Execute returns ErrPlanStale.
+// Call it after changing the structure of A or B in a way the caller knows
+// about — the fingerprint check would catch it anyway, but an explicit
+// invalidation documents intent and skips the checksum of a doomed Execute.
+func (p *Plan) Invalidate() { p.valid = false }
+
+// Execute runs the numeric phase against the current values of A and B and
+// returns a freshly allocated product, bit-identical to what
+// Multiply(a, b, ...) with the plan's options would produce. The inputs'
+// structure is revalidated by fingerprint; ErrPlanStale means the plan (and
+// its cached symbolic result) no longer applies.
+func (p *Plan) Execute() (*matrix.CSR, error) {
+	if !p.valid {
+		return nil, ErrPlanStale
+	}
+	if p.a.StructureChecksum() != p.fpA || p.b.StructureChecksum() != p.fpB {
+		return nil, ErrPlanStale
+	}
+	a, b := p.a, p.b
+	ctx := p.ctx
+	ctx.ensureWorkers(p.workers)
+	pt := startPhases(p.stats, p.workers)
+	if p.stats != nil {
+		p.stats.Algorithm = p.alg
+	}
+
+	outPtr := make([]int64, len(p.rowPtr))
+	copy(outPtr, p.rowPtr)
+	c := outputShell(a.Rows, b.Cols, outPtr, !p.unsorted)
+	pt.tick(PhaseAlloc)
+
+	ctx.runWorkers(p.workers, func(w int) {
+		lo, hi := p.offsets[w], p.offsets[w+1]
+		if lo >= hi {
+			return
+		}
+		if p.alg == AlgHashVec {
+			table := ctx.hashVecTable(w, p.bounds[w])
+			for i := lo; i < hi; i++ {
+				table.Reset()
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for q := alo; q < ahi; q++ {
+					k := a.ColIdx[q]
+					av := a.Val[q]
+					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
+						table.Accumulate(b.ColIdx[r], av*b.Val[r])
+					}
+				}
+				start := c.RowPtr[i]
+				n := c.RowPtr[i+1] - start
+				if p.unsorted {
+					table.ExtractUnsorted(c.ColIdx[start:start+n], c.Val[start:start+n])
+				} else {
+					table.ExtractSorted(c.ColIdx[start:start+n], c.Val[start:start+n])
+				}
+			}
+			if ws := pt.worker(w); ws != nil {
+				ws.Rows = int64(hi - lo)
+				ws.Flop = rangeFlop(p.flopRow, lo, hi)
+				ws.HashLookups = table.Lookups()
+				ws.HashProbes = table.Probes()
+			}
+		} else {
+			table := ctx.hashTable(w, p.bounds[w])
+			for i := lo; i < hi; i++ {
+				table.Reset()
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for q := alo; q < ahi; q++ {
+					k := a.ColIdx[q]
+					av := a.Val[q]
+					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
+						table.Accumulate(b.ColIdx[r], av*b.Val[r])
+					}
+				}
+				start := c.RowPtr[i]
+				n := c.RowPtr[i+1] - start
+				if p.unsorted {
+					table.ExtractUnsorted(c.ColIdx[start:start+n], c.Val[start:start+n])
+				} else {
+					table.ExtractSorted(c.ColIdx[start:start+n], c.Val[start:start+n])
+				}
+			}
+			if ws := pt.worker(w); ws != nil {
+				ws.Rows = int64(hi - lo)
+				ws.Flop = rangeFlop(p.flopRow, lo, hi)
+				ws.HashLookups = table.Lookups()
+				ws.HashProbes = table.Probes()
+			}
+		}
+	})
+	pt.tick(PhaseNumeric)
+	pt.finish()
+	return c, nil
+}

@@ -1,0 +1,158 @@
+package spgemm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestPlanExecuteMatchesMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := matrix.Random(120, 100, 0.06, rng)
+	b := matrix.Random(100, 110, 0.06, rng)
+	for _, alg := range []Algorithm{AlgHash, AlgHashVec} {
+		for _, unsorted := range []bool{false, true} {
+			opt := &Options{Algorithm: alg, Workers: 3, Unsorted: unsorted, Context: NewContext()}
+			plan, err := NewPlan(a, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 3; round++ {
+				got, err := plan.Execute()
+				if err != nil {
+					t.Fatalf("%v round %d: %v", alg, round, err)
+				}
+				want, err := Multiply(a, b, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !csrEqual(got, want) {
+					t.Fatalf("%v unsorted=%v round %d: plan result differs from Multiply", alg, unsorted, round)
+				}
+				if plan.NNZ() != want.NNZ() {
+					t.Fatalf("plan NNZ %d != %d", plan.NNZ(), want.NNZ())
+				}
+				// Mutate values in place: same structure, new numbers. The
+				// plan must keep applying, the outputs must keep matching.
+				for i := range b.Val {
+					b.Val[i] *= 1.5
+				}
+			}
+		}
+	}
+}
+
+func TestPlanStaleOnStructureChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := matrix.Random(60, 60, 0.08, rng)
+	b := matrix.Random(60, 60, 0.08, rng)
+	plan, err := NewPlan(a, b, &Options{Algorithm: AlgHash, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	// Move one stored entry of B to a different column: identical nnz and
+	// row pointers, different pattern — exactly the case a cheap dims+nnz
+	// check would miss.
+	if len(b.ColIdx) == 0 {
+		t.Skip("empty B")
+	}
+	old := b.ColIdx[0]
+	b.ColIdx[0] = (old + 1) % int32(b.Cols)
+	if b.ColIdx[0] == old {
+		t.Skip("cannot perturb single-column matrix")
+	}
+	if _, err := plan.Execute(); !errors.Is(err, ErrPlanStale) {
+		t.Fatalf("structure change not detected: err = %v", err)
+	}
+}
+
+func TestPlanInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := matrix.Random(40, 40, 0.1, rng)
+	plan, err := NewPlan(a, a, &Options{Algorithm: AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Invalidate()
+	if _, err := plan.Execute(); !errors.Is(err, ErrPlanStale) {
+		t.Fatalf("invalidated plan executed: err = %v", err)
+	}
+}
+
+func TestPlanRejectsUnsupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := matrix.Random(30, 30, 0.1, rng)
+	if _, err := NewPlan(a, a, &Options{Algorithm: AlgHeap}); err == nil {
+		t.Fatal("heap plan accepted")
+	}
+	if _, err := NewPlan(a, a, &Options{Algorithm: AlgHash, Mask: a}); err == nil {
+		t.Fatal("masked plan accepted")
+	}
+	bad := matrix.Random(30, 20, 0.1, rng)
+	if _, err := NewPlan(a, bad, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// TestPlanExecuteSkipsInspection checks the acceptance criterion directly:
+// on re-execution the partition and symbolic phases cost zero (they do not
+// run), while the numeric phase does.
+func TestPlanExecuteSkipsInspection(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := matrix.Random(300, 300, 0.04, rng)
+	var stats ExecStats
+	plan, err := NewPlan(a, a, &Options{Algorithm: AlgHash, Workers: 2, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Phases[PhaseSymbolic] == 0 {
+		t.Fatal("inspector recorded no symbolic time")
+	}
+	if _, err := plan.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Phases[PhasePartition] != 0 || stats.Phases[PhaseSymbolic] != 0 {
+		t.Fatalf("execute re-ran inspection: partition=%v symbolic=%v",
+			stats.Phases[PhasePartition], stats.Phases[PhaseSymbolic])
+	}
+	if stats.Phases[PhaseNumeric] == 0 {
+		t.Fatal("execute recorded no numeric time")
+	}
+}
+
+// TestPlanSharedContextInterleaved interleaves plan executions with ordinary
+// Multiply calls on the same Context: the plan's cached partition and row
+// pointers must be immune to the context's buffers being overwritten.
+func TestPlanSharedContextInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a := matrix.Random(90, 90, 0.06, rng)
+	other := matrix.Random(400, 400, 0.02, rng)
+	ctx := NewContext()
+	opt := &Options{Algorithm: AlgHash, Workers: 2, Context: ctx}
+	plan, err := NewPlan(a, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Multiply(a, a, &Options{Algorithm: AlgHash, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		// Clobber the context's bookkeeping with a differently-shaped product.
+		if _, err := Multiply(other, other, &Options{Algorithm: AlgHashVec, Workers: 3, Context: ctx}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !csrEqual(got, want) {
+			t.Fatalf("round %d: interleaved plan result differs", round)
+		}
+	}
+}

@@ -177,6 +177,12 @@ type Options struct {
 	// Stats costs a few pointer compares and nothing else — no clock reads,
 	// no allocations.
 	Stats *ExecStats
+	// Context, when non-nil, carries reusable execution state (per-worker
+	// accumulators, scratch buffers, per-row bookkeeping) across Multiply
+	// calls; iterative callers reach a steady state where only the output
+	// matrix is allocated. nil preserves one-shot behavior. A Context must
+	// not be shared by concurrent Multiply calls.
+	Context *Context
 }
 
 func (o *Options) workers() int {

@@ -31,11 +31,13 @@ var (
 
 // twoPhaseConfig parameterizes the shared symbolic+numeric driver.
 type twoPhaseConfig struct {
-	// factory builds worker w's accumulator. bound is an upper bound on
-	// the entries any single row handled by this worker can produce
-	// (max per-row flop, capped at the column count) — the paper's
-	// Figure 7 sizing rule.
-	factory func(w int, bound int64) rowAcc
+	// factory builds (or, via the call's Context, revives) worker w's
+	// accumulator. bound is an upper bound on the entries any single row
+	// handled by this worker can produce (max per-row flop, capped at the
+	// column count) — the paper's Figure 7 sizing rule. Factories that
+	// cache in ctx (hash, hashvec) make repeated calls allocation-free;
+	// the baseline factories ignore ctx by design.
+	factory func(ctx *Context, w int, bound int64) rowAcc
 	// schedule distributes rows over workers. Balanced uses the flop-
 	// weighted partition of Figure 6; the others exist to reproduce
 	// baseline behaviour (MKL: static; Kokkos: dynamic).
@@ -55,14 +57,16 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	if workers < 1 {
 		workers = 1
 	}
+	ctx := opt.ctx()
+	ctx.ensureWorkers(workers)
 	pt := startPhases(opt.Stats, workers)
-	flopRow := perRowFlop(a, b)
+	flopRow := ctx.perRowFlop(a, b)
 
 	// Row → worker assignment.
 	var offsets []int
 	balanced := cfg.schedule == sched.Balanced
 	if balanced {
-		offsets = sched.BalancedPartition(flopRow, workers, workers)
+		offsets = ctx.partition(flopRow, workers, workers)
 	}
 
 	// Upper bound for accumulator sizing. Balanced workers size to their
@@ -86,7 +90,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	}
 	getAcc := func(w int, bound int64) rowAcc {
 		if accs[w] == nil {
-			accs[w] = cfg.factory(w, bound)
+			accs[w] = cfg.factory(ctx, w, bound)
 			if maskAccs != nil {
 				maskBound := capBound(opt.Mask.MaxRowNNZ(), b.Cols)
 				maskAccs[w] = accum.NewHashTable(maskBound)
@@ -95,7 +99,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 		return accs[w]
 	}
 
-	rowNnz := make([]int64, a.Rows)
+	rowNnz := ctx.rowNnzBuf(a.Rows)
 
 	// recordWorker folds worker w's row/flop tally and its accumulator's
 	// cumulative counters into the stats. Called at the end of each numeric
@@ -148,7 +152,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 
 	// --- Symbolic phase ---
 	if balanced {
-		sched.RunWorkers(workers, func(w int) {
+		ctx.runWorkers(workers, func(w int) {
 			lo, hi := offsets[w], offsets[w+1]
 			bound := int64(0)
 			for i := lo; i < hi; i++ {
@@ -166,7 +170,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			}
 		})
 	} else {
-		sched.ParallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+		ctx.parallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
 			var maskAcc *accum.HashTable
 			if maskAccs != nil {
@@ -180,7 +184,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 
 	pt.tick(PhaseSymbolic)
 
-	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
+	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
@@ -234,7 +238,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 
 	// --- Numeric phase ---
 	if balanced {
-		sched.RunWorkers(workers, func(w int) {
+		ctx.runWorkers(workers, func(w int) {
 			lo, hi := offsets[w], offsets[w+1]
 			acc := accs[w]
 			if acc == nil { // worker had no rows in symbolic (possible with 0-row spans)
@@ -250,7 +254,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			recordWorker(w, hi-lo, rangeFlop(flopRow, lo, hi))
 		})
 	} else {
-		sched.ParallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+		ctx.parallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
 			var maskAcc *accum.HashTable
 			if maskAccs != nil {

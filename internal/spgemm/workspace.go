@@ -1,27 +1,21 @@
 package spgemm
 
 import (
-	"fmt"
-
-	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
 
 // Workspace amortizes SpGEMM scratch allocations across repeated
 // multiplications — the pattern of iterative applications such as Markov
-// clustering (C = M·M every round) and AMG setup. It holds the per-worker
-// hash tables and the per-row bookkeeping arrays, growing them monotonically
-// and reusing them on every call; after warm-up, a Multiply allocates only
-// the output matrix.
+// clustering (C = M·M every round) and AMG setup. It predates Context and is
+// kept as a convenience wrapper: a Workspace is a Context with a fixed worker
+// count and the algorithm pinned to Hash. New code should use Options.Context
+// directly, which covers every algorithm and composes with Plan.
 //
 // A Workspace is NOT safe for concurrent use; give each goroutine its own.
 type Workspace struct {
 	workers int
-	tables  []*accum.HashTable
-	flopRow []int64
-	rowNnz  []int64
-	rowPtr  []int64
+	ctx     *Context
 }
 
 // NewWorkspace returns a workspace for the given worker count (0 means
@@ -30,116 +24,21 @@ func NewWorkspace(workers int) *Workspace {
 	if workers <= 0 {
 		workers = sched.DefaultWorkers()
 	}
-	return &Workspace{
-		workers: workers,
-		tables:  make([]*accum.HashTable, workers),
-	}
+	return &Workspace{workers: workers, ctx: NewContext()}
 }
+
+// Context returns the workspace's underlying reusable execution context.
+func (ws *Workspace) Context() *Context { return ws.ctx }
 
 // Multiply computes C = A·B with the hash algorithm (plus-times), reusing
 // the workspace's scratch. Options semantics match spgemm.Multiply with
 // Algorithm fixed to AlgHash; Mask and Semiring are not supported here (use
 // spgemm.Multiply for those).
 func (ws *Workspace) Multiply(a, b *matrix.CSR, unsorted bool) (*matrix.CSR, error) {
-	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	workers := ws.workers
-	if workers > a.Rows && a.Rows > 0 {
-		workers = a.Rows
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Reusable per-row arrays.
-	if cap(ws.flopRow) < a.Rows {
-		ws.flopRow = make([]int64, a.Rows)
-		ws.rowNnz = make([]int64, a.Rows)
-		ws.rowPtr = make([]int64, a.Rows+1)
-	}
-	flopRow := ws.flopRow[:a.Rows]
-	rowNnz := ws.rowNnz[:a.Rows]
-	for i := 0; i < a.Rows; i++ {
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		var f int64
-		for p := lo; p < hi; p++ {
-			k := a.ColIdx[p]
-			f += b.RowPtr[k+1] - b.RowPtr[k]
-		}
-		flopRow[i] = f
-	}
-	offsets := sched.BalancedPartition(flopRow, workers, workers)
-
-	// Symbolic phase with reusable tables.
-	sched.RunWorkers(workers, func(w int) {
-		lo, hi := offsets[w], offsets[w+1]
-		if lo >= hi {
-			return
-		}
-		bound := int64(0)
-		for i := lo; i < hi; i++ {
-			if flopRow[i] > bound {
-				bound = flopRow[i]
-			}
-		}
-		bound = capBound(bound, b.Cols)
-		table := ws.tables[w]
-		if table == nil {
-			table = accum.NewHashTable(bound)
-			ws.tables[w] = table
-		} else if int64(table.Cap()) <= bound {
-			table.Reserve(bound)
-		} else {
-			table.Reset()
-		}
-		for i := lo; i < hi; i++ {
-			table.Reset()
-			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					table.InsertSymbolic(b.ColIdx[q])
-				}
-			}
-			rowNnz[i] = int64(table.Len())
-		}
+	return Multiply(a, b, &Options{
+		Algorithm: AlgHash,
+		Workers:   ws.workers,
+		Unsorted:  unsorted,
+		Context:   ws.ctx,
 	})
-
-	rowPtr := sched.PrefixSum(rowNnz, ws.rowPtr[:a.Rows+1], workers)
-	// The output arrays belong to the caller: allocate fresh, but reuse
-	// the row pointer array only transiently (copy it out).
-	outPtr := make([]int64, a.Rows+1)
-	copy(outPtr, rowPtr)
-	c := outputShell(a.Rows, b.Cols, outPtr, !unsorted)
-
-	sched.RunWorkers(workers, func(w int) {
-		lo, hi := offsets[w], offsets[w+1]
-		if lo >= hi {
-			return
-		}
-		table := ws.tables[w]
-		for i := lo; i < hi; i++ {
-			table.Reset()
-			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				av := a.Val[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					table.Accumulate(b.ColIdx[q], av*b.Val[q])
-				}
-			}
-			start := c.RowPtr[i]
-			cols := c.ColIdx[start : start+rowNnz[i]]
-			vals := c.Val[start : start+rowNnz[i]]
-			if unsorted {
-				table.ExtractUnsorted(cols, vals)
-			} else {
-				table.ExtractSorted(cols, vals)
-			}
-		}
-	})
-	return c, nil
 }
