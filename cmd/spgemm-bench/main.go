@@ -20,21 +20,38 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig2..fig17, table2, table4, hmean, all)")
-		preset  = flag.String("preset", "quick", "workload preset: tiny|quick|full")
-		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 0, "generator seed (0 = default)")
-		reps    = flag.Int("reps", 0, "timing repetitions (0 = preset default)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned columns")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		brk     = flag.Bool("breakdown", false, "print the per-phase ExecStats breakdown (shortcut for -exp fig8)")
-		snap    = flag.String("snapshot", "", "run the reuse experiment and write a JSON snapshot to this path")
+		exp       = flag.String("exp", "", "experiment id (fig2..fig17, table2, table4, hmean, all)")
+		preset    = flag.String("preset", "quick", "workload preset: tiny|quick|full")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
+		reps      = flag.Int("reps", 0, "timing repetitions (0 = preset default)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		brk       = flag.Bool("breakdown", false, "print the per-phase ExecStats breakdown (shortcut for -exp fig8)")
+		snap      = flag.String("snapshot", "", "run the reuse experiment and write a JSON snapshot to this path")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of phases and pool regions to this path (load in Perfetto)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spgemm-bench: debug server on http://%s\n", srv.Addr())
+	}
+	if *tracePath != "" {
+		obs.SetActive(obs.NewTracer())
+		defer writeTrace(*tracePath)
+	}
 
 	if *brk {
 		if *exp != "" && *exp != "fig8" {
@@ -80,4 +97,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the active tracer as Chrome trace-event JSON.
+func writeTrace(path string) {
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	obs.SetActive(nil)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "spgemm-bench: write trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "spgemm-bench: wrote trace to %s\n", path)
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/spgemm"
 )
 
@@ -42,8 +43,24 @@ func main() {
 		algName  = flag.String("alg", "auto", "algorithm: auto|hash|hashvec|heap|spa|mkl|mkl-inspector|kokkos|merge|ikj|blockedspa|esc")
 		unsorted = flag.Bool("unsorted", false, "emit unsorted output rows (skips per-row sorting)")
 		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		stats    = flag.Bool("stats", false, "print the per-phase ExecStats breakdown of the multiply")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of phases and pool regions to this path")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		srv, err := obs.StartDebugServer(*debug, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spgemm: debug server on http://%s\n", srv.Addr())
+	}
+	if *trace != "" {
+		obs.SetActive(obs.NewTracer())
+		defer writeTrace(*trace)
+	}
 
 	alg, ok := algNames[*algName]
 	if !ok {
@@ -62,6 +79,9 @@ func main() {
 	}
 
 	opt := &spgemm.Options{Algorithm: alg, Unsorted: *unsorted, Workers: *workers}
+	if *stats {
+		opt.Stats = &spgemm.ExecStats{}
+	}
 	start := time.Now()
 	c, err := spgemm.Multiply(a, b, opt)
 	if err != nil {
@@ -73,6 +93,9 @@ func main() {
 	fmt.Printf("A: %v\nB: %v\nC: %v\n", a, b, c)
 	fmt.Printf("flop: %d  time: %v  MFLOPS: %.1f  compression ratio: %.2f\n",
 		flop, elapsed, 2*float64(flop)/elapsed.Seconds()/1e6, float64(flop)/float64(c.NNZ()))
+	if opt.Stats != nil {
+		fmt.Printf("stats: %s\n", opt.Stats)
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -108,4 +131,24 @@ func readMatrix(path string) *matrix.CSR {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "spgemm: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// writeTrace exports the active tracer as Chrome trace-event JSON.
+func writeTrace(path string) {
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	obs.SetActive(nil)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm: write trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "spgemm: wrote trace to %s\n", path)
 }

@@ -8,8 +8,27 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/spgemm"
 )
+
+// tracedImbalance runs f with a tracer observing its worker-pool regions and
+// returns the resulting load-imbalance summary. When the process already has
+// an active tracer (the -trace flag), it is reused and the delta attributed to
+// f is returned — so the trace file still sees the breakdown's spans.
+// Otherwise a temporary tracer is installed for the duration of f.
+func tracedImbalance(f func()) obs.Imbalance {
+	if tr := obs.Active(); tr != nil {
+		before := tr.Imbalance()
+		f()
+		return tr.Imbalance().Sub(before)
+	}
+	tr := obs.NewTracer()
+	obs.SetActive(tr)
+	f()
+	obs.SetActive(nil)
+	return tr.Imbalance()
+}
 
 // runFig8 reproduces the paper's Figure 8-style phase breakdown: for each
 // algorithm, the share of execution time spent in the partition, symbolic,
@@ -39,20 +58,27 @@ func runFig8(cfg Config, w io.Writer) error {
 		spgemm.AlgMKL, spgemm.AlgMKLInspector, spgemm.AlgKokkos,
 	}
 
-	t := newTable("matrix", "alg", "total_ms", "partition%", "symbolic%", "alloc%", "numeric%", "assemble%", "mflops", "cf", "heap_pushes", "l2_overflow")
+	t := newTable("matrix", "alg", "total_ms", "partition%", "symbolic%", "alloc%", "numeric%", "assemble%", "mflops", "cf", "heap_pushes", "l2_overflow", "imb")
+	reports := make(map[string]obs.Imbalance)
 	for _, in := range inputs {
 		flop, _ := matrix.Flop(in.m, in.m)
 		for _, alg := range algs {
 			var st spgemm.ExecStats
 			opt := &spgemm.Options{Algorithm: alg, Workers: cfg.Workers, Stats: &st}
 			var err error
-			d := timeAvg(cfg.reps(), func() {
-				if _, e := spgemm.Multiply(in.m, in.m, opt); e != nil {
-					err = e
-				}
+			var d time.Duration
+			imb := tracedImbalance(func() {
+				d = timeAvg(cfg.reps(), func() {
+					if _, e := spgemm.Multiply(in.m, in.m, opt); e != nil {
+						err = e
+					}
+				})
 			})
 			if err != nil {
 				return fmt.Errorf("fig8 %s/%v: %w", in.name, alg, err)
+			}
+			if alg == spgemm.AlgHash {
+				reports[in.name] = imb
 			}
 			row := []string{in.name, alg.String(), fmt.Sprintf("%.2f", float64(st.Total)/float64(time.Millisecond))}
 			for p := spgemm.Phase(0); p < spgemm.NumPhases; p++ {
@@ -64,13 +90,20 @@ func runFig8(cfg Config, w io.Writer) error {
 			}
 			tot := st.TotalWorker()
 			row = append(row, f1(mflops(flop, d)), f2(st.CollisionFactor()),
-				fmt.Sprintf("%d", tot.HeapPushes), fmt.Sprintf("%d", tot.L2Overflows))
+				fmt.Sprintf("%d", tot.HeapPushes), fmt.Sprintf("%d", tot.L2Overflows),
+				f2(imb.Ratio()))
 			t.add(row...)
 		}
 	}
 	t.write(w, cfg.CSV)
 	fmt.Fprintln(w, "# phase shares of total wall time; cf = hash collision factor (Eq. 2)")
+	fmt.Fprintln(w, "# imb = max/mean per-worker busy time over the pool regions of the runs")
 	fmt.Fprintln(w, "# expectation (paper): numeric dominates; symbolic adds ~30-50% on two-phase")
 	fmt.Fprintln(w, "# algorithms; G500 raises the collision factor and heap pushes vs ER")
+	for _, in := range inputs {
+		if imb, ok := reports[in.name]; ok && len(imb.Workers) > 0 {
+			fmt.Fprintf(w, "\n# load balance, %s / hash (%d reps):\n%s", in.name, cfg.reps(), imb.Report())
+		}
+	}
 	return nil
 }

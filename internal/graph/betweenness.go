@@ -91,6 +91,8 @@ func betweennessBatch(a *matrix.CSR, sources []int32, opt *spgemm.Options, bc []
 		if err != nil {
 			return err
 		}
+		betwIters.Inc()
+		betwNNZ.Add(p.NNZ())
 		next := matrix.NewCOO(n, k)
 		for v := 0; v < n; v++ {
 			cols, vals := p.Row(v)
@@ -134,6 +136,8 @@ func betweennessBatch(a *matrix.CSR, sources []int32, opt *spgemm.Options, bc []
 		if err != nil {
 			return err
 		}
+		betwIters.Inc()
+		betwNNZ.Add(u.NNZ())
 		// delta(v) += sigma(v) * U(v) for v at depth d-1.
 		prev := frontiers[d-1]
 		for v := 0; v < n; v++ {

@@ -72,6 +72,8 @@ func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, err
 		if err != nil {
 			return nil, err
 		}
+		bfsIters.Inc()
+		bfsNNZ.Add(next.NNZ())
 		// Mask out already-visited (vertex, source) pairs and record
 		// levels for the fresh ones.
 		nf := matrix.NewCOO(n, k)

@@ -72,6 +72,8 @@ func LabelPropagation(adj *matrix.CSR, maxIters int, rng *rand.Rand, opt *spgemm
 		if err != nil {
 			return nil, err
 		}
+		lpIters.Inc()
+		lpNNZ.Add(counts.NNZ())
 		changed := 0
 		for v := 0; v < n; v++ {
 			cols, vals := counts.Row(v)

@@ -52,6 +52,11 @@ type MCLResult struct {
 	NumClusters int
 	// Iterations is how many expansion/inflation rounds ran.
 	Iterations int
+	// Stats, when MCLOptions.SpGEMM.Stats was set, is the cumulative
+	// execution profile of all expansion products: per-phase times and
+	// worker counters summed over the whole run (spgemm.Context
+	// accumulation), not just the last iteration's.
+	Stats *spgemm.ExecStats
 }
 
 // MCL runs Markov clustering (van Dongen; HipMCL in the paper's reference
@@ -94,6 +99,8 @@ func MCL(adj *matrix.CSR, o *MCLOptions) (*MCLResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		mclIters.Inc()
+		mclNNZ.Add(next.NNZ())
 		// Inflation + pruning + normalization, then convergence check.
 		inflate(next, opt.Inflation, opt.Prune)
 		if chaos(next) < opt.ChaosTol {
@@ -105,7 +112,11 @@ func MCL(adj *matrix.CSR, o *MCLOptions) (*MCLResult, error) {
 	}
 
 	clusters, count := components(m)
-	return &MCLResult{Cluster: clusters, NumClusters: count, Iterations: iters}, nil
+	res := &MCLResult{Cluster: clusters, NumClusters: count, Iterations: iters}
+	if inner.Stats != nil {
+		res.Stats = inner.Context.CumulativeStats()
+	}
+	return res, nil
 }
 
 // normalizeRows scales each row to sum 1 (rows that sum to zero are left).

@@ -15,8 +15,24 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
+
+// Scratch observability: growth happens only when a buffer's high-water mark
+// rises, so these updates are off the per-row hot path by construction.
+var (
+	mGrow = obs.NewCounter("mempool_grow_events_total",
+		"scratch buffer growth (re)allocations past the high-water mark")
+	mLive = obs.NewGauge("mempool_live_bytes",
+		"bytes currently held by per-worker scratch buffers")
+)
+
+// grew records one buffer growth from oldCap to n elements of elemSize bytes.
+func grew(oldCap, n, elemSize int) {
+	mGrow.Inc()
+	mLive.Add(int64(n-oldCap) * int64(elemSize))
+}
 
 // Scratch is one worker's reusable scratch space. Slices only ever grow;
 // reusing a Scratch across rows therefore performs no allocation after the
@@ -33,6 +49,7 @@ type Scratch struct {
 // EnsureInt32A returns s.Int32A with length at least n (contents undefined).
 func (s *Scratch) EnsureInt32A(n int) []int32 {
 	if cap(s.Int32A) < n {
+		grew(cap(s.Int32A), n, 4)
 		s.Int32A = make([]int32, n)
 	}
 	s.Int32A = s.Int32A[:n]
@@ -42,6 +59,7 @@ func (s *Scratch) EnsureInt32A(n int) []int32 {
 // EnsureInt32B returns s.Int32B with length at least n (contents undefined).
 func (s *Scratch) EnsureInt32B(n int) []int32 {
 	if cap(s.Int32B) < n {
+		grew(cap(s.Int32B), n, 4)
 		s.Int32B = make([]int32, n)
 	}
 	s.Int32B = s.Int32B[:n]
@@ -51,6 +69,7 @@ func (s *Scratch) EnsureInt32B(n int) []int32 {
 // EnsureInt64A returns s.Int64A with length at least n (contents undefined).
 func (s *Scratch) EnsureInt64A(n int) []int64 {
 	if cap(s.Int64A) < n {
+		grew(cap(s.Int64A), n, 8)
 		s.Int64A = make([]int64, n)
 	}
 	s.Int64A = s.Int64A[:n]
@@ -60,6 +79,7 @@ func (s *Scratch) EnsureInt64A(n int) []int64 {
 // EnsureFloat64 returns s.Float64 with length at least n (contents undefined).
 func (s *Scratch) EnsureFloat64(n int) []float64 {
 	if cap(s.Float64) < n {
+		grew(cap(s.Float64), n, 8)
 		s.Float64 = make([]float64, n)
 	}
 	s.Float64 = s.Float64[:n]
@@ -71,6 +91,7 @@ func (s *Scratch) EnsureFloat64(n int) []float64 {
 // (the merge SpGEMM rounds).
 func (s *Scratch) EnsureFloat64B(n int) []float64 {
 	if cap(s.Float64B) < n {
+		grew(cap(s.Float64B), n, 8)
 		s.Float64B = make([]float64, n)
 	}
 	s.Float64B = s.Float64B[:n]

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication of the default registry.
+// expvar.Publish panics on duplicate names, and the default registry is
+// process-wide, so publishing once is both necessary and sufficient.
+var expvarOnce sync.Once
+
+// publishExpvar bridges the default registry into the expvar namespace under
+// the key "metrics", making every counter visible at /debug/vars alongside
+// the runtime's memstats.
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			return defaultRegistry.snapshot()
+		}))
+	})
+}
+
+// DebugServer is the opt-in debug HTTP surface. It serves:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar (runtime memstats + the registry bridge)
+//	/debug/pprof  the standard pprof index (profile, heap, trace, ...)
+//	/trace.json   the active Tracer's Chrome trace snapshot, if tracing is on
+//
+// Close shuts the listener down; a DebugServer holds no other state.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060", or "localhost:0"
+// to pick a free port) and serves the debug surface for reg in a background
+// goroutine. A nil reg serves the default registry.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = defaultRegistry
+	}
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "spgemm debug surface\n\n/metrics\n/debug/vars\n/debug/pprof/\n/trace.json\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		tr := Active()
+		if tr == nil {
+			http.Error(w, "no active tracer (run with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
+	})
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }

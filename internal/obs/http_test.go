@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_total", "test counter").Add(5)
+	srv, err := StartDebugServer("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "http_test_total 5") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+	if _, ok := vars["metrics"]; !ok {
+		t.Error("/debug/vars missing the registry bridge")
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+
+	// No active tracer: 404. With one: a valid Chrome trace.
+	code, _ = get(t, base+"/trace.json")
+	if code != http.StatusNotFound {
+		t.Errorf("/trace.json without tracer: code %d, want 404", code)
+	}
+	tr := NewTracer()
+	tr.Span(DriverLane, "phase", tr.start, tr.start.Add(time.Millisecond))
+	SetActive(tr)
+	defer SetActive(nil)
+	code, body = get(t, base+"/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("/trace.json: code %d", code)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal([]byte(body), &ct); err != nil {
+		t.Fatalf("/trace.json not valid trace JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Error("/trace.json: empty trace")
+	}
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the Prometheus counter contract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can move both ways (bytes live, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n, which may be negative.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus style:
+// buckets count observations less than or equal to each upper bound, plus an
+// implicit +Inf bucket, a running sum and a count. All updates are atomic.
+type Histogram struct {
+	upper   []float64
+	buckets []atomic.Int64 // len(upper)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metricKind discriminates the exposition format of a family.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric with zero or one label dimension and its
+// children (one child per label value; the empty label value for unlabeled
+// metrics).
+type family struct {
+	name    string
+	help    string
+	label   string
+	kind    metricKind
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]any
+	order    []string
+}
+
+// child returns (creating if needed) the metric for the given label value.
+func (f *family) child(value string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[value]; ok {
+		return m
+	}
+	var m any
+	switch f.kind {
+	case counterKind:
+		m = &Counter{}
+	case gaugeKind:
+		m = &Gauge{}
+	case histogramKind:
+		h := &Histogram{upper: f.buckets}
+		h.buckets = make([]atomic.Int64, len(f.buckets)+1)
+		m = h
+	}
+	f.children[value] = m
+	f.order = append(f.order, value)
+	return m
+}
+
+// CounterVec is a counter family with one label dimension. With returns the
+// child counter for a label value; callers on hot paths cache the child.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	return v.fam.child(value).(*Counter)
+}
+
+// Registry is an ordered set of metric families. The zero value is not
+// usable; use NewRegistry. Registration is typically done in package var
+// blocks via the Default registry; lookups at record time are pointer
+// dereferences, never by name.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// defaultRegistry backs the package-level constructors and the debug HTTP
+// surface.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry that the package-level
+// NewCounter/NewGauge/NewHistogram constructors register into and that the
+// debug HTTP server exposes.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// register adds (or returns the existing) family with the given shape. It
+// panics if the name is already registered with a different kind — metric
+// names are a single flat namespace.
+func (r *Registry) register(name, help, label string, kind metricKind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, label: label, kind: kind, buckets: buckets,
+		children: map[string]any{},
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "", counterKind, nil).child("").(*Counter)
+}
+
+// CounterVec registers (or fetches) a counter family with one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, label, counterKind, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "", gaugeKind, nil).child("").(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the given
+// bucket upper bounds (must be sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, "", histogramKind, buckets).child("").(*Histogram)
+}
+
+// NewCounter registers an unlabeled counter in the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
+
+// NewCounterVec registers a labeled counter family in the default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return defaultRegistry.CounterVec(name, help, label)
+}
+
+// NewGauge registers an unlabeled gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, help) }
+
+// NewHistogram registers an unlabeled histogram in the default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return defaultRegistry.Histogram(name, help, buckets)
+}
+
+// labelPair renders the {label="value"} suffix, empty for unlabeled children.
+func labelPair(label, value string) string {
+	if label == "" || value == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", label, value)
+}
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		f.mu.Unlock()
+		if len(order) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, value := range order {
+			m := f.child(value)
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelPair(f.label, value), m.(*Counter).Value())
+			case gaugeKind:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelPair(f.label, value), m.(*Gauge).Value())
+			case histogramKind:
+				h := m.(*Histogram)
+				var cum int64
+				for i, ub := range h.upper {
+					cum += h.buckets[i].Load()
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(ub), cum)
+				}
+				cum += h.buckets[len(h.upper)].Load()
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+				fmt.Fprintf(w, "%s_sum %v\n", f.name, h.Sum())
+				fmt.Fprintf(w, "%s_count %d\n", f.name, h.Count())
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot flattens the registry into a plain map for the expvar bridge:
+// "name" or "name{label=value}" → number.
+func (r *Registry) snapshot() map[string]any {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := map[string]any{}
+	for _, f := range families {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		f.mu.Unlock()
+		for _, value := range order {
+			key := f.name
+			if f.label != "" && value != "" {
+				key = fmt.Sprintf("%s{%s=%s}", f.name, f.label, value)
+			}
+			switch m := f.child(value).(type) {
+			case *Counter:
+				out[key] = m.Value()
+			case *Gauge:
+				out[key] = m.Value()
+			case *Histogram:
+				out[key+"_count"] = m.Count()
+				out[key+"_sum"] = m.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// formatFloat renders bucket bounds the way Prometheus clients expect
+// (no trailing zeros, no exponent for small values).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "operations")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_bytes", "bytes live")
+	g.Set(100)
+	g.Add(-25)
+	v := r.CounterVec("test_calls_total", "calls by alg", "alg")
+	v.With("hash").Add(3)
+	v.With("heap").Inc()
+	h := r.Histogram("test_cf", "collision factor", []float64{1, 2, 5})
+	h.Observe(1.5)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		"test_ops_total 42",
+		"# TYPE test_bytes gauge",
+		"test_bytes 75",
+		`test_calls_total{alg="hash"} 3`,
+		`test_calls_total{alg="heap"} 1`,
+		"# TYPE test_cf histogram",
+		`test_cf_bucket{le="1"} 1`,
+		`test_cf_bucket{le="2"} 2`,
+		`test_cf_bucket{le="5"} 2`,
+		`test_cf_bucket{le="+Inf"} 3`,
+		"test_cf_sum 12",
+		"test_cf_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(7)
+	r.CounterVec("b_total", "b", "k").With("x").Add(2)
+	snap := r.snapshot()
+	if snap["a_total"] != int64(7) {
+		t.Errorf("a_total = %v", snap["a_total"])
+	}
+	if snap["b_total{k=x}"] != int64(2) {
+		t.Errorf("b_total{k=x} = %v", snap["b_total{k=x}"])
+	}
+}
+
+func TestRegisterIdempotentAndKindConflict(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("same_total", "h")
+	c2 := r.Counter("same_total", "h")
+	if c1 != c2 {
+		t.Error("re-registering the same counter returned a new instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering as a different kind did not panic")
+		}
+	}()
+	r.Gauge("same_total", "h")
+}
+
+// TestMetricsConcurrent exercises concurrent updates from pool-worker-like
+// goroutines together with concurrent scrapes; run under -race in CI.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_ops_total", "ops")
+	g := r.Gauge("race_bytes", "bytes")
+	h := r.Histogram("race_cf", "cf", []float64{1, 2})
+	v := r.CounterVec("race_calls_total", "calls", "alg")
+
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			alg := v.With([]string{"hash", "heap"}[w%2])
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 3))
+				alg.Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 8; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Error(err)
+		}
+		_ = r.snapshot()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	sum := v.With("hash").Value() + v.With("heap").Value()
+	if sum != workers*iters {
+		t.Errorf("vec sum = %d, want %d", sum, workers*iters)
+	}
+}

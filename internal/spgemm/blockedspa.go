@@ -58,7 +58,7 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	rowNnz := make([]int64, a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
-	sched.RunWorkers(workers, func(w int) {
+	sched.RunWorkersNamed("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -118,7 +118,7 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	// per-block extraction the whole row is sorted.
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
-	sched.RunWorkers(workers, func(w int) {
+	sched.RunWorkersNamed("assemble", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		for i := lo; i < hi; i++ {
 			off := rowOffset[i]

@@ -42,6 +42,11 @@ type Context struct {
 	rowNnz  []int64
 	offsets []int
 	ps      []int64
+
+	// Cumulative stats across stats-enabled calls through this context
+	// (see CumulativeStats).
+	cum      ExecStats
+	cumCalls int64
 }
 
 // NewContext returns an empty Context. Buffers are sized on first use and
@@ -68,13 +73,42 @@ func (c *Context) pool() *sched.Pool {
 }
 
 // runWorkers runs a parallel region on the context's pool (or the default).
-func (c *Context) runWorkers(workers int, body func(worker int)) {
-	c.pool().RunWorkers(workers, body)
+// name labels the region on the tracer's worker lanes.
+func (c *Context) runWorkers(name string, workers int, body func(worker int)) {
+	c.pool().RunWorkersNamed(name, workers, body)
 }
 
 // parallelFor runs a scheduled loop on the context's pool (or the default).
-func (c *Context) parallelFor(workers, n int, s sched.Schedule, grain int, body func(worker, lo, hi int)) {
-	c.pool().ParallelFor(workers, n, s, grain, body)
+// name labels the region on the tracer's worker lanes.
+func (c *Context) parallelFor(name string, workers, n int, s sched.Schedule, grain int, body func(worker, lo, hi int)) {
+	c.pool().ParallelForNamed(name, workers, n, s, grain, body)
+}
+
+// accumulate folds one stats-enabled call into the context's running totals.
+func (c *Context) accumulate(st *ExecStats) {
+	c.cum.Add(st)
+	c.cumCalls++
+}
+
+// CumulativeStats returns a copy of the phase times and worker counters
+// accumulated over every stats-enabled Multiply (and Plan.Execute) routed
+// through this context — the aggregate breakdown iterative workloads like MCL
+// report instead of just the last call's. Returns nil before the first
+// stats-enabled call.
+func (c *Context) CumulativeStats() *ExecStats {
+	if c.cumCalls == 0 {
+		return nil
+	}
+	return c.cum.Clone()
+}
+
+// CumulativeCalls returns how many stats-enabled calls have been accumulated.
+func (c *Context) CumulativeCalls() int64 { return c.cumCalls }
+
+// ResetCumulative clears the running totals (e.g. between benchmark reps).
+func (c *Context) ResetCumulative() {
+	c.cum = ExecStats{}
+	c.cumCalls = 0
 }
 
 // prefixSum computes the exclusive prefix sum on the context's pool.
@@ -83,9 +117,11 @@ func (c *Context) prefixSum(weights, out []int64, workers int) []int64 {
 }
 
 // perRowFlop computes the per-row flop counts into the context's reusable
-// buffer (the FlopInto satellite of the allocate-once discipline).
+// buffer (the FlopInto satellite of the allocate-once discipline). The total
+// the pre-pass computes anyway feeds the spgemm_flop_total counter.
 func (c *Context) perRowFlop(a, b *matrix.CSR) []int64 {
-	_, perRow := matrix.FlopInto(a, b, c.flopRow)
+	total, perRow := matrix.FlopInto(a, b, c.flopRow)
+	mFlop.Add(total)
 	c.flopRow = perRow
 	return perRow
 }
@@ -143,12 +179,15 @@ func (c *Context) hashTable(w int, bound int64) *accum.HashTable {
 	t := c.hash[w]
 	switch {
 	case t == nil:
+		mCtxAlloc.Inc()
 		t = accum.NewHashTable(bound)
 		c.hash[w] = t
 		return t
 	case int64(t.Cap()) <= bound:
+		mCtxReuse.Inc()
 		t.Reserve(bound)
 	default:
+		mCtxReuse.Inc()
 		t.Reset()
 	}
 	t.ResetCounters() // per-call ExecStats semantics, as with a fresh table
@@ -160,12 +199,15 @@ func (c *Context) hashVecTable(w int, bound int64) *accum.HashVecTable {
 	t := c.hashVec[w]
 	switch {
 	case t == nil:
+		mCtxAlloc.Inc()
 		t = accum.NewHashVecTable(bound)
 		c.hashVec[w] = t
 		return t
 	case int64(t.Cap()) <= bound:
+		mCtxReuse.Inc()
 		t.Reserve(bound)
 	default:
+		mCtxReuse.Inc()
 		t.Reset()
 	}
 	t.ResetCounters()
@@ -177,9 +219,11 @@ func (c *Context) hashVecTable(w int, bound int64) *accum.HashVecTable {
 func (c *Context) mergeHeap(w int, bound int64) *accum.MergeHeap {
 	h := c.heaps[w]
 	if h == nil {
+		mCtxAlloc.Inc()
 		h = accum.NewMergeHeap(bound)
 		c.heaps[w] = h
 	} else {
+		mCtxReuse.Inc()
 		h.Reset()
 		h.ResetCounters()
 	}

@@ -33,7 +33,7 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -102,7 +102,7 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
 	pt.tick(PhaseAlloc)
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("assemble", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		for i := lo; i < hi; i++ {
 			off := rowOffset[i]

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Phase identifies one stage of a SpGEMM kernel. Not every algorithm has
@@ -119,13 +121,48 @@ func (s *ExecStats) reset(workers int) {
 	}
 }
 
-// PhaseSum returns the sum of the per-phase times.
+// PhaseSum returns the sum of the per-phase times. The accounting invariant
+// every kernel maintains is PhaseSum() <= Total: phase times are measured
+// back-to-back inside the window finish() stamps as Total, and out-of-band
+// post-passes (addPhase) extend the phase and Total by the same duration.
+// TestExecStatsPhaseSumInvariant enforces this across all algorithms.
 func (s *ExecStats) PhaseSum() time.Duration {
 	var t time.Duration
 	for _, d := range s.Phases {
 		t += d
 	}
 	return t
+}
+
+// Add folds another call's stats into s: phase times, Total and per-worker
+// counters all accumulate (Workers grows to the larger worker count), and
+// Algorithm takes o's value. Iterative workloads use this — via the automatic
+// accumulation on spgemm.Context — to report aggregate phase breakdowns
+// across a whole expansion loop rather than just the last call.
+func (s *ExecStats) Add(o *ExecStats) {
+	if o == nil {
+		return
+	}
+	s.Algorithm = o.Algorithm
+	for p := Phase(0); p < NumPhases; p++ {
+		s.Phases[p] += o.Phases[p]
+	}
+	s.Total += o.Total
+	if len(o.Workers) > len(s.Workers) {
+		grown := make([]WorkerStats, len(o.Workers))
+		copy(grown, s.Workers)
+		s.Workers = grown
+	}
+	for i := range o.Workers {
+		s.Workers[i].add(o.Workers[i])
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *ExecStats) Clone() *ExecStats {
+	out := *s
+	out.Workers = append([]WorkerStats(nil), s.Workers...)
+	return &out
 }
 
 // TotalWorker returns all worker counters summed.
@@ -148,8 +185,15 @@ func (s *ExecStats) CollisionFactor() float64 {
 	return 1 + float64(t.HashProbes)/float64(t.HashLookups)
 }
 
-// addPhase adds an out-of-band duration (e.g. a post-pass sort) to a phase
-// and to the total. Safe on a nil receiver so call sites need no guard.
+// addPhase adds an out-of-band duration (e.g. a post-pass sort that runs
+// after the kernel's own finish() stamped its wall time) to a phase and to
+// the total. Charging both sides is what keeps post-passes from being
+// double-counted: the post-pass interval lies outside the window finish()
+// measured, so extending Phases[p] and Total by the same d preserves the
+// PhaseSum() <= Total invariant exactly. Post-passes measured *inside* the
+// finish() window (e.g. the inspector baseline's SortRows before its
+// PhaseAssemble tick) must use tick, never addPhase — they are already part
+// of Total. Safe on a nil receiver so call sites need no guard.
 func (s *ExecStats) addPhase(p Phase, d time.Duration) {
 	if s == nil {
 		return
@@ -188,34 +232,50 @@ func (s *ExecStats) String() string {
 	return b.String()
 }
 
-// phaseTimer stamps phase boundaries into an ExecStats. The zero value (from
-// a nil *ExecStats) is inert: tick and finish return immediately without
-// reading the clock, which is what keeps the disabled-stats overhead to a
-// nil compare per phase boundary.
+// phaseTimer stamps phase boundaries into an ExecStats and, when a tracer is
+// active, onto the tracer's driver lane as begin/end span pairs. The zero
+// value (from a nil *ExecStats with tracing off) is inert: tick and finish
+// return immediately without reading the clock, which is what keeps the
+// disabled-observability overhead to one atomic load and a couple of nil
+// compares per kernel call.
 type phaseTimer struct {
 	st    *ExecStats
+	tr    *obs.Tracer
 	start time.Time
 	last  time.Time
 }
 
-// startPhases resets st for a run with the given worker count and starts the
-// clock. A nil st yields an inert timer.
+// startPhases resets st for a run with the given worker count, picks up the
+// process tracer, and starts the clock. With st nil and no active tracer it
+// yields an inert timer without reading the clock.
 func startPhases(st *ExecStats, workers int) phaseTimer {
-	if st == nil {
+	tr := obs.Active()
+	if st == nil && tr == nil {
 		return phaseTimer{}
 	}
-	st.reset(workers)
+	if st != nil {
+		st.reset(workers)
+	}
 	now := time.Now()
-	return phaseTimer{st: st, start: now, last: now}
+	return phaseTimer{st: st, tr: tr, start: now, last: now}
 }
 
-// tick charges the time since the previous boundary to phase p.
+// active reports whether the timer records anything.
+func (t *phaseTimer) active() bool { return t.st != nil || t.tr != nil }
+
+// tick charges the time since the previous boundary to phase p, and records
+// the interval as a driver-lane span. One clock read serves both sinks.
 func (t *phaseTimer) tick(p Phase) {
-	if t.st == nil {
+	if !t.active() {
 		return
 	}
 	now := time.Now()
-	t.st.Phases[p] += now.Sub(t.last)
+	if t.st != nil {
+		t.st.Phases[p] += now.Sub(t.last)
+	}
+	if t.tr != nil {
+		t.tr.Span(obs.DriverLane, p.String(), t.last, now)
+	}
 	t.last = now
 }
 

@@ -66,6 +66,7 @@ func kokkosMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		return nil, err
 	}
 	if !opt.Unsorted {
+		mSortPost.Inc()
 		start := statsNow(opt.Stats)
 		c.SortRows()
 		opt.Stats.addPhase(PhaseAssemble, statsSince(opt.Stats, start))

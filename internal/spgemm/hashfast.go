@@ -36,7 +36,7 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 
 	// Symbolic phase.
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("symbolic", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -68,7 +68,7 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseAlloc)
 
 	// Numeric phase.
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -123,7 +123,7 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhasePartition)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("symbolic", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -154,7 +154,7 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return

@@ -127,7 +127,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	used := make([]int64, workers)
 
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -166,7 +166,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseAlloc)
 	// Each worker's rows are contiguous in both temp and final storage:
 	// one bulk copy per worker.
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("assemble", workers, func(w int) {
 		lo := offsets[w]
 		if lo >= offsets[w+1] {
 			return
@@ -204,7 +204,7 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	rowWorker := make([]int32, a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
-	ctx.parallelFor(workers, a.Rows, schedule, grain, func(w, lo, hi int) {
+	ctx.parallelFor("numeric", workers, a.Rows, schedule, grain, func(w, lo, hi int) {
 		h := ctx.mergeHeap(w, 8)
 		sw := ctx.workerScratch(w)
 		var rowCols []int32
@@ -235,7 +235,7 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
-	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	ctx.parallelFor("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
 			off := rowOffset[i]

@@ -84,7 +84,7 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		}
 	}
 
-	sched.RunWorkers(workers, func(w int) {
+	sched.RunWorkersNamed("symbolic", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -99,7 +99,7 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
-	sched.RunWorkers(workers, func(w int) {
+	sched.RunWorkersNamed("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return

@@ -109,7 +109,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	refs := make([][]rowRef, workers)
 	sr := opt.Semiring
 
-	sched.ParallelFor(workers, a.Rows, sched.Guided, 16, func(w, lo, hi int) {
+	sched.ParallelForNamed("numeric", workers, a.Rows, sched.Guided, 16, func(w, lo, hi int) {
 		acc := newMapAcc()
 		for i := lo; i < hi; i++ {
 			acc.Reset()
@@ -163,7 +163,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	// sorting rows at the end (the post-processing a user would need).
 	c := outputShell(a.Rows, b.Cols, rowPtr, false)
 	pt.tick(PhaseAlloc)
-	sched.ParallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	sched.ParallelForNamed("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
 			off := rowOffset[i]
@@ -173,6 +173,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		}
 	})
 	if !opt.Unsorted {
+		mSortPost.Inc()
 		c.SortRows()
 	}
 	pt.tick(PhaseAssemble)

@@ -37,7 +37,7 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowOffset := make([]int64, a.Rows)
 	sr := opt.Semiring
 
-	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	ctx.parallelFor("numeric", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		// Ping-pong scratch for merge rounds, grown to the largest row —
 		// the worker's reusable Scratch pair (A/B) from the call's Context.
 		sw := ctx.workerScratch(w)
@@ -133,7 +133,7 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
-	ctx.parallelFor(workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
+	ctx.parallelFor("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := rowWorker[i]
 			off := rowOffset[i]

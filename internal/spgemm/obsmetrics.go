@@ -1,0 +1,42 @@
+package spgemm
+
+import "repro/internal/obs"
+
+// Kernel observability: coarse per-call counters on the package metrics
+// registry. Everything here costs one atomic add per Multiply call (or per
+// plan build/execute), never per-row work; series are registered once at init
+// and the per-algorithm children are cached in an array so the hot path does
+// no map lookups.
+var (
+	mMultiplies = obs.NewCounterVec("spgemm_multiplies_total",
+		"successful Multiply calls by resolved algorithm", "alg")
+	mFlop = obs.NewCounter("spgemm_flop_total",
+		"multiply-accumulate operations counted by the partition pre-pass")
+	mSortPost = obs.NewCounter("spgemm_sort_postpasses_total",
+		"sorted-output post-pass sorts forced on unsorted-native kernels")
+	mCollision = obs.NewHistogram("spgemm_collision_factor",
+		"hash collision factor per stats-enabled Multiply call (Equation 2)",
+		[]float64{1, 1.1, 1.25, 1.5, 2, 3, 5})
+
+	mCtxReuse = obs.NewCounter("spgemm_context_acc_reuse_total",
+		"per-worker accumulators revived from a Context instead of allocated")
+	mCtxAlloc = obs.NewCounter("spgemm_context_acc_alloc_total",
+		"per-worker accumulators freshly allocated")
+
+	mPlanBuilds = obs.NewCounter("spgemm_plan_builds_total",
+		"symbolic plans built by NewPlan")
+	mPlanExecs = obs.NewCounter("spgemm_plan_executes_total",
+		"successful Plan.Execute calls (symbolic phase skipped)")
+	mPlanStale = obs.NewCounter("spgemm_plan_stale_total",
+		"Plan.Execute calls rejected with ErrPlanStale")
+)
+
+// multiplyCounter caches the per-algorithm child of spgemm_multiplies_total
+// so recording a call is a single atomic add.
+var multiplyCounter = func() [AlgESC + 1]*obs.Counter {
+	var t [AlgESC + 1]*obs.Counter
+	for a := Algorithm(0); a <= AlgESC; a++ {
+		t[a] = mMultiplies.With(a.String())
+	}
+	return t
+}()

@@ -34,7 +34,7 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	used := make([]int64, workers)
 	sr := opt.Semiring
 
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
 		if lo >= hi {
 			return
@@ -90,7 +90,7 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
 	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("assemble", workers, func(w int) {
 		lo := offsets[w]
 		if lo >= offsets[w+1] {
 			return

@@ -105,7 +105,7 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 
 	p.bounds = make([]int64, workers)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
-	ctx.runWorkers(workers, func(w int) {
+	ctx.runWorkers("inspect-symbolic", workers, func(w int) {
 		lo, hi := p.offsets[w], p.offsets[w+1]
 		if lo >= hi {
 			return
@@ -149,6 +149,7 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	p.rowPtr = ctx.prefixSum(rowNnz, make([]int64, a.Rows+1), workers)
 	pt.finish()
 	p.valid = true
+	mPlanBuilds.Inc()
 	return p, nil
 }
 
@@ -168,9 +169,11 @@ func (p *Plan) Invalidate() { p.valid = false }
 // its cached symbolic result) no longer applies.
 func (p *Plan) Execute() (*matrix.CSR, error) {
 	if !p.valid {
+		mPlanStale.Inc()
 		return nil, ErrPlanStale
 	}
 	if p.a.StructureChecksum() != p.fpA || p.b.StructureChecksum() != p.fpB {
+		mPlanStale.Inc()
 		return nil, ErrPlanStale
 	}
 	a, b := p.a, p.b
@@ -186,7 +189,7 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 	c := outputShell(a.Rows, b.Cols, outPtr, !p.unsorted)
 	pt.tick(PhaseAlloc)
 
-	ctx.runWorkers(p.workers, func(w int) {
+	ctx.runWorkers("plan-numeric", p.workers, func(w int) {
 		lo, hi := p.offsets[w], p.offsets[w+1]
 		if lo >= hi {
 			return
@@ -247,5 +250,9 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 	})
 	pt.tick(PhaseNumeric)
 	pt.finish()
+	mPlanExecs.Inc()
+	if p.stats != nil {
+		p.ctx.accumulate(p.stats)
+	}
 	return c, nil
 }

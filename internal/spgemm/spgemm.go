@@ -220,6 +220,16 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				opt.Mask.Rows, opt.Mask.Cols, a.Rows, b.Cols)
 		}
 	}
+	c, err := dispatch(alg, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	recordMultiply(alg, opt)
+	return c, nil
+}
+
+// dispatch routes to the concrete kernel.
+func dispatch(alg Algorithm, a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	switch alg {
 	case AlgHash:
 		return hashMultiply(a, b, opt, false)
@@ -245,6 +255,20 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		return escMultiply(a, b, opt)
 	}
 	return nil, fmt.Errorf("spgemm: unknown algorithm %d", alg)
+}
+
+// recordMultiply stamps the per-call metrics after a successful kernel run
+// and folds stats-enabled calls into the Context's cumulative totals.
+func recordMultiply(alg Algorithm, opt *Options) {
+	multiplyCounter[alg].Inc()
+	if opt.Stats != nil {
+		if cf := opt.Stats.CollisionFactor(); cf > 0 {
+			mCollision.Observe(cf)
+		}
+		if opt.Context != nil {
+			opt.Context.accumulate(opt.Stats)
+		}
+	}
 }
 
 // Flop re-exports the flop count used for balancing and MFLOPS metrics.

@@ -152,7 +152,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 
 	// --- Symbolic phase ---
 	if balanced {
-		ctx.runWorkers(workers, func(w int) {
+		ctx.runWorkers("symbolic", workers, func(w int) {
 			lo, hi := offsets[w], offsets[w+1]
 			bound := int64(0)
 			for i := lo; i < hi; i++ {
@@ -170,7 +170,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			}
 		})
 	} else {
-		ctx.parallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+		ctx.parallelFor("symbolic", workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
 			var maskAcc *accum.HashTable
 			if maskAccs != nil {
@@ -238,7 +238,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 
 	// --- Numeric phase ---
 	if balanced {
-		ctx.runWorkers(workers, func(w int) {
+		ctx.runWorkers("numeric", workers, func(w int) {
 			lo, hi := offsets[w], offsets[w+1]
 			acc := accs[w]
 			if acc == nil { // worker had no rows in symbolic (possible with 0-row spans)
@@ -254,7 +254,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			recordWorker(w, hi-lo, rangeFlop(flopRow, lo, hi))
 		})
 	} else {
-		ctx.parallelFor(workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
+		ctx.parallelFor("numeric", workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
 			var maskAcc *accum.HashTable
 			if maskAccs != nil {
