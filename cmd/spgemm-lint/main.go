@@ -1,0 +1,412 @@
+// Command spgemm-lint runs the repo's custom static analyzers over Go
+// packages. It exists in three modes:
+//
+//	spgemm-lint ./...                 standalone: load, typecheck, analyze
+//	go vet -vettool=$(which spgemm-lint) ./...
+//	                                  vet mode: driven by the go command's
+//	                                  unitchecker protocol (-V=full, *.cfg)
+//	spgemm-lint -mode=escapes [-update]
+//	                                  escape-budget mode: diff the compiler's
+//	                                  -m escape report for the hot packages
+//	                                  against lint/escape_allowlist.txt
+//
+// Diagnostics print as file:line:col: [analyzer] message, followed by the
+// analyzer's fix hint. Any diagnostic makes the exit status nonzero, which
+// is what CI keys off.
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/hotalloc"
+	"repro/internal/analysis/passes/parcapture"
+	"repro/internal/analysis/passes/poolpair"
+	"repro/internal/analysis/passes/spanpair"
+	"repro/internal/analysis/passes/statsnil"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	spanpair.Analyzer,
+	poolpair.Analyzer,
+	parcapture.Analyzer,
+	statsnil.Analyzer,
+}
+
+func main() {
+	// Vet protocol, part 1: `go vet` probes the tool's identity with -V=full
+	// before handing it any work.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		// The go command parses the token after "buildID=" to key its cache;
+		// a content hash of the executable is what x/tools' unitchecker
+		// prints, and it makes `go vet` re-run the tool when it is rebuilt.
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			os.Exit(1)
+		}
+		h := sha256.Sum256(data)
+		fmt.Printf("spgemm-lint version devel buildID=%02x\n", string(h[:4]))
+		return
+	}
+	// Vet protocol, part 1b: the go command also probes the tool's flag set;
+	// we expose none beyond the protocol's own.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Vet protocol, part 2: one argument naming a *.cfg JSON file describing
+	// the package unit to check.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVetUnit(os.Args[1]))
+	}
+
+	mode := flag.String("mode", "lint", "lint (analyze packages) or escapes (escape-budget diff)")
+	update := flag.Bool("update", false, "with -mode=escapes: rewrite the allowlist instead of diffing")
+	flag.Parse()
+
+	switch *mode {
+	case "lint":
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		os.Exit(runLint(patterns))
+	case "escapes":
+		os.Exit(runEscapes(*update))
+	default:
+		fmt.Fprintf(os.Stderr, "spgemm-lint: unknown -mode=%s\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode
+// ---------------------------------------------------------------------------
+
+func runLint(patterns []string) int {
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: load: %v\n", err)
+		return 2
+	}
+	bad := 0
+	for _, lp := range pkgs {
+		diags, err := analysis.RunAnalyzers(lp, loader.Fset(), analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			return 2
+		}
+		bad += len(diags)
+		printDiags(loader.Fset(), diags)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %d problem(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// hintFor maps analyzer names to their fix hints for diagnostic output.
+var hintFor = func() map[string]string {
+	m := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = a.Hint
+	}
+	return m
+}()
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		hint := d.Hint
+		if hint == "" {
+			hint = hintFor[d.Analyzer]
+		}
+		if hint != "" {
+			fmt.Fprintf(os.Stderr, "\thint: %s\n", hint)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vet mode (unitchecker protocol)
+// ---------------------------------------------------------------------------
+
+// vetConfig is the subset of the go command's vet config we consume.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit checks one package unit as driven by `go vet -vettool`. The go
+// command expects the vetx facts file to be written even on success, plain
+// diagnostics on stderr, and exit 2 when diagnostics were reported.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts file first: go vet treats its absence as a tool failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			return 1
+		}
+	}
+	// Dependencies are loaded only so checkers can export facts (VetxOnly);
+	// we keep no facts and our analyzers are repo-specific, so dependency and
+	// standard-library units are done once the (empty) vetx file exists.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Best-effort typecheck. Vet units are checked in dependency order but we
+	// do not consume the export-data map, so cross-package references resolve
+	// through the compiler's export files when available and degrade to
+	// partial type info otherwise — the analyzers tolerate nil/partial Info.
+	tinfo := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:                 importer.ForCompiler(fset, "gc", nil),
+		Error:                    func(error) {},
+		DisableUnusedImportCheck: true,
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, tinfo)
+
+	lp := &analysis.LoadedPackage{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       tinfo,
+	}
+	diags, err := analysis.RunAnalyzers(lp, fset, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 1
+	}
+	printDiags(fset, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Escape-budget mode
+// ---------------------------------------------------------------------------
+
+// escapePkgs are the hot packages whose heap escapes are budgeted.
+var escapePkgs = []string{
+	"repro/internal/accum",
+	"repro/internal/mempool",
+	"repro/internal/sched",
+	"repro/internal/spgemm",
+}
+
+const allowlistPath = "lint/escape_allowlist.txt"
+
+// runEscapes compares the compiler's escape report against the checked-in
+// allowlist. Entries are normalized to "file.go: message" (line numbers
+// dropped, duplicates collapsed) so unrelated edits don't churn the list.
+func runEscapes(update bool) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	got, err := collectEscapes(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	listFile := filepath.Join(root, allowlistPath)
+	if update {
+		if err := writeAllowlist(listFile, got); err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			return 2
+		}
+		fmt.Printf("spgemm-lint: wrote %d escape entries to %s\n", len(got), allowlistPath)
+		return 0
+	}
+	want, err := readAllowlist(listFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v (run with -mode=escapes -update to create it)\n", err)
+		return 2
+	}
+	var added, removed []string
+	for e := range got {
+		if !want[e] {
+			added = append(added, e)
+		}
+	}
+	for e := range want {
+		if !got[e] {
+			removed = append(removed, e)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, e := range removed {
+		fmt.Printf("spgemm-lint: escape no longer present (prune from %s): %s\n", allowlistPath, e)
+	}
+	if len(added) > 0 {
+		for _, e := range added {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: NEW heap escape in hot package: %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr,
+			"spgemm-lint: %d new escape(s) exceed the budget; fix the allocation or, if intentional, re-run with -mode=escapes -update and justify in the PR\n",
+			len(added))
+		return 1
+	}
+	fmt.Printf("spgemm-lint: escape budget OK (%d allowlisted, %d observed)\n", len(want), len(got))
+	return 0
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// collectEscapes builds the hot packages with -gcflags=-m and parses the
+// normalized escape entries. The go command replays cached compiler output,
+// so repeated runs are cheap and deterministic.
+func collectEscapes(root string) (map[string]bool, error) {
+	args := []string{"build"}
+	for _, p := range escapePkgs {
+		args = append(args, "-gcflags="+p+"=-m")
+	}
+	args = append(args, escapePkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	got := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		entry, ok := normalizeEscapeLine(sc.Text())
+		if ok {
+			got[entry] = true
+		}
+	}
+	return got, nil
+}
+
+// normalizeEscapeLine turns "dir/file.go:12:6: x escapes to heap" into
+// "dir/file.go: x escapes to heap"; non-escape diagnostics are dropped.
+func normalizeEscapeLine(line string) (string, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+		return "", false
+	}
+	// file.go:line:col: message
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) < 4 {
+		return "", false
+	}
+	file := parts[0]
+	msg := strings.TrimSpace(parts[3])
+	if !strings.HasSuffix(file, ".go") {
+		return "", false
+	}
+	return file + ": " + msg, true
+}
+
+func readAllowlist(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, nil
+}
+
+func writeAllowlist(path string, entries map[string]bool) error {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# Heap-escape budget for the hot packages (accum, mempool, sched, spgemm).\n")
+	b.WriteString("# One normalized compiler diagnostic per line: \"file.go: message\".\n")
+	b.WriteString("# Regenerate with: go run ./cmd/spgemm-lint -mode=escapes -update\n")
+	b.WriteString("# CI fails when a hot-package build reports an escape not listed here.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("\n")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o666)
+}

@@ -10,7 +10,7 @@
 // rows, and reinitialized per row in O(entries) time rather than O(size).
 package accum
 
-import "sort"
+import "slices"
 
 const emptyKey = int32(-1)
 
@@ -77,6 +77,8 @@ func (h *HashTable) Reserve(bound int64) {
 }
 
 // Reset clears the table in O(entries) by walking the used-slot list.
+//
+//spgemm:hotpath
 func (h *HashTable) Reset() {
 	for _, s := range h.used {
 		h.keys[s] = emptyKey
@@ -95,14 +97,19 @@ func (h *HashTable) Cap() int { return len(h.keys) }
 func (h *HashTable) Probes() int64 { return h.probes }
 
 // Lookups returns the cumulative number of insert/accumulate operations.
+//
+//spgemm:hotpath
 func (h *HashTable) Lookups() int64 { return h.lookups }
 
+//spgemm:hotpath
 func (h *HashTable) slot(key int32) uint32 {
 	return (uint32(key) * hashConst) & h.mask
 }
 
 // InsertSymbolic inserts key if absent and reports whether it was new. This
 // is the whole inner loop of the symbolic phase: values are not touched.
+//
+//spgemm:hotpath
 func (h *HashTable) InsertSymbolic(key int32) bool {
 	h.lookups++
 	s := h.slot(key)
@@ -124,6 +131,8 @@ func (h *HashTable) InsertSymbolic(key int32) bool {
 
 // Accumulate adds v into the entry for key, inserting it if absent
 // (plus-times fast path).
+//
+//spgemm:hotpath
 func (h *HashTable) Accumulate(key int32, v float64) {
 	h.lookups++
 	s := h.slot(key)
@@ -146,6 +155,8 @@ func (h *HashTable) Accumulate(key int32, v float64) {
 }
 
 // AccumulateFunc is Accumulate under an arbitrary additive operation.
+//
+//spgemm:hotpath
 func (h *HashTable) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
 	h.lookups++
 	s := h.slot(key)
@@ -214,6 +225,8 @@ func (h *HashTable) maybeGrow() {
 // ExtractUnsorted appends the (key, value) pairs in insertion order to cols
 // and vals, which must have room for Len() more entries starting at offset.
 // It returns the number of entries written.
+//
+//spgemm:hotpath
 func (h *HashTable) ExtractUnsorted(cols []int32, vals []float64) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
@@ -225,6 +238,8 @@ func (h *HashTable) ExtractUnsorted(cols []int32, vals []float64) int {
 // ExtractSorted writes the (key, value) pairs in increasing key order — the
 // sorting step the paper shows algorithms can skip when unsorted output is
 // acceptable.
+//
+//spgemm:hotpath
 func (h *HashTable) ExtractSorted(cols []int32, vals []float64) int {
 	n := h.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])
@@ -233,13 +248,15 @@ func (h *HashTable) ExtractSorted(cols []int32, vals []float64) int {
 
 // ExtractKeysSorted writes just the keys, sorted; used by symbolic-phase
 // consumers that want patterns.
+//
+//spgemm:hotpath
 func (h *HashTable) ExtractKeysSorted(cols []int32) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
 	}
 	n := len(h.used)
 	c := cols[:n]
-	sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+	slices.Sort(c)
 	return n
 }
 
@@ -247,6 +264,8 @@ func (h *HashTable) ExtractKeysSorted(cols []int32) int {
 // short rows, median-of-three quicksort above. A dedicated dual-array sort
 // avoids the interface-call overhead of sort.Sort in what is the hot path of
 // every sorted-output extraction (the cost the paper's unsorted mode skips).
+//
+//spgemm:hotpath
 func sortPairs(cols []int32, vals []float64) {
 	for len(cols) > 24 {
 		// Median-of-three pivot to dodge the sorted/reversed worst cases.

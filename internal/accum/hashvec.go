@@ -67,6 +67,8 @@ func (h *HashVecTable) Reserve(bound int64) {
 }
 
 // Reset clears the table in O(entries).
+//
+//spgemm:hotpath
 func (h *HashVecTable) Reset() {
 	for _, s := range h.used {
 		h.keys[s] = emptyKey
@@ -84,13 +86,18 @@ func (h *HashVecTable) Cap() int { return len(h.keys) }
 func (h *HashVecTable) Probes() int64 { return h.probes }
 
 // Lookups returns the cumulative operation count.
+//
+//spgemm:hotpath
 func (h *HashVecTable) Lookups() int64 { return h.lookups }
 
+//spgemm:hotpath
 func (h *HashVecTable) chunk(key int32) uint32 {
 	return (uint32(key) * hashConst) & h.chunkMask
 }
 
 // InsertSymbolic inserts key if absent, reporting whether it was new.
+//
+//spgemm:hotpath
 func (h *HashVecTable) InsertSymbolic(key int32) bool {
 	h.lookups++
 	c := h.chunk(key)
@@ -115,6 +122,8 @@ func (h *HashVecTable) InsertSymbolic(key int32) bool {
 }
 
 // Accumulate adds v into key's entry, inserting if absent (plus-times path).
+//
+//spgemm:hotpath
 func (h *HashVecTable) Accumulate(key int32, v float64) {
 	h.lookups++
 	c := h.chunk(key)
@@ -139,6 +148,8 @@ func (h *HashVecTable) Accumulate(key int32, v float64) {
 }
 
 // AccumulateFunc is Accumulate under an arbitrary additive operation.
+//
+//spgemm:hotpath
 func (h *HashVecTable) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
 	h.lookups++
 	c := h.chunk(key)
@@ -181,6 +192,8 @@ func (h *HashVecTable) Lookup(key int32) (float64, bool) {
 }
 
 // ExtractUnsorted writes entries in insertion order; returns the count.
+//
+//spgemm:hotpath
 func (h *HashVecTable) ExtractUnsorted(cols []int32, vals []float64) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
@@ -190,6 +203,8 @@ func (h *HashVecTable) ExtractUnsorted(cols []int32, vals []float64) int {
 }
 
 // ExtractSorted writes entries in increasing key order; returns the count.
+//
+//spgemm:hotpath
 func (h *HashVecTable) ExtractSorted(cols []int32, vals []float64) int {
 	n := h.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])

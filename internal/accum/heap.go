@@ -32,6 +32,8 @@ func NewMergeHeap(bound int64) *MergeHeap {
 func (h *MergeHeap) Len() int { return len(h.col) }
 
 // Reset empties the heap, keeping capacity.
+//
+//spgemm:hotpath
 func (h *MergeHeap) Reset() {
 	h.col = h.col[:0]
 	h.aval = h.aval[:0]
@@ -40,6 +42,8 @@ func (h *MergeHeap) Reset() {
 }
 
 // Pushes returns the cumulative number of Push calls.
+//
+//spgemm:hotpath
 func (h *MergeHeap) Pushes() int64 { return h.pushes }
 
 // Push adds a cursor: the merge source currently at column col with scale
@@ -55,6 +59,8 @@ func (h *MergeHeap) Push(col int32, aval float64, pos, end int64) {
 
 // Min returns the minimum column and its cursor's fields. The heap must be
 // non-empty.
+//
+//spgemm:hotpath
 func (h *MergeHeap) Min() (col int32, aval float64, pos int64) {
 	return h.col[0], h.aval[0], h.pos[0]
 }
@@ -62,6 +68,8 @@ func (h *MergeHeap) Min() (col int32, aval float64, pos int64) {
 // AdvanceMin moves the minimum cursor to its next B entry (column nextCol)
 // and restores the heap. The caller has consumed the entry at the previous
 // position.
+//
+//spgemm:hotpath
 func (h *MergeHeap) AdvanceMin(nextCol int32) {
 	h.col[0] = nextCol
 	h.pos[0]++
@@ -70,9 +78,13 @@ func (h *MergeHeap) AdvanceMin(nextCol int32) {
 
 // MinPosEnd returns the minimum cursor's position and end, letting the
 // driver decide between AdvanceMin and PopMin.
+//
+//spgemm:hotpath
 func (h *MergeHeap) MinPosEnd() (pos, end int64) { return h.pos[0], h.end[0] }
 
 // PopMin removes the minimum cursor (its B row is exhausted).
+//
+//spgemm:hotpath
 func (h *MergeHeap) PopMin() {
 	last := len(h.col) - 1
 	h.swap(0, last)
@@ -85,6 +97,7 @@ func (h *MergeHeap) PopMin() {
 	}
 }
 
+//spgemm:hotpath
 func (h *MergeHeap) swap(i, j int) {
 	h.col[i], h.col[j] = h.col[j], h.col[i]
 	h.aval[i], h.aval[j] = h.aval[j], h.aval[i]
@@ -92,6 +105,7 @@ func (h *MergeHeap) swap(i, j int) {
 	h.end[i], h.end[j] = h.end[j], h.end[i]
 }
 
+//spgemm:hotpath
 func (h *MergeHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -103,6 +117,7 @@ func (h *MergeHeap) siftUp(i int) {
 	}
 }
 
+//spgemm:hotpath
 func (h *MergeHeap) siftDown(i int) {
 	n := len(h.col)
 	for {

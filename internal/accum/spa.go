@@ -1,6 +1,6 @@
 package accum
 
-import "sort"
+import "slices"
 
 // SPA is Gilbert/Moler/Schreiber's sparse accumulator: a dense value array
 // indexed directly by column, a dense occupancy mark, and a list of occupied
@@ -40,6 +40,8 @@ func (s *SPA) Reserve(ncols int) {
 
 // Reset prepares for a new row in O(1) (amortized: a full stamp clear every
 // 2^32 rows when the generation counter wraps).
+//
+//spgemm:hotpath
 func (s *SPA) Reset() {
 	s.idx = s.idx[:0]
 	s.gen++
@@ -55,6 +57,8 @@ func (s *SPA) Reset() {
 func (s *SPA) Len() int { return len(s.idx) }
 
 // InsertSymbolic marks col occupied, reporting whether it was new.
+//
+//spgemm:hotpath
 func (s *SPA) InsertSymbolic(col int32) bool {
 	if s.stamp[col] == s.gen {
 		return false
@@ -65,6 +69,8 @@ func (s *SPA) InsertSymbolic(col int32) bool {
 }
 
 // Accumulate adds v into column col (plus-times fast path).
+//
+//spgemm:hotpath
 func (s *SPA) Accumulate(col int32, v float64) {
 	if s.stamp[col] == s.gen {
 		s.vals[col] += v
@@ -76,6 +82,8 @@ func (s *SPA) Accumulate(col int32, v float64) {
 }
 
 // AccumulateFunc is Accumulate under an arbitrary additive operation.
+//
+//spgemm:hotpath
 func (s *SPA) AccumulateFunc(col int32, v float64, add func(a, b float64) float64) {
 	if s.stamp[col] == s.gen {
 		s.vals[col] = add(s.vals[col], v)
@@ -87,6 +95,8 @@ func (s *SPA) AccumulateFunc(col int32, v float64, add func(a, b float64) float6
 }
 
 // Lookup returns the value for col and whether it is occupied this row.
+//
+//spgemm:hotpath
 func (s *SPA) Lookup(col int32) (float64, bool) {
 	if s.stamp[col] == s.gen {
 		return s.vals[col], true
@@ -95,6 +105,8 @@ func (s *SPA) Lookup(col int32) (float64, bool) {
 }
 
 // ExtractUnsorted writes the (col, value) pairs in insertion order.
+//
+//spgemm:hotpath
 func (s *SPA) ExtractUnsorted(cols []int32, vals []float64) int {
 	for i, c := range s.idx {
 		cols[i] = c
@@ -104,11 +116,13 @@ func (s *SPA) ExtractUnsorted(cols []int32, vals []float64) int {
 }
 
 // ExtractSorted writes the pairs in increasing column order.
+//
+//spgemm:hotpath
 func (s *SPA) ExtractSorted(cols []int32, vals []float64) int {
 	n := len(s.idx)
 	copy(cols, s.idx)
 	c := cols[:n]
-	sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+	slices.Sort(c)
 	for i, col := range c {
 		vals[i] = s.vals[col]
 	}

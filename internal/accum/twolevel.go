@@ -61,6 +61,8 @@ func NewTwoLevelHash(l1Size int) *TwoLevelHash {
 }
 
 // Reset clears both levels in O(entries).
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) Reset() {
 	for _, s := range t.l1Used {
 		t.l1Keys[s] = emptyKey
@@ -80,12 +82,16 @@ func (t *TwoLevelHash) Overflows() int64 { return t.overflows }
 
 // Lookups returns the cumulative operation count of the level-2 table (the
 // level-1 fast path is deliberately uncounted to keep its CAS loop lean).
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) Lookups() int64 { return t.l2.Lookups() }
 
 // Probes returns the collision probe steps of the level-2 table.
 func (t *TwoLevelHash) Probes() int64 { return t.l2.Probes() }
 
 // InsertSymbolic inserts key if absent, reporting whether it was new.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
 	s := (uint32(key) * hashConst) & t.l1Mask
 	for probe := 0; probe < l1ProbeBound; probe++ {
@@ -110,15 +116,20 @@ func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
 
 // Accumulate adds v into key's entry, inserting if absent. The value update
 // is a CAS loop on the float64 bit pattern, kkmem-style.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) Accumulate(key int32, v float64) {
 	t.accumulate(key, v, nil)
 }
 
 // AccumulateFunc is Accumulate under an arbitrary additive operation.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
 	t.accumulate(key, v, add)
 }
 
+//spgemm:hotpath
 func (t *TwoLevelHash) accumulate(key int32, v float64, add func(a, b float64) float64) {
 	s := (uint32(key) * hashConst) & t.l1Mask
 	for probe := 0; probe < l1ProbeBound; probe++ {
@@ -147,6 +158,8 @@ func (t *TwoLevelHash) accumulate(key int32, v float64, add func(a, b float64) f
 }
 
 // atomicAdd merges v into slot s with a compare-and-swap loop.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) atomicAdd(s uint32, v float64, add func(a, b float64) float64) {
 	for {
 		old := atomic.LoadUint64(&t.l1Vals[s])
@@ -180,6 +193,8 @@ func (t *TwoLevelHash) Lookup(key int32) (float64, bool) {
 
 // ExtractUnsorted writes all entries (level 1 then level 2) and returns the
 // count.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) ExtractUnsorted(cols []int32, vals []float64) int {
 	n := 0
 	for _, s := range t.l1Used {
@@ -192,6 +207,8 @@ func (t *TwoLevelHash) ExtractUnsorted(cols []int32, vals []float64) int {
 }
 
 // ExtractSorted writes all entries in increasing key order.
+//
+//spgemm:hotpath
 func (t *TwoLevelHash) ExtractSorted(cols []int32, vals []float64) int {
 	n := t.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])

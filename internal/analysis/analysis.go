@@ -1,0 +1,171 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer runs over one
+// typechecked package (a Pass) and reports position-anchored Diagnostics.
+//
+// The repository vendors no third-party modules, so instead of depending on
+// x/tools this package reimplements the small subset the spgemm-lint suite
+// needs — the Analyzer/Pass/Diagnostic contract, a `go list`-driven source
+// loader (loader.go) and an analysistest-style want-comment harness
+// (analysistest/) — on the standard library's go/ast, go/parser and go/types.
+//
+// The five analyzers under passes/ encode the repository's performance
+// contracts (see DESIGN.md "Static analysis"): hotalloc, spanpair, poolpair,
+// parcapture and statsnil. cmd/spgemm-lint drives them standalone or as a
+// `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding, anchored at a token position. Hint carries the
+// "how to fix it" line spgemm-lint prints under the finding; Analyzer is
+// filled in by the runner.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Hint     string
+	Analyzer string
+}
+
+// Pass describes one analyzed package and collects findings. Reports append
+// to Diagnostics in source order of discovery.
+type Pass struct {
+	Analyzer    *Analyzer
+	Fset        *token.FileSet
+	Files       []*ast.File
+	Pkg         *types.Package
+	TypesInfo   *types.Info
+	Diagnostics []Diagnostic
+}
+
+// Reportf records a finding with the analyzer's generic fix hint.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportHintf(pos, "", format, args...)
+}
+
+// ReportHintf records a finding with a specific fix hint.
+func (p *Pass) ReportHintf(pos token.Pos, hint, format string, args ...any) {
+	if hint == "" {
+		hint = p.Analyzer.Hint
+	}
+	p.Diagnostics = append(p.Diagnostics, Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+		Hint:    hint,
+	})
+}
+
+// Analyzer is one named check. Run inspects the Pass and reports findings;
+// the returned error means the analyzer itself failed (not that it found
+// violations).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Hint is the generic one-line fix advice printed when a diagnostic
+	// carries no specific hint of its own.
+	Hint string
+	Run  func(*Pass) error
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by several passes.
+// ---------------------------------------------------------------------------
+
+// NamedTypeName returns the name of t's underlying named type, following one
+// pointer indirection: *obs.Tracer and obs.Tracer both yield "Tracer".
+// Returns "" for unnamed types.
+func NamedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	// Alias-resolve then look for a named type.
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// ReceiverTypeName resolves the named type of a method call's receiver, e.g.
+// "Tracer" for tr.Begin(...) with tr a *obs.Tracer. Returns "" when the call
+// is not a method call or types are unavailable.
+func ReceiverTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if info == nil {
+		return ""
+	}
+	if tv, ok := info.Types[sel.X]; ok {
+		return NamedTypeName(tv.Type)
+	}
+	return ""
+}
+
+// CalleeName returns the bare name of the function or method being called:
+// "Begin" for tr.Begin(...), "RunWorkers" for sched.RunWorkers(...) and for
+// a plain RunWorkers(...). Returns "" for indirect calls.
+func CalleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// ExprString renders an expression compactly for textual matching (e.g.
+// pairing tr.Begin(w+1, name) with tr.End(w+1, name) by argument text).
+// It is a lossy printer: good enough to compare small receiver/argument
+// expressions, not a formatter.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		s := ExprString(e.Fun) + "("
+		for i, a := range e.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += ExprString(a)
+		}
+		return s + ")"
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.BinaryExpr:
+		return ExprString(e.X) + e.Op.String() + ExprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + ExprString(e.X) + ")"
+	case *ast.SliceExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Low) + ":" + ExprString(e.High) + "]"
+	case *ast.TypeAssertExpr:
+		return ExprString(e.X) + ".(type)"
+	case *ast.CompositeLit:
+		return ExprString(e.Type) + "{…}"
+	case *ast.ArrayType:
+		return "[]" + ExprString(e.Elt)
+	case *ast.FuncLit:
+		return "func literal"
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,116 @@
+// Package analysistest checks an analyzer against a testdata package of
+// `// want` comments, in the style of x/tools' analysistest (reimplemented
+// on the repository's stdlib-only analysis framework).
+//
+// Each line of a testdata source file may carry an expectation:
+//
+//	h.used = make([]int32, 4) // want `allocation in hotpath`
+//
+// The string between backquotes (or double quotes) is a regular expression
+// that must match the message of a diagnostic reported on that line. Lines
+// without a want comment must receive no diagnostic, and every want must be
+// matched — both directions are errors.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches the expectation clause: // want `re` `re2` ... (or "re").
+// A single want comment may carry several patterns, one per expected
+// diagnostic on that line.
+var (
+	wantRe    = regexp.MustCompile("// want (.+)$")
+	patternRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+)
+
+// Run loads the package in dir (a directory of .go files, typically
+// testdata/src/a relative to the analyzer's test), applies the analyzer and
+// compares diagnostics against the want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader("")
+	lp, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, terr := range lp.TypeErrors {
+		t.Logf("typecheck (non-fatal): %v", terr)
+	}
+	diags, err := analysis.RunAnalyzers(lp, l.Fset(), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Collect wants from the comment maps of every file.
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pats := patternRe.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("want comment with no quoted pattern: %s", c.Text)
+				}
+				pos := l.Fset().Position(c.Pos())
+				k := key{file: filepath.Base(pos.Filename), line: pos.Line}
+				for _, pm := range pats {
+					pat := pm[1]
+					if pat == "" {
+						pat = pm[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against wants.
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		k := key{file: filepath.Base(pos.Filename), line: pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, re := range ws {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, re := range ws {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

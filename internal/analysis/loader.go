@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the package loader behind spgemm-lint: `go list -json -deps`
+// enumerates packages and their source files, and go/types typechecks them
+// from source. Root packages (the ones analyzers run over) are checked with
+// full function bodies and complete type information; dependencies — all the
+// way down the standard library — are checked with IgnoreFuncBodies, which
+// keeps a whole-module load around a second. No export data, build cache or
+// third-party loader is involved, so the loader works on any toolchain that
+// has `go` on PATH.
+
+// LoadedPackage is one typechecked package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors holds non-fatal typecheck problems. Analyzers still run —
+	// with partial type information — when this is non-empty.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads and typechecks packages of the module rooted at (or above)
+// Dir. It memoizes typechecked packages, so loading several overlapping
+// patterns or testdata directories shares the dependency work.
+type Loader struct {
+	// Dir is the directory `go list` runs in; "" means the process working
+	// directory. It must lie inside the target module.
+	Dir string
+
+	fset *token.FileSet
+	meta map[string]*listPkg
+	pkgs map[string]*types.Package
+	// checking guards against import cycles (invalid code) during the
+	// recursive dependency walk.
+	checking map[string]bool
+}
+
+// NewLoader returns a loader running `go list` from dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:      dir,
+		fset:     token.NewFileSet(),
+		meta:     make(map[string]*listPkg),
+		pkgs:     make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+}
+
+// Fset returns the loader's single file set (shared across all packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list -e -json -deps args...` and folds the results into
+// l.meta.
+func (l *Loader) goList(args ...string) error {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-json=ImportPath,Dir,GoFiles,Imports,Standard,DepOnly,Error", "-deps",
+	}, args...)...)
+	cmd.Dir = l.Dir
+	// CGO off selects the pure-Go file sets (net, os/user, ...), which are
+	// the only ones a source-level typechecker can follow.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if prev, ok := l.meta[p.ImportPath]; ok {
+			// Keep the root-flavored entry: DepOnly=false wins.
+			if prev.DepOnly && !p.DepOnly {
+				l.meta[p.ImportPath] = &p
+			}
+			continue
+		}
+		pp := p
+		l.meta[p.ImportPath] = &pp
+	}
+	return nil
+}
+
+// Load typechecks the packages matched by the patterns (e.g. "./...") with
+// full bodies and returns them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var roots []*listPkg
+	for _, p := range l.meta {
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	var out []*LoadedPackage
+	for _, p := range roots {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		lp, err := l.checkRoot(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// LoadDir parses and typechecks the .go files of one directory that `go
+// list` patterns do not reach (analysistest's testdata packages live under
+// testdata/, which the go tool skips). Imports are resolved through the
+// module's dependency graph like any other load.
+func (l *Loader) LoadDir(dir string) (*LoadedPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	p := &listPkg{ImportPath: dir, Dir: dir, GoFiles: files}
+	return l.checkRoot(p)
+}
+
+// checkRoot typechecks one package with full bodies and full type info.
+func (l *Loader) checkRoot(p *listPkg) (*LoadedPackage, error) {
+	files, err := l.parseFiles(p)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { terrs = append(terrs, err) },
+	}
+	pkg, _ := conf.Check(p.ImportPath, l.fset, files, info)
+	return &LoadedPackage{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: terrs,
+	}, nil
+}
+
+// parseFiles parses the package's GoFiles with comments retained (the
+// hotalloc analyzer reads //spgemm:hotpath directives).
+func (l *Loader) parseFiles(p *listPkg) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter resolves an import path to a typechecked package, checking
+// dependencies from source with IgnoreFuncBodies.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := l.meta[path]
+	if !ok {
+		// Import not reached by the initial pattern walk (testdata packages
+		// may import anything in the module). Fetch its metadata on demand.
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+		meta, ok = l.meta[path]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", path)
+		}
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("import %s: %s", path, meta.Error.Err)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	files, err := l.parseFiles(meta)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         li,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		// Dependencies only need their exported API shape; tolerate errors
+		// (e.g. exotic build-tagged corners of the stdlib) and keep going.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("typechecking import %s: %v", path, err)
+	}
+	// Mark complete even on partial errors so the result is importable.
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// RunAnalyzers runs each analyzer over the package and returns the combined
+// diagnostics in position order.
+func RunAnalyzers(lp *LoadedPackage, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     lp.Files,
+			Pkg:       lp.Pkg,
+			TypesInfo: lp.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, lp.ImportPath, err)
+		}
+		for i := range pass.Diagnostics {
+			d := pass.Diagnostics[i]
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

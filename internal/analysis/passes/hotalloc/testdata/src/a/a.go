@@ -1,0 +1,61 @@
+// Package a is the hotalloc analyzer's fixture: hotpath-annotated functions
+// exercising every flagged construct, and unannotated/clean functions that
+// must stay silent.
+package a
+
+type table struct {
+	keys []int32
+	used []int32
+	name string
+}
+
+// accumulate is the clean hot loop shape: indexed writes, self-append,
+// arithmetic. Must produce no findings.
+//
+//spgemm:hotpath
+func (t *table) accumulate(key int32) {
+	s := key & 15
+	t.keys[s] = key
+	t.used = append(t.used, s) // self-append: allowed
+	for i := range t.keys {
+		t.keys[i]++
+	}
+}
+
+// grow allocates in every way hotalloc knows about.
+//
+//spgemm:hotpath
+func (t *table) grow(n int) []int32 {
+	buf := make([]int32, n) // want `allocation in hotpath function: make`
+	p := new(table)         // want `allocation in hotpath function: new`
+	_ = p
+	lit := []int32{1, 2, 3}         // want `composite literal allocates in hotpath function`
+	m := map[int32]bool{}           // want `composite literal allocates in hotpath function`
+	q := &table{}                   // want `&composite literal allocates in hotpath function`
+	other := append(t.keys, lit...) // want `append result not reassigned to its first argument`
+	t.name = t.name + "x"           // want `string concatenation allocates in hotpath function`
+	bs := []byte(t.name)            // want `conversion .* allocates in hotpath function`
+	_ = string(bs)                  // want `conversion .* allocates in hotpath function`
+	go func() { _ = m }()           // want `closure literal in hotpath function` `go statement in hotpath function`
+	defer func() {}()               // want `defer in hotpath function` `closure literal in hotpath function`
+	_, _, _ = other, q, buf
+	return buf
+}
+
+// cold has no annotation: identical constructs, no findings.
+func (t *table) cold(n int) []int32 {
+	buf := make([]int32, n)
+	buf = append(buf, []int32{1}...)
+	return buf
+}
+
+// valueLit checks that stack-friendly literals pass: struct values and
+// fixed-size arrays.
+//
+//spgemm:hotpath
+func valueLit() int32 {
+	var arr [4]int32
+	s := struct{ a, b int32 }{1, 2}
+	arr[0] = s.a
+	return arr[0]
+}

@@ -1,0 +1,231 @@
+// Package parcapture checks closures handed to the sched parallel-execution
+// entry points (RunWorkers, ParallelFor and friends). Every worker runs the
+// same closure concurrently, so:
+//
+//   - assigning to a variable captured from the enclosing function is a data
+//     race (every worker writes the same memory);
+//   - appending to a captured slice races on the slice header;
+//   - writing a captured slice element with an index that depends on no
+//     closure-local variable means every worker hits the same element.
+//
+// The sanctioned patterns stay silent: per-worker indexing (blockSums[w],
+// out[i+1] with i a closure-local loop variable), reads of captured state,
+// and writes guarded by a condition on a closure-local variable
+// (if w == 0 { ... }).
+package parcapture
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the parcapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "parcapture",
+	Doc:  "worker closures must not write captured variables or shared slices without per-worker indexing",
+	Hint: "give each worker its own slot (indexed by the worker id or a closure-local loop variable), or move the write outside the parallel region",
+	Run:  run,
+}
+
+// parallelCallees are the sched entry points whose closure argument runs
+// concurrently on every worker.
+var parallelCallees = map[string]bool{
+	"RunWorkers":       true,
+	"RunWorkersNamed":  true,
+	"ParallelFor":      true,
+	"ParallelForNamed": true,
+	"runWorkers":       true,
+	"parallelFor":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !parallelCallees[analysis.CalleeName(call)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkWorkerClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWorkerClosure flags races inside one worker-body closure.
+func checkWorkerClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	isLocal := localOracle(pass, lit)
+	guarded := guardedRanges(lit, isLocal)
+
+	inGuard := func(pos token.Pos) bool {
+		for _, r := range guarded {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// exprHasLocal reports whether any identifier in e is closure-local.
+	exprHasLocal := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && isLocal(id) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	checkLhs := func(lhs ast.Expr, rhs ast.Expr) {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" || isLocal(l) {
+				return
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && analysis.CalleeName(call) == "append" {
+				pass.Reportf(lhs.Pos(),
+					"append to captured slice %s races on the slice header across workers", l.Name)
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"worker closure writes captured variable %s: every worker races on the same memory", l.Name)
+		case *ast.IndexExpr:
+			base, ok := l.X.(*ast.Ident)
+			if !ok || isLocal(base) {
+				return
+			}
+			if exprHasLocal(l.Index) {
+				return // per-worker indexing: blockSums[w], out[i+1]
+			}
+			if inGuard(l.Pos()) {
+				return // e.g. if w == 0 { out[0] = ... }
+			}
+			pass.Reportf(lhs.Pos(),
+				"worker closure writes shared slice %s with a worker-independent index: every worker hits the same element", base.Name)
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested closure is not (necessarily) run per-worker; its body
+			// is checked only if it is itself passed to a parallel callee,
+			// which the outer file walk already covers.
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				checkLhs(lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok && !isLocal(id) {
+				pass.Reportf(n.Pos(),
+					"worker closure writes captured variable %s: every worker races on the same memory", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// localOracle returns a predicate reporting whether an identifier resolves to
+// an object declared inside the closure (parameters, := bindings, var decls,
+// range variables). With full type information the test is positional on the
+// object's declaration; without it, the oracle falls back to a textual scan
+// of names declared in the closure.
+func localOracle(pass *analysis.Pass, lit *ast.FuncLit) func(*ast.Ident) bool {
+	info := pass.TypesInfo
+	if info != nil {
+		return func(id *ast.Ident) bool {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj == nil {
+				// Unresolved (e.g. a package name): not a capture hazard.
+				return true
+			}
+			if obj.Pkg() == nil {
+				return false // builtin or universe scope
+			}
+			return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+		}
+	}
+	declared := map[string]bool{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, nm := range f.Names {
+				declared[nm.Name] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						declared[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, nm := range n.Names {
+				declared[nm.Name] = true
+			}
+		}
+		return true
+	})
+	return func(id *ast.Ident) bool { return declared[id.Name] }
+}
+
+// guardedRanges returns the position ranges of if-bodies whose condition
+// mentions a closure-local variable: writes inside them are worker-dependent
+// even with a constant index (the `if w == 0` pattern).
+func guardedRanges(lit *ast.FuncLit, isLocal func(*ast.Ident) bool) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		hasLocal := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && isLocal(id) {
+				hasLocal = true
+				return false
+			}
+			return true
+		})
+		if hasLocal {
+			out = append(out, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}

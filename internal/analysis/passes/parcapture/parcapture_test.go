@@ -1,0 +1,12 @@
+package parcapture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/parcapture"
+)
+
+func TestParcapture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", parcapture.Analyzer)
+}

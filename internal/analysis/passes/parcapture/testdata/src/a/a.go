@@ -1,0 +1,88 @@
+// Package a is the parcapture fixture: mock sched entry points with worker
+// closures exercising the sanctioned and racy capture patterns.
+package a
+
+// RunWorkers mirrors sched.RunWorkers.
+func RunWorkers(n int, body func(w int)) {
+	for w := 0; w < n; w++ {
+		body(w)
+	}
+}
+
+// ParallelFor mirrors sched.ParallelFor.
+func ParallelFor(n, workers int, body func(w, lo, hi int)) {
+	body(0, 0, n)
+}
+
+// perWorker uses the blessed patterns: per-worker slots, closure-local
+// accumulation, self-append through a worker-indexed element.
+func perWorker(n int, in []float64) []float64 {
+	sums := make([]float64, n)
+	bufs := make([][]int32, n)
+	out := make([]float64, len(in))
+	RunWorkers(n, func(w int) {
+		local := 0.0
+		for i := range in {
+			local += in[i]
+			out[i] = in[i] // index is closure-local: clean
+		}
+		sums[w] = local
+		bufs[w] = append(bufs[w], int32(w))
+	})
+	return sums
+}
+
+// chunked writes only its own [lo,hi) slice range: clean.
+func chunked(n int, out []int64) {
+	ParallelFor(n, 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i+1] = int64(i)
+		}
+	})
+}
+
+// guarded writes a constant index behind a worker check: clean.
+func guarded(n int, out []int64) {
+	RunWorkers(n, func(w int) {
+		if w == 0 {
+			out[0] = int64(n)
+		}
+	})
+}
+
+// races accumulates into captured variables from every worker.
+func races(n int, in []float64) float64 {
+	total := 0.0
+	count := 0
+	RunWorkers(n, func(w int) {
+		total += in[w] // want `worker closure writes captured variable total`
+		count++        // want `worker closure writes captured variable count`
+	})
+	return total + float64(count)
+}
+
+// sharedAppend grows one captured slice from every worker.
+func sharedAppend(n int) []int {
+	var shared []int
+	RunWorkers(n, func(w int) {
+		shared = append(shared, w) // want `append to captured slice shared races on the slice header`
+	})
+	return shared
+}
+
+// sameElement writes one element from every worker.
+func sameElement(n int, out []int64) {
+	RunWorkers(n, func(w int) {
+		out[0] = int64(w) // want `worker closure writes shared slice out with a worker-independent index`
+	})
+}
+
+// sequential closures not passed to a parallel entry point are exempt.
+func sequential(in []float64) float64 {
+	total := 0.0
+	add := func(x float64) { total += x }
+	for _, v := range in {
+		add(v)
+	}
+	return total
+}

@@ -1,0 +1,527 @@
+// Package poolpair checks resource checkout/return pairing:
+//
+//   - mempool.Acquire() results must be passed to Release on every
+//     control-flow path out of the acquiring function (defer recommended,
+//     which also covers panics);
+//   - sched.NewPool(...) results must be Closed before the creating
+//     function returns, unless the pool escapes (returned, stored in a
+//     struct, passed along) — in which case ownership moved and the
+//     analyzer stays silent.
+//
+// The check is a small path-sensitive walk over the function body: branch
+// arms are analyzed with copies of the live-resource set and joined with a
+// union (a resource released on only one arm is still reported at the other
+// arm's exit). Loops are walked once; acquire/release cycles balanced within
+// one iteration behave as expected.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "mempool.Acquire/Release and sched.NewPool/Close must be balanced on all paths",
+	Hint: "release on every path: put `defer mempool.Release(s)` (or the Close call) immediately after the checkout",
+	Run:  run,
+}
+
+// pairSpec describes one checkout/return API family.
+type pairSpec struct {
+	acquire string // callee name producing the resource
+	release string // package function releasing it: release(x)
+	method  string // method on the resource releasing it: x.Method()
+}
+
+var specs = []pairSpec{
+	{acquire: "Acquire", release: "Release"},
+	{acquire: "NewPool", method: "Close"},
+}
+
+// acquireSpec returns the pair specification for an acquire callee name.
+func acquireSpec(name string) *pairSpec {
+	for i := range specs {
+		if specs[i].acquire == name {
+			return &specs[i]
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// resource is one tracked checkout.
+type resource struct {
+	obj     types.Object
+	name    string
+	kind    string // printed acquire expression, for messages
+	release string // matching release function name ("" if method-released)
+	method  string // matching release method name ("" if function-released)
+	escaped bool
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	resources map[types.Object]*resource
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, resources: make(map[types.Object]*resource)}
+	c.collect(fd.Body)
+	if len(c.resources) == 0 {
+		return
+	}
+	c.markEscapes(fd.Body)
+	live := make(map[types.Object]bool)
+	if c.walkStmts(fd.Body.List, live) {
+		c.reportLive(fd.Body.Rbrace, live)
+	}
+}
+
+// collect finds `x := Acquire()`-shaped checkouts and discarded checkouts.
+func (c *checker) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				spec := acquireSpec(analysis.CalleeName(call))
+				if spec == nil {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					c.pass.Reportf(call.Pos(),
+						"%s result discarded: the checked-out resource can never be released",
+						analysis.ExprString(call.Fun))
+					continue
+				}
+				obj := c.objectOf(id)
+				if obj == nil {
+					continue
+				}
+				// Method-released pairs only apply when the concrete type
+				// actually has the method: mempool.NewPool and sched.NewPool
+				// share a callee name, but only sched's Pool has Close.
+				if spec.method != "" && !hasMethod(obj.Type(), spec.method) {
+					continue
+				}
+				c.resources[obj] = &resource{
+					obj:     obj,
+					name:    id.Name,
+					kind:    analysis.ExprString(call.Fun),
+					release: spec.release,
+					method:  spec.method,
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if acquireSpec(analysis.CalleeName(call)) != nil {
+					c.pass.Reportf(call.Pos(),
+						"%s result discarded: the checked-out resource can never be released",
+						analysis.ExprString(call.Fun))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasMethod reports whether type t (or *t) has a method with the given name.
+// When type information is missing (t == nil or invalid), it returns true so
+// the analyzer stays conservative in partially typed packages.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.Invalid {
+		return true
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// objectOf resolves an identifier to its object (definition or use).
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	info := c.pass.TypesInfo
+	if info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// markEscapes disables tracking for resources whose variable leaves the
+// function's hands: returned, re-assigned or stored elsewhere, passed to a
+// call other than its release function, placed in a composite literal, or
+// sent on a channel. An escaped resource changed owners; the new owner is
+// responsible for releasing it.
+func (c *checker) markEscapes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				c.escapeIdentsIn(r)
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				// Skip the acquire calls themselves; any other RHS use of a
+				// tracked variable aliases or stores it.
+				if _, ok := r.(*ast.CallExpr); ok {
+					continue
+				}
+				c.escapeIdentsIn(r)
+			}
+		case *ast.CallExpr:
+			name := analysis.CalleeName(n)
+			for _, arg := range n.Args {
+				res := c.resourceFor(arg)
+				if res == nil {
+					c.escapeIdentsIn(arg)
+					continue
+				}
+				if name != res.release {
+					res.escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				c.escapeIdentsIn(e)
+			}
+		case *ast.SendStmt:
+			c.escapeIdentsIn(n.Value)
+		}
+		return true
+	})
+}
+
+// resourceFor returns the tracked resource named directly by e, or nil if e
+// is not a bare tracked identifier.
+func (c *checker) resourceFor(e ast.Expr) *resource {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.objectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return c.resources[obj]
+}
+
+// escapeIdentsIn marks tracked resources mentioned inside e as escaped.
+// Selecting a field or calling a method on the resource (s.buf, s.Ensure(n))
+// uses it in place and is NOT an escape; the bare identifier appearing as a
+// value (returned, stored, passed along) is.
+func (c *checker) escapeIdentsIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if res := c.resourceFor(e); res != nil {
+			res.escaped = true
+		}
+	case *ast.SelectorExpr:
+		// A selection on a bare tracked ident uses it in place; only a
+		// deeper base expression can smuggle the resource out.
+		if _, ok := e.X.(*ast.Ident); !ok {
+			c.escapeIdentsIn(e.X)
+		}
+	case *ast.ParenExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.StarExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.UnaryExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.BinaryExpr:
+		c.escapeIdentsIn(e.X)
+		c.escapeIdentsIn(e.Y)
+	case *ast.IndexExpr:
+		c.escapeIdentsIn(e.X)
+		c.escapeIdentsIn(e.Index)
+	case *ast.SliceExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.KeyValueExpr:
+		c.escapeIdentsIn(e.Value)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			c.escapeIdentsIn(a)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.escapeIdentsIn(el)
+		}
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if res := c.resourceFor(id); res != nil {
+					res.escaped = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// releaseTarget returns the resource a call releases, or nil.
+func (c *checker) releaseTarget(call *ast.CallExpr) *resource {
+	name := analysis.CalleeName(call)
+	// Function form: Release(x).
+	for _, arg := range call.Args {
+		if res := c.resourceFor(arg); res != nil && name == res.release {
+			return res
+		}
+	}
+	// Method form: x.Close().
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if res := c.resourceFor(sel.X); res != nil && name == res.method {
+			return res
+		}
+	}
+	return nil
+}
+
+// walkStmts walks a statement list updating the live set; it reports whether
+// control can fall past the end of the list.
+func (c *checker) walkStmts(stmts []ast.Stmt, live map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !c.walkStmt(s, live) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyLive(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// join unions branch results into dst: a resource live on any surviving
+// branch stays live.
+func join(dst map[types.Object]bool, branches ...map[types.Object]bool) {
+	for _, b := range branches {
+		for k, v := range b {
+			if v {
+				dst[k] = true
+			}
+		}
+	}
+}
+
+// walkStmt processes one statement; it returns false when control cannot
+// continue past it on the current path (return, break, terminating if/else).
+func (c *checker) walkStmt(s ast.Stmt, live map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.scanCalls(s, live)
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || acquireSpec(analysis.CalleeName(call)) == nil {
+				continue
+			}
+			if id, ok := s.Lhs[i].(*ast.Ident); ok {
+				if obj := c.objectOf(id); obj != nil {
+					if res := c.resources[obj]; res != nil && !res.escaped {
+						live[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	case *ast.DeferStmt:
+		c.deferRelease(s.Call, live)
+		return true
+	case *ast.ReturnStmt:
+		c.reportLive(s.Pos(), live)
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, live)
+		}
+		thenLive := copyLive(live)
+		thenFalls := c.walkStmts(s.Body.List, thenLive)
+		elseLive := copyLive(live)
+		elseFalls := true
+		if s.Else != nil {
+			elseFalls = c.walkStmt(s.Else, elseLive)
+		}
+		for k := range live {
+			delete(live, k)
+		}
+		if thenFalls {
+			join(live, thenLive)
+		}
+		if elseFalls {
+			join(live, elseLive)
+		}
+		return thenFalls || elseFalls
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, live)
+	case *ast.ForStmt:
+		bodyLive := copyLive(live)
+		c.walkStmts(s.Body.List, bodyLive)
+		// The loop body may run zero times; keep the union.
+		join(live, bodyLive)
+		return true
+	case *ast.RangeStmt:
+		bodyLive := copyLive(live)
+		c.walkStmts(s.Body.List, bodyLive)
+		join(live, bodyLive)
+		return true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		hasDefault := false
+		anyFalls := false
+		var surviving []map[types.Object]bool
+		for _, cc := range body.List {
+			var stmts []ast.Stmt
+			switch cl := cc.(type) {
+			case *ast.CaseClause:
+				stmts = cl.Body
+				if cl.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				stmts = cl.Body
+				if cl.Comm == nil {
+					hasDefault = true
+				}
+			}
+			caseLive := copyLive(live)
+			if c.walkStmts(stmts, caseLive) {
+				anyFalls = true
+				surviving = append(surviving, caseLive)
+			}
+		}
+		if hasDefault {
+			// Exactly one arm runs: replace live with the union of the
+			// surviving arms.
+			for k := range live {
+				delete(live, k)
+			}
+			join(live, surviving...)
+			return anyFalls
+		}
+		// No default: the switch may be skipped entirely, so the incoming
+		// state also survives.
+		join(live, surviving...)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; the release may follow
+		// the loop, so do not report here.
+		return false
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, live)
+	default:
+		if s != nil {
+			c.scanCalls(s, live)
+		}
+		return true
+	}
+}
+
+// scanCalls clears liveness for any release calls nested in the statement.
+func (c *checker) scanCalls(s ast.Stmt, live map[types.Object]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if res := c.releaseTarget(call); res != nil {
+				live[res.obj] = false
+			}
+		}
+		return true
+	})
+}
+
+// deferRelease handles `defer Release(s)`, `defer p.Close()`, and defers of
+// closures whose bodies contain the release. Deferred releases run on every
+// exit path including panics, so the resource is simply no longer live.
+func (c *checker) deferRelease(call *ast.CallExpr, live map[types.Object]bool) {
+	if res := c.releaseTarget(call); res != nil {
+		live[res.obj] = false
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if res := c.releaseTarget(inner); res != nil {
+					live[res.obj] = false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportLive reports every still-live, still-tracked resource at an exit.
+func (c *checker) reportLive(pos token.Pos, live map[types.Object]bool) {
+	var out []*resource
+	for obj, isLive := range live {
+		if !isLive {
+			continue
+		}
+		if res := c.resources[obj]; res != nil && !res.escaped {
+			out = append(out, res)
+		}
+	}
+	// Stable order for deterministic diagnostics.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].name < out[i].name {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	for _, res := range out {
+		want := "Release(" + res.name + ")"
+		if res.method != "" {
+			want = res.name + "." + res.method + "()"
+		}
+		c.pass.Reportf(pos,
+			"%s checked out by %s is not released on this path (missing %s)",
+			res.name, res.kind, want)
+	}
+}

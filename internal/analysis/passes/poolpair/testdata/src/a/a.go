@@ -1,0 +1,124 @@
+// Package a is the poolpair fixture: mock checkout APIs with the mempool
+// and sched shapes.
+package a
+
+// Scratch mirrors mempool.Scratch.
+type Scratch struct{ buf []int64 }
+
+// Acquire / Release mirror the mempool free-list checkout API.
+func Acquire() *Scratch  { return &Scratch{} }
+func Release(s *Scratch) {}
+
+// Pool mirrors sched.Pool: created by NewPool, retired by Close.
+type Pool struct{}
+
+func NewPool(n int) *Pool                { return &Pool{} }
+func (p *Pool) Close()                   {}
+func (p *Pool) Run(f func(w int), n int) {}
+
+// FlatPool mirrors mempool.Pool: same constructor name, but no Close method,
+// so the analyzer must not demand one.
+type FlatPool struct{}
+
+func NewFlatPool(n int) *FlatPool { return &FlatPool{} }
+
+func fallible() error { return nil }
+
+// deferred is the recommended form: released on every path, panics included.
+func deferred() error {
+	s := Acquire()
+	defer Release(s)
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// linear releases on the single path: clean.
+func linear() {
+	s := Acquire()
+	_ = s.buf
+	Release(s)
+}
+
+// branches releases on both arms: clean.
+func branches(cond bool) {
+	s := Acquire()
+	if cond {
+		Release(s)
+		return
+	}
+	Release(s)
+}
+
+// earlyReturn leaks the scratch on the error path.
+func earlyReturn() error {
+	s := Acquire()
+	if err := fallible(); err != nil {
+		return err // want `s checked out by Acquire is not released on this path`
+	}
+	Release(s)
+	return nil
+}
+
+// fallsOffEnd never releases at all.
+func fallsOffEnd() {
+	s := Acquire()
+	_ = s.buf
+} // want `s checked out by Acquire is not released on this path`
+
+// discarded throws the checkout away immediately.
+func discarded() {
+	Acquire() // want `Acquire result discarded`
+}
+
+// escapes hands the scratch to its caller: ownership moved, stay silent.
+func escapes() *Scratch {
+	s := Acquire()
+	return s
+}
+
+// handedOff passes the scratch to another function: ownership moved.
+func handedOff(consume func(*Scratch)) {
+	s := Acquire()
+	consume(s)
+}
+
+// poolClosed pairs NewPool with Close: clean.
+func poolClosed() {
+	p := NewPool(4)
+	defer p.Close()
+	p.Run(func(w int) {}, 4)
+}
+
+// poolLeaked creates a worker pool and forgets to Close it.
+func poolLeaked() {
+	p := NewPool(4)
+	p.Run(func(w int) {}, 4)
+} // want `p checked out by NewPool is not released on this path`
+
+// flatPool has no Close method to call; the analyzer must not demand one.
+func flatPool() {
+	p := NewFlatPool(4)
+	_ = p
+}
+
+// loopBalanced acquires and releases within each iteration: clean.
+func loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		s := Acquire()
+		_ = s.buf
+		Release(s)
+	}
+}
+
+// switchDefault releases in every arm of a defaulted switch: clean.
+func switchDefault(x int) {
+	s := Acquire()
+	switch x {
+	case 0:
+		Release(s)
+	default:
+		Release(s)
+	}
+}

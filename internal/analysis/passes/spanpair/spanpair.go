@@ -1,0 +1,127 @@
+// Package spanpair checks the obs.Tracer span discipline:
+//
+//  1. Every tracer Begin(lane, name) must have a matching End(lane, name) —
+//     same name expression — somewhere in the same top-level function
+//     (including inside defers and nested closures, which is where the
+//     worker-wrapping idiom puts them). A Begin with no matching End leaves
+//     the span open forever and corrupts the Chrome trace and the imbalance
+//     report; an End with no Begin closes someone else's span.
+//
+//  2. The process tracer must be nil-checked before use: obs.Active()
+//     returns nil when tracing is disabled, so chained calls like
+//     obs.Active().Begin(...) are a latent panic on every disabled-tracing
+//     run (exactly the configuration benchmarks use).
+//
+// The pairing check is intentionally name-textual: it compares the printed
+// form of the name argument, which pairs tr.Begin(w+1, name) with
+// tr.End(w+1, name) across a worker closure without a control-flow graph.
+package spanpair
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the spanpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "tracer Begin/End spans must pair up and obs.Active() must be nil-checked",
+	Hint: "every tracer Begin needs an End with the same span name on all paths; hold obs.Active() in a variable and nil-check it before calling tracer methods",
+	Run:  run,
+}
+
+// tracerCall describes one Begin/End call site.
+type tracerCall struct {
+	pos  ast.Node
+	name string // printed form of the span-name argument
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var begins, ends []tracerCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Check 2: method call chained directly onto Active().
+		if inner, ok := sel.X.(*ast.CallExpr); ok {
+			if analysis.CalleeName(inner) == "Active" {
+				pass.Reportf(call.Pos(),
+					"method call on unchecked obs.Active() result (nil when tracing is disabled)")
+				return true // don't also drag it into span pairing
+			}
+		}
+		// Check 1: collect Begin/End on Tracer receivers.
+		if !isTracerReceiver(pass, call) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Begin":
+			if len(call.Args) == 2 {
+				begins = append(begins, tracerCall{pos: call, name: analysis.ExprString(call.Args[1])})
+			}
+		case "End":
+			if len(call.Args) == 2 {
+				ends = append(ends, tracerCall{pos: call, name: analysis.ExprString(call.Args[1])})
+			}
+		}
+		return true
+	})
+
+	// Pair Begins against Ends by span-name text.
+	remaining := make(map[string]int)
+	for _, e := range ends {
+		remaining[e.name]++
+	}
+	for _, b := range begins {
+		if remaining[b.name] > 0 {
+			remaining[b.name]--
+			continue
+		}
+		pass.Reportf(b.pos.Pos(),
+			"tracer span %s opened but never ended in this function", b.name)
+	}
+	// Surplus Ends: more Ends than Begins for a name.
+	opened := make(map[string]int)
+	for _, b := range begins {
+		opened[b.name]++
+	}
+	for _, e := range ends {
+		if opened[e.name] > 0 {
+			opened[e.name]--
+			continue
+		}
+		pass.Reportf(e.pos.Pos(),
+			"tracer span %s ended but never opened in this function", e.name)
+	}
+}
+
+// isTracerReceiver reports whether the method call's receiver is an
+// obs.Tracer (by named-type name; falls back to accepting when type
+// information is unavailable).
+func isTracerReceiver(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := analysis.ReceiverTypeName(pass.TypesInfo, call)
+	if name == "" {
+		// Partial type info: match on the method-name shape alone.
+		return true
+	}
+	return name == "Tracer"
+}

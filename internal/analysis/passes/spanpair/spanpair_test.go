@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", spanpair.Analyzer)
+}

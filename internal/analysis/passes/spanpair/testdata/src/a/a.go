@@ -1,0 +1,65 @@
+// Package a is the spanpair fixture: a mock Tracer with the obs API shape.
+package a
+
+// Tracer mirrors obs.Tracer's span methods.
+type Tracer struct{}
+
+func (t *Tracer) Begin(lane int, name string) {}
+func (t *Tracer) End(lane int, name string)   {}
+
+// Active mirrors obs.Active: nil when tracing is disabled.
+func Active() *Tracer { return nil }
+
+// paired opens and closes the same span: clean.
+func paired(tr *Tracer, w int) {
+	tr.Begin(w+1, "numeric")
+	work()
+	tr.End(w+1, "numeric")
+}
+
+// pairedAcrossClosure is the pool.go idiom: Begin/End inside a wrapping
+// closure, matched within the same top-level function.
+func pairedAcrossClosure(tr *Tracer, name string) {
+	body := func(w int) {
+		tr.Begin(w+1, name)
+		work()
+		tr.End(w+1, name)
+	}
+	body(0)
+}
+
+// pairedViaDefer closes the span in a defer: clean.
+func pairedViaDefer(tr *Tracer) {
+	tr.Begin(0, "phase")
+	defer tr.End(0, "phase")
+	work()
+}
+
+// leaks opens a span and forgets it.
+func leaks(tr *Tracer) {
+	tr.Begin(0, "symbolic") // want `tracer span "symbolic" opened but never ended`
+	work()
+}
+
+// mismatched closes a different span than it opened.
+func mismatched(tr *Tracer) {
+	tr.Begin(0, "alloc") // want `tracer span "alloc" opened but never ended`
+	work()
+	tr.End(0, "assemble") // want `tracer span "assemble" ended but never opened`
+}
+
+// chained calls a tracer method on the unchecked Active() result.
+func chained() {
+	Active().Begin(0, "oops") // want `method call on unchecked (obs\.)?Active\(\) result`
+}
+
+// guarded is the correct disabled-tracing pattern.
+func guarded() {
+	if tr := Active(); tr != nil {
+		tr.Begin(0, "ok")
+		work()
+		tr.End(0, "ok")
+	}
+}
+
+func work() {}

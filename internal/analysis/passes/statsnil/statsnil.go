@@ -1,0 +1,155 @@
+// Package statsnil checks that instrumentation pointers are nil-guarded.
+// Stats collection is optional everywhere in this codebase: Options.Stats is
+// a *ExecStats that is nil unless the caller opted in, and per-worker
+// *WorkerStats lookups return nil for out-of-range workers. Dereferencing
+// either without a guard panics precisely on the default (uninstrumented)
+// configuration, which plain tests rarely cover.
+//
+// A use is considered guarded when the same function contains a textual
+// nil comparison of the same expression (s != nil / s == nil), when the
+// expression is the method's own receiver (methods are entered with the
+// caller holding a non-nil value or are themselves nil-safe), or when the
+// called method is on the nil-safe allowlist (addPhase documents its own
+// nil-receiver check).
+package statsnil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statsnil pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsnil",
+	Doc:  "Options.Stats / ExecStats / WorkerStats pointers must be nil-checked before use",
+	Hint: "wrap the use in `if s != nil { ... }` (or call a nil-safe method like addPhase); stats are nil on every uninstrumented run",
+	Run:  run,
+}
+
+// guardedTypes are the named types whose *pointer* uses require a guard.
+var guardedTypes = map[string]bool{
+	"ExecStats":   true,
+	"WorkerStats": true,
+}
+
+// nilSafeMethods may be called on a nil receiver by documented contract.
+var nilSafeMethods = map[string]bool{
+	"addPhase": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Tests build concrete stats by hand and dereference them freely; a
+		// nil slip there fails the test run loudly. The guard discipline is
+		// about production code running uninstrumented, so _test.go files
+		// are out of scope.
+		if pass.Fset != nil &&
+			strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverName(fd)
+	guards := nilComparisons(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := pointerStatsType(pass.TypesInfo, sel.X)
+		if name == "" {
+			return true
+		}
+		if nilSafeMethods[sel.Sel.Name] {
+			return true
+		}
+		expr := analysis.ExprString(sel.X)
+		if expr == recv {
+			return true
+		}
+		if guards[expr] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"possible nil dereference: %s (*%s) is used without a nil check in this function",
+			expr, name)
+		// Don't descend: a.b.c would re-report the inner selector.
+		return false
+	})
+}
+
+// receiverName returns the name of fd's receiver variable, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// pointerStatsType returns the guarded type name when e's static type is a
+// pointer to one of the guarded named types, else "".
+func pointerStatsType(info *types.Info, e ast.Expr) string {
+	if info == nil {
+		return ""
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if !guardedTypes[name] {
+		return ""
+	}
+	return name
+}
+
+// nilComparisons collects the printed forms of every expression compared
+// against nil anywhere in the body (s != nil, s == nil, including inside
+// && / || chains and if-init statements). The check is intentionally
+// function-scoped and textual: a guard anywhere in the function blesses all
+// uses of that expression, which matches how the codebase writes its guards
+// (one `if x.Stats != nil { ... }` block per function).
+func nilComparisons(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if isNilIdent(bin.Y) {
+			out[analysis.ExprString(bin.X)] = true
+		} else if isNilIdent(bin.X) {
+			out[analysis.ExprString(bin.Y)] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

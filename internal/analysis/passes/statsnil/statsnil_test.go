@@ -1,0 +1,12 @@
+package statsnil_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/statsnil"
+)
+
+func TestStatsnil(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", statsnil.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package a is the statsnil fixture: mock stats types with the spgemm shapes.
+package a
+
+// ExecStats mirrors spgemm.ExecStats.
+type ExecStats struct {
+	Flops   int64
+	Workers []WorkerStats
+}
+
+func (s *ExecStats) addPhase(p, d int64) {
+	if s == nil {
+		return
+	}
+	s.Flops += d
+}
+
+func (s *ExecStats) reset() { s.Flops = 0 }
+
+// WorkerStats mirrors spgemm.WorkerStats.
+type WorkerStats struct{ Rows int64 }
+
+// Options mirrors spgemm.Options.
+type Options struct{ Stats *ExecStats }
+
+func worker(i int) *WorkerStats { return nil }
+
+// guardedUse is the codebase's standard pattern: clean.
+func guardedUse(opt Options) {
+	if opt.Stats != nil {
+		opt.Stats.Flops++
+		opt.Stats.reset()
+	}
+}
+
+// nilSafeCall relies on addPhase's documented nil-receiver check: clean.
+func nilSafeCall(opt Options) {
+	opt.Stats.addPhase(0, 1)
+}
+
+// guardedWorker nil-checks the per-worker lookup: clean.
+func guardedWorker(i int) int64 {
+	ws := worker(i)
+	if ws == nil {
+		return 0
+	}
+	return ws.Rows
+}
+
+// unguardedField dereferences the optional stats pointer directly.
+func unguardedField(opt Options) {
+	opt.Stats.Flops++ // want `possible nil dereference: opt\.Stats \(\*ExecStats\)`
+}
+
+// unguardedCall calls a non-nil-safe method without a guard.
+func unguardedCall(opt Options) {
+	opt.Stats.reset() // want `possible nil dereference: opt\.Stats \(\*ExecStats\)`
+}
+
+// unguardedWorker uses the lookup result without checking it.
+func unguardedWorker(i int) int64 {
+	ws := worker(i)
+	return ws.Rows // want `possible nil dereference: ws \(\*WorkerStats\)`
+}
+
+// methodBody: the receiver itself is exempt (reset is entered non-nil or is
+// the caller's problem), but addPhase still guards explicitly above.
+func (s *ExecStats) bump() { s.Flops++ }

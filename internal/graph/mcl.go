@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/matrix"
+	"repro/internal/mempool"
 	"repro/internal/spgemm"
 )
 
@@ -138,10 +139,15 @@ func normalizeRows(m *matrix.CSR) {
 
 // inflate raises entries to the power r, prunes entries below the threshold
 // (always keeping each row's maximum), and renormalizes rows. The matrix is
-// compacted in place.
+// compacted in place. The compacted row-pointer array is staged in a
+// checked-out scratch buffer and copied back over m.RowPtr, so the per-MCL-
+// iteration allocation this used to make is gone after the first iteration.
 func inflate(m *matrix.CSR, r, prune float64) {
+	scratch := mempool.Acquire()
+	defer mempool.Release(scratch)
 	out := int64(0)
-	newPtr := make([]int64, m.Rows+1)
+	newPtr := scratch.EnsureInt64A(m.Rows + 1)
+	newPtr[0] = 0
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		var sum, max float64
@@ -176,7 +182,7 @@ func inflate(m *matrix.CSR, r, prune float64) {
 		}
 		newPtr[i+1] = out
 	}
-	m.RowPtr = newPtr
+	copy(m.RowPtr, newPtr)
 	m.ColIdx = m.ColIdx[:out]
 	m.Val = m.Val[:out]
 }

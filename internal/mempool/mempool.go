@@ -13,6 +13,8 @@ package mempool
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -132,6 +134,55 @@ func (p *Pool) Ensure(workers int) {
 }
 
 // ---------------------------------------------------------------------------
+// Transient checkout: a process-wide Scratch free list.
+// ---------------------------------------------------------------------------
+
+// The per-worker Pool covers parallel regions, where worker w owns Get(w).
+// Sequential driver code (graph-app post-passes, per-iteration compaction)
+// also needs reusable temp buffers but has no worker index; it checks a
+// Scratch out of this free list and returns it when done. Checkouts are
+// expected to be coarse — per call or per iteration, never per row — so one
+// mutex round trip each way is noise.
+var (
+	freeMu   sync.Mutex
+	freeList []*Scratch
+
+	mOutstanding = obs.NewGauge("mempool_acquired_scratch",
+		"Scratch buffers checked out via Acquire and not yet Released")
+)
+
+// Acquire checks a Scratch out of the process-wide free list, allocating a
+// fresh one when the list is empty. Every Acquire must be paired with exactly
+// one Release on all control-flow paths, early returns and panics included —
+// `defer mempool.Release(s)` directly after Acquire is the recommended form.
+// The pairing is enforced by spgemm-lint's poolpair analyzer.
+func Acquire() *Scratch {
+	mOutstanding.Add(1)
+	freeMu.Lock()
+	if n := len(freeList); n > 0 {
+		s := freeList[n-1]
+		freeList = freeList[:n-1]
+		freeMu.Unlock()
+		return s
+	}
+	freeMu.Unlock()
+	return &Scratch{}
+}
+
+// Release returns a Scratch obtained from Acquire to the free list. The
+// caller must not use s afterwards. The buffers keep their high-water-mark
+// capacity, so a steady-state Acquire/use/Release cycle allocates nothing.
+func Release(s *Scratch) {
+	if s == nil {
+		return
+	}
+	mOutstanding.Add(-1)
+	freeMu.Lock()
+	freeList = append(freeList, s)
+	freeMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 4: single vs parallel allocation/deallocation round trips.
 // ---------------------------------------------------------------------------
 
@@ -200,11 +251,12 @@ func MeasureParallel(totalBytes, workers int) AllocTiming {
 	return AllocTiming{Alloc: alloc, Dealloc: dealloc}
 }
 
-// sinkByte defeats dead-store elimination of the touch loops.
-var sinkByte byte
+// sinkByte defeats dead-store elimination of the touch loops. It is written
+// concurrently by every worker of MeasureParallel, so the update is atomic.
+var sinkByte atomic.Uint32
 
 func sink(b []byte) {
 	if len(b) > 0 {
-		sinkByte += b[0]
+		sinkByte.Add(uint32(b[0]))
 	}
 }

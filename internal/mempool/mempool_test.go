@@ -119,3 +119,28 @@ func TestPoolEnsureGrowsPreservingScratch(t *testing.T) {
 		t.Fatalf("Workers shrank to %d", p.Workers())
 	}
 }
+
+func TestAcquireReleaseRecyclesScratch(t *testing.T) {
+	// Drain anything other tests parked so the identity check below is
+	// deterministic for this test's own buffers.
+	var drained []*Scratch
+	for i := 0; i < 64; i++ {
+		drained = append(drained, Acquire())
+	}
+	s := drained[len(drained)-1]
+	s.EnsureInt64A(1 << 10)[0] = 11
+	Release(s)
+	got := Acquire()
+	if got != s {
+		t.Fatal("Acquire did not pop the most recently released Scratch")
+	}
+	if cap(got.Int64A) < 1<<10 {
+		t.Fatalf("high-water capacity lost: cap=%d", cap(got.Int64A))
+	}
+	Release(got)
+	for _, d := range drained[:len(drained)-1] {
+		Release(d)
+	}
+	// Release(nil) must be a safe no-op (deferred releases on error paths).
+	Release(nil)
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"testing"
+)
+
+// FuzzBalancedPartition drives RowsToThreads (Figure 6) and its prefix-sum
+// substrate with arbitrary weight vectors, checking structural invariants
+// rather than exact offsets: the partition must cover [0, n] with monotone
+// boundaries for any input, including the empty matrix, a single mega-row
+// holding all the work, and more workers than rows.
+func FuzzBalancedPartition(f *testing.F) {
+	// Seeds for the boundary shapes named above. Weights are encoded as a
+	// byte string (one weight per byte) so the fuzzer can mutate freely;
+	// parts/workers ride along as small ints.
+	f.Add([]byte{}, 4, 2)              // no rows at all
+	f.Add([]byte{255}, 8, 4)           // single mega-row, nrows < parts
+	f.Add([]byte{0, 0, 0, 0}, 2, 2)    // all-zero weights
+	f.Add([]byte{1, 2, 3, 4, 5}, 3, 1) // plain case, serial prefix sum
+	f.Add([]byte{0, 200, 0, 0, 200, 0, 0, 0, 200}, 3, 3)
+	f.Add([]byte{9, 9, 9}, 16, 8) // far more parts than rows
+
+	f.Fuzz(func(t *testing.T, raw []byte, parts, workers int) {
+		if len(raw) > 1<<12 || parts > 1<<10 || workers > 1<<8 {
+			t.Skip("bounded problem sizes")
+		}
+		weights := make([]int64, len(raw))
+		for i, b := range raw {
+			weights[i] = int64(b)
+		}
+		n := len(weights)
+
+		offsets := BalancedPartitionInto(weights, parts, workers, nil, nil)
+
+		wantParts := parts
+		if wantParts <= 0 {
+			wantParts = 1
+		}
+		if len(offsets) != wantParts+1 {
+			t.Fatalf("len(offsets) = %d, want %d", len(offsets), wantParts+1)
+		}
+		if offsets[0] != 0 {
+			t.Fatalf("offsets[0] = %d, want 0", offsets[0])
+		}
+		if n > 0 && offsets[wantParts] != n {
+			t.Fatalf("offsets[parts] = %d, want %d", offsets[wantParts], n)
+		}
+		for i := 1; i < len(offsets); i++ {
+			if offsets[i] < offsets[i-1] {
+				t.Fatalf("offsets not monotone at %d: %v", i, offsets)
+			}
+			if offsets[i] < 0 || offsets[i] > n {
+				t.Fatalf("offsets[%d] = %d out of range [0,%d]", i, offsets[i], n)
+			}
+		}
+
+		// Prefix-sum invariants on the same weights: correct totals and
+		// agreement between the serial and parallel paths.
+		ps := PrefixSum(weights, nil, workers)
+		if len(ps) != n+1 || ps[0] != 0 {
+			t.Fatalf("prefix sum shape: len=%d ps[0]=%d", len(ps), ps[0])
+		}
+		var acc int64
+		for i, w := range weights {
+			acc += w
+			if ps[i+1] != acc {
+				t.Fatalf("ps[%d] = %d, want %d", i+1, ps[i+1], acc)
+			}
+		}
+
+		// LowerBound must bracket every boundary target consistently.
+		for i := 1; i < len(ps); i++ {
+			idx := LowerBound(ps, ps[i])
+			if idx > i || ps[idx] != ps[i] {
+				t.Fatalf("LowerBound(ps, ps[%d]) = %d (ps[idx]=%d, want value %d)",
+					i, idx, ps[idx], ps[i])
+			}
+		}
+
+		// Reusing caller buffers must produce the identical partition.
+		again := BalancedPartitionInto(weights, parts, workers,
+			make([]int, wantParts+1), make([]int64, n+1))
+		for i := range offsets {
+			if offsets[i] != again[i] {
+				t.Fatalf("buffer-reuse mismatch at %d: %v vs %v", i, offsets, again)
+			}
+		}
+	})
+}

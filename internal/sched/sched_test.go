@@ -39,10 +39,10 @@ func TestParallelForCoversEveryIndexExactlyOnce(t *testing.T) {
 }
 
 func TestParallelForZeroAndNegativeN(t *testing.T) {
-	called := false
-	ParallelFor(4, 0, Static, 1, func(w, lo, hi int) { called = true })
-	ParallelFor(4, -3, Dynamic, 1, func(w, lo, hi int) { called = true })
-	if called {
+	var called atomic.Bool
+	ParallelFor(4, 0, Static, 1, func(w, lo, hi int) { called.Store(true) })
+	ParallelFor(4, -3, Dynamic, 1, func(w, lo, hi int) { called.Store(true) })
+	if called.Load() {
 		t.Fatal("body called for empty range")
 	}
 }
@@ -62,15 +62,15 @@ func TestParallelForWorkerIDsInRange(t *testing.T) {
 
 func TestParallelForSingleWorkerIsSequential(t *testing.T) {
 	// With one worker the body must see the whole range in one call.
-	calls := 0
+	var calls atomic.Int32
 	ParallelFor(1, 57, Guided, 1, func(w, lo, hi int) {
-		calls++
+		calls.Add(1)
 		if w != 0 || lo != 0 || hi != 57 {
 			t.Fatalf("unexpected call (%d, %d, %d)", w, lo, hi)
 		}
 	})
-	if calls != 1 {
-		t.Fatalf("calls = %d", calls)
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d", calls.Load())
 	}
 }
 

@@ -1,0 +1,122 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accum"
+	"repro/internal/gen"
+	"repro/internal/mempool"
+	"repro/internal/obs"
+)
+
+// These tests pin the steady-state allocation behavior the hot paths are
+// built around: once scratch state has reached its high-water mark, the
+// per-row and per-call numeric work must not touch the heap. A regression
+// here is exactly the class of bug the hotalloc analyzer and the escape
+// budget guard against at the source level; this is the runtime check.
+
+// requireZeroAllocs runs f once to warm high-water marks, then asserts zero
+// allocations per run.
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // reach steady state
+	if n := testing.AllocsPerRun(20, f); n != 0 {
+		t.Errorf("%s: %v allocs/op in steady state, want 0", name, n)
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if obs.Active() != nil {
+		t.Skip("tracing enabled; allocation pinning requires the disabled-obs configuration")
+	}
+
+	t.Run("HashTableCycle", func(t *testing.T) {
+		h := accum.NewHashTable(256)
+		cols := make([]int32, 256)
+		vals := make([]float64, 256)
+		requireZeroAllocs(t, "hash accumulate/extract", func() {
+			h.Reset()
+			for k := int32(0); k < 200; k++ {
+				h.Accumulate(k*7%251, float64(k))
+			}
+			h.ExtractSorted(cols, vals)
+		})
+	})
+
+	t.Run("MergeHeapCycle", func(t *testing.T) {
+		h := accum.NewMergeHeap(64)
+		requireZeroAllocs(t, "heap push/pop", func() {
+			h.Reset()
+			for k := 0; k < 64; k++ {
+				h.Push(int32(97-k), float64(k), 0, 1)
+			}
+			for h.Len() > 0 {
+				h.PopMin()
+			}
+		})
+	})
+
+	t.Run("ScratchEnsureAtHighWater", func(t *testing.T) {
+		var s mempool.Scratch
+		requireZeroAllocs(t, "Ensure*", func() {
+			s.EnsureInt32A(512)
+			s.EnsureInt64A(512)
+			s.EnsureFloat64(512)
+		})
+	})
+
+	t.Run("AcquireReleaseCycle", func(t *testing.T) {
+		// Warm the free list so the cycle recycles instead of allocating.
+		warm := mempool.Acquire()
+		warm.EnsureInt64A(1024)
+		mempool.Release(warm)
+		requireZeroAllocs(t, "Acquire/Release", func() {
+			s := mempool.Acquire()
+			buf := s.EnsureInt64A(1024)
+			buf[0] = 1
+			mempool.Release(s)
+		})
+	})
+
+	t.Run("DisabledStatsPhaseTimer", func(t *testing.T) {
+		// With Stats == nil the phase timer must cost nothing.
+		pt := startPhases(nil, 1)
+		requireZeroAllocs(t, "phaseTimer", func() {
+			pt.tick(PhaseSymbolic)
+			pt.tick(PhaseNumeric)
+			pt.finish()
+		})
+	})
+}
+
+// TestContextReuseSteadyAllocs pins the per-call allocation count of a
+// Context-reused Multiply: after warmup the only allocations left are the
+// output matrix's three arrays plus the result header — per-row numeric
+// state must come from the Context's cached tables.
+func TestContextReuseSteadyAllocs(t *testing.T) {
+	if obs.Active() != nil {
+		t.Skip("tracing enabled")
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := gen.ER(200, 8, rng)
+	for _, alg := range []Algorithm{AlgHash, AlgHashVec, AlgHeap} {
+		t.Run(alg.String(), func(t *testing.T) {
+			opt := &Options{Algorithm: alg, Workers: 1, Context: NewContext()}
+			run := func() {
+				if _, err := Multiply(a, a, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the context's tables and partitions
+			allocs := testing.AllocsPerRun(10, run)
+			// Output CSR: RowPtr + ColIdx + Val + header, plus minor
+			// per-call bookkeeping. The bound is deliberately tight: the
+			// seed measured 4-8 depending on algorithm; growth past 16
+			// means per-row state stopped being reused.
+			if allocs > 16 {
+				t.Errorf("Multiply with Context: %v allocs/op, want <= 16 (output-only)", allocs)
+			}
+		})
+	}
+}

@@ -119,6 +119,8 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 // sortInt32Float64 sorts cols ascending carrying vals, same contract as
 // accum's sortPairs but local to avoid exporting that helper; quicksort with
 // median-of-three and insertion-sort base case.
+//
+//spgemm:hotpath
 func sortInt32Float64(cols []int32, vals []float64) {
 	for len(cols) > 24 {
 		n := len(cols)

@@ -31,6 +31,8 @@ func heapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 
 // heapRow merges output row i into cols/vals (which must hold at least
 // flop(i) entries) and returns the number of entries produced.
+//
+//spgemm:hotpath
 func heapRow(a, b *matrix.CSR, i int, h *accum.MergeHeap, cols []int32, vals []float64, opt *Options) int {
 	h.Reset()
 	alo, ahi := a.RowPtr[i], a.RowPtr[i+1]

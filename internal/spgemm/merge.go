@@ -150,6 +150,8 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 // mergeSegments merges two sorted segments of (srcC, srcV), combining equal
 // columns, into (dstC, dstV) starting at out; returns the new output cursor.
 // A nil semiring means plus-times.
+//
+//spgemm:hotpath
 func mergeSegments(srcC []int32, srcV []float64, s1, s2 [2]int64, dstC []int32, dstV []float64, out int64, sr *semiring.Semiring) int64 {
 	p, pe := s1[0], s1[1]
 	q, qe := s2[0], s2[1]

@@ -282,6 +282,8 @@ func perRowFlop(a, b *matrix.CSR) []int64 {
 // size) of the paper's Figure 7. A matrix with no columns needs no
 // accumulator capacity at all, so cols == 0 yields 0 (the accumulator
 // constructors apply their own minimum capacities).
+//
+//spgemm:hotpath
 func capBound(bound int64, cols int) int64 {
 	if bound > int64(cols) {
 		bound = int64(cols)
@@ -294,6 +296,8 @@ func capBound(bound int64, cols int) int64 {
 
 // loadMask fills the worker's mask table with the column pattern of mask row
 // i.
+//
+//spgemm:hotpath
 func loadMask(maskAcc *accum.HashTable, mask *matrix.CSR, i int) {
 	maskAcc.Reset()
 	lo, hi := mask.RowPtr[i], mask.RowPtr[i+1]
