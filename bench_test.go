@@ -18,6 +18,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/mempool"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 	"repro/internal/spgemm"
 )
 
@@ -236,6 +237,54 @@ func BenchmarkFig17Triangle(b *testing.B) {
 				}
 			}
 			reportMFLOPS(b, f.triangle.L, f.triangle.U)
+		})
+	}
+}
+
+// --- Generic value/semiring layer: narrow-value bandwidth ------------------
+
+// The monomorphized kernels run unchanged over narrower value types, cutting
+// value-array traffic 2x (float32) and 8x (bool) against float64.
+// ReportAllocs attaches B/op so the footprint shift is visible without
+// -benchmem; the f64 subbenchmarks are the in-place baseline.
+
+func BenchmarkGenericF32Square(b *testing.B) {
+	f := fx(b)
+	a32 := matrix.MapValues(f.g500, func(v float64) float32 { return float32(v) })
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec} {
+		b.Run(fmt.Sprintf("%v/f64", alg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spgemm.MultiplyRing(semiring.PlusTimesF64{}, f.g500, f.g500, &spgemm.OptionsG[float64]{Algorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMFLOPS(b, f.g500, f.g500)
+		})
+		b.Run(fmt.Sprintf("%v/f32", alg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spgemm.MultiplyRing(semiring.PlusTimesF32{}, a32, a32, &spgemm.OptionsG[float32]{Algorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Same structure as the f64 track, so the flop count carries over.
+			reportMFLOPS(b, f.g500, f.g500)
+		})
+	}
+}
+
+func BenchmarkGenericBoolMSBFS(b *testing.B) {
+	f := fx(b)
+	sources := []int32{0, 7, 42, 99, 512, 777, 900, 1013}
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.MSBFS(f.g500, sources, &spgemm.Options{Algorithm: alg}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

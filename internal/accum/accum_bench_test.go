@@ -36,7 +36,7 @@ func BenchmarkAblationHashing(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				h.Reset()
 				for _, k := range keys {
-					h.Accumulate(k, 1)
+					plusAcc(h, k, 1)
 				}
 			}
 			b.ReportMetric(float64(h.Probes())/float64(h.Lookups()), "probes/op")
@@ -55,7 +55,7 @@ func BenchmarkAblationChunkWidth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				h.Reset()
 				for _, k := range keys {
-					h.Accumulate(k, 1)
+					plusAcc(h, k, 1)
 				}
 			}
 		})
@@ -78,13 +78,13 @@ func BenchmarkAblationAccumulators(b *testing.B) {
 		})
 	}
 	h := NewHashTable(8192)
-	run("hash", h.Reset, func(k int32) { h.Accumulate(k, 1) })
+	run("hash", h.Reset, func(k int32) { plusAcc(h, k, 1) })
 	hv := NewHashVecTable(8192)
-	run("hashvec", hv.Reset, func(k int32) { hv.Accumulate(k, 1) })
+	run("hashvec", hv.Reset, func(k int32) { plusAcc(hv, k, 1) })
 	s := NewSPA(4096)
-	run("spa", s.Reset, func(k int32) { s.Accumulate(k, 1) })
+	run("spa", s.Reset, func(k int32) { plusAcc(s, k, 1) })
 	tl := NewTwoLevelHash(0)
-	run("twolevel", tl.Reset, func(k int32) { tl.Accumulate(k, 1) })
+	run("twolevel", tl.Reset, func(k int32) { plusAcc(tl, k, 1) })
 	m := map[int32]float64{}
 	run("gomap", func() { clear(m) }, func(k int32) { m[k] += 1 })
 }
@@ -99,7 +99,7 @@ func BenchmarkAblationPool(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h.Reset()
 			for _, k := range keys {
-				h.Accumulate(k, 1)
+				plusAcc(h, k, 1)
 			}
 		}
 	})
@@ -107,7 +107,7 @@ func BenchmarkAblationPool(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h := NewHashTable(1024)
 			for _, k := range keys {
-				h.Accumulate(k, 1)
+				plusAcc(h, k, 1)
 			}
 		}
 	})

@@ -31,7 +31,7 @@ func TestTwoLevelOverflowCounter(t *testing.T) {
 	}
 	// 64 distinct keys into 16 L1 slots with probe bound 8 must overflow.
 	for k := int32(0); k < 64; k++ {
-		tl.Accumulate(k, float64(k))
+		plusAcc(tl, k, float64(k))
 	}
 	if tl.Overflows() == 0 {
 		t.Fatal("no overflows recorded for 64 keys in a 16-slot L1")
@@ -68,8 +68,8 @@ func TestTwoLevelOverflowCounter(t *testing.T) {
 func TestHashTableOperationCounters(t *testing.T) {
 	h := NewHashTable(64)
 	base := h.Lookups()
-	h.Accumulate(1, 1)
-	h.Accumulate(1, 1) // same key: still one op each
+	plusAcc(h, 1, 1)
+	plusAcc(h, 1, 1) // same key: still one op each
 	h.InsertSymbolic(2)
 	if got := h.Lookups() - base; got != 3 {
 		t.Fatalf("lookups delta = %d, want 3", got)

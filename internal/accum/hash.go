@@ -5,12 +5,23 @@
 // accumulator (SPA) of Gustavson's algorithm, and a two-level hashmap in the
 // style of KokkosKernels' kkmem.
 //
+// All accumulators are generic over the stored value type V and know nothing
+// about semirings: the single value-level operation they expose is
+// Upsert(key) → (*V, fresh), which returns a pointer to the value slot for
+// key and whether the key is new. The SpGEMM drivers apply the (inlined,
+// monomorphized) ring operations to the slot; the float64 type aliases
+// (HashTable, SPA, …) preserve the historic API.
+//
 // All accumulators follow the paper's allocation discipline: they are owned
 // by one worker, allocated once at the upper-bound size for that worker's
 // rows, and reinitialized per row in O(entries) time rather than O(size).
 package accum
 
-import "slices"
+import (
+	"slices"
+
+	"repro/internal/semiring"
+)
 
 const emptyKey = int32(-1)
 
@@ -31,12 +42,12 @@ func NextPow2(n int64) int64 {
 	return p
 }
 
-// HashTable is the accumulator of Hash SpGEMM: open addressing with linear
+// HashTableG is the accumulator of Hash SpGEMM: open addressing with linear
 // probing over a power-of-two table, keys initialized to -1. It tracks the
 // occupied slots so a per-row reset costs O(entries), not O(capacity).
-type HashTable struct {
+type HashTableG[V semiring.Value] struct {
 	keys []int32
-	vals []float64
+	vals []V
 	used []int32 // occupied slot indices in insertion order
 	mask uint32
 	// probes counts every extra probe step beyond the first, i.e. the
@@ -50,24 +61,31 @@ type HashTable struct {
 	grow bool
 }
 
-// NewHashTable returns a table with capacity the smallest power of two
-// strictly greater than bound (minimum 16).
-func NewHashTable(bound int64) *HashTable {
-	h := &HashTable{}
+// HashTable is the float64 instantiation — the historic type of this package.
+type HashTable = HashTableG[float64]
+
+// NewHashTable returns a float64 table with capacity the smallest power of
+// two strictly greater than bound (minimum 16).
+func NewHashTable(bound int64) *HashTable { return NewHashTableG[float64](bound) }
+
+// NewHashTableG returns a table over V with capacity the smallest power of
+// two strictly greater than bound (minimum 16).
+func NewHashTableG[V semiring.Value](bound int64) *HashTableG[V] {
+	h := &HashTableG[V]{}
 	h.Reserve(bound)
 	return h
 }
 
 // Reserve re-sizes the table to hold bound entries (capacity = NextPow2,
 // min 16) and clears it. Existing entries are discarded.
-func (h *HashTable) Reserve(bound int64) {
+func (h *HashTableG[V]) Reserve(bound int64) {
 	capacity := NextPow2(bound)
 	if capacity < 16 {
 		capacity = 16
 	}
 	if int64(len(h.keys)) != capacity {
 		h.keys = make([]int32, capacity)
-		h.vals = make([]float64, capacity)
+		h.vals = make([]V, capacity)
 	}
 	for i := range h.keys {
 		h.keys[i] = emptyKey
@@ -79,7 +97,7 @@ func (h *HashTable) Reserve(bound int64) {
 // Reset clears the table in O(entries) by walking the used-slot list.
 //
 //spgemm:hotpath
-func (h *HashTable) Reset() {
+func (h *HashTableG[V]) Reset() {
 	for _, s := range h.used {
 		h.keys[s] = emptyKey
 	}
@@ -87,22 +105,22 @@ func (h *HashTable) Reset() {
 }
 
 // Len returns the number of distinct keys currently stored.
-func (h *HashTable) Len() int { return len(h.used) }
+func (h *HashTableG[V]) Len() int { return len(h.used) }
 
 // Cap returns the table capacity (a power of two).
-func (h *HashTable) Cap() int { return len(h.keys) }
+func (h *HashTableG[V]) Cap() int { return len(h.keys) }
 
 // Probes returns the cumulative count of collision probe steps; divide by
 // Lookups for the mean collision factor.
-func (h *HashTable) Probes() int64 { return h.probes }
+func (h *HashTableG[V]) Probes() int64 { return h.probes }
 
 // Lookups returns the cumulative number of insert/accumulate operations.
 //
 //spgemm:hotpath
-func (h *HashTable) Lookups() int64 { return h.lookups }
+func (h *HashTableG[V]) Lookups() int64 { return h.lookups }
 
 //spgemm:hotpath
-func (h *HashTable) slot(key int32) uint32 {
+func (h *HashTableG[V]) slot(key int32) uint32 {
 	return (uint32(key) * hashConst) & h.mask
 }
 
@@ -110,7 +128,7 @@ func (h *HashTable) slot(key int32) uint32 {
 // is the whole inner loop of the symbolic phase: values are not touched.
 //
 //spgemm:hotpath
-func (h *HashTable) InsertSymbolic(key int32) bool {
+func (h *HashTableG[V]) InsertSymbolic(key int32) bool {
 	h.lookups++
 	s := h.slot(key)
 	for {
@@ -129,49 +147,32 @@ func (h *HashTable) InsertSymbolic(key int32) bool {
 	}
 }
 
-// Accumulate adds v into the entry for key, inserting it if absent
-// (plus-times fast path).
+// Upsert returns a pointer to the value slot for key and whether the key is
+// new. On fresh == true the slot's contents are stale; the caller must store
+// a value before the next extraction (the SpGEMM drivers write the first
+// product, then ring.Add into the slot on subsequent hits). The pointer is
+// invalidated by the next Upsert/InsertSymbolic on a grow-enabled table.
 //
 //spgemm:hotpath
-func (h *HashTable) Accumulate(key int32, v float64) {
+func (h *HashTableG[V]) Upsert(key int32) (*V, bool) {
 	h.lookups++
 	s := h.slot(key)
 	for {
 		k := h.keys[s]
 		if k == key {
-			h.vals[s] += v
-			return
+			return &h.vals[s], false
 		}
 		if k == emptyKey {
+			if h.grow && (len(h.used)+1)*4 >= len(h.keys)*3 {
+				// Grow before inserting so the returned pointer aims at
+				// the post-rehash storage.
+				h.growRehash()
+				s = h.slot(key)
+				continue
+			}
 			h.keys[s] = key
-			h.vals[s] = v
 			h.used = append(h.used, int32(s))
-			h.maybeGrow()
-			return
-		}
-		h.probes++
-		s = (s + 1) & h.mask
-	}
-}
-
-// AccumulateFunc is Accumulate under an arbitrary additive operation.
-//
-//spgemm:hotpath
-func (h *HashTable) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
-	h.lookups++
-	s := h.slot(key)
-	for {
-		k := h.keys[s]
-		if k == key {
-			h.vals[s] = add(h.vals[s], v)
-			return
-		}
-		if k == emptyKey {
-			h.keys[s] = key
-			h.vals[s] = v
-			h.used = append(h.used, int32(s))
-			h.maybeGrow()
-			return
+			return &h.vals[s], true
 		}
 		h.probes++
 		s = (s + 1) & h.mask
@@ -179,7 +180,7 @@ func (h *HashTable) AccumulateFunc(key int32, v float64, add func(a, b float64) 
 }
 
 // Lookup returns the value stored for key and whether it is present.
-func (h *HashTable) Lookup(key int32) (float64, bool) {
+func (h *HashTableG[V]) Lookup(key int32) (V, bool) {
 	s := h.slot(key)
 	for {
 		k := h.keys[s]
@@ -187,23 +188,28 @@ func (h *HashTable) Lookup(key int32) (float64, bool) {
 			return h.vals[s], true
 		}
 		if k == emptyKey {
-			return 0, false
+			var zero V
+			return zero, false
 		}
 		s = (s + 1) & h.mask
 	}
 }
 
 // SetGrow enables or disables automatic rehashing at 3/4 load.
-func (h *HashTable) SetGrow(on bool) { h.grow = on }
+func (h *HashTableG[V]) SetGrow(on bool) { h.grow = on }
 
-func (h *HashTable) maybeGrow() {
+func (h *HashTableG[V]) maybeGrow() {
 	if !h.grow || len(h.used)*4 < len(h.keys)*3 {
 		return
 	}
+	h.growRehash()
+}
+
+func (h *HashTableG[V]) growRehash() {
 	oldKeys, oldVals, oldUsed := h.keys, h.vals, append([]int32(nil), h.used...)
 	capacity := int64(len(h.keys)) * 2
 	h.keys = make([]int32, capacity)
-	h.vals = make([]float64, capacity)
+	h.vals = make([]V, capacity)
 	for i := range h.keys {
 		h.keys[i] = emptyKey
 	}
@@ -227,7 +233,7 @@ func (h *HashTable) maybeGrow() {
 // It returns the number of entries written.
 //
 //spgemm:hotpath
-func (h *HashTable) ExtractUnsorted(cols []int32, vals []float64) int {
+func (h *HashTableG[V]) ExtractUnsorted(cols []int32, vals []V) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
 		vals[i] = h.vals[s]
@@ -240,7 +246,7 @@ func (h *HashTable) ExtractUnsorted(cols []int32, vals []float64) int {
 // acceptable.
 //
 //spgemm:hotpath
-func (h *HashTable) ExtractSorted(cols []int32, vals []float64) int {
+func (h *HashTableG[V]) ExtractSorted(cols []int32, vals []V) int {
 	n := h.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])
 	return n
@@ -250,7 +256,7 @@ func (h *HashTable) ExtractSorted(cols []int32, vals []float64) int {
 // consumers that want patterns.
 //
 //spgemm:hotpath
-func (h *HashTable) ExtractKeysSorted(cols []int32) int {
+func (h *HashTableG[V]) ExtractKeysSorted(cols []int32) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
 	}
@@ -266,7 +272,7 @@ func (h *HashTable) ExtractKeysSorted(cols []int32) int {
 // every sorted-output extraction (the cost the paper's unsorted mode skips).
 //
 //spgemm:hotpath
-func sortPairs(cols []int32, vals []float64) {
+func sortPairs[V semiring.Value](cols []int32, vals []V) {
 	for len(cols) > 24 {
 		// Median-of-three pivot to dodge the sorted/reversed worst cases.
 		n := len(cols)
@@ -322,7 +328,13 @@ func sortPairs(cols []int32, vals []float64) {
 	}
 }
 
+// SortPairs sorts cols ascending carrying vals along (exported for the
+// kernels that maintain their own column/value staging buffers).
+//
+//spgemm:hotpath
+func SortPairs[V semiring.Value](cols []int32, vals []V) { sortPairs(cols, vals) }
+
 // ResetCounters zeroes the cumulative probe/lookup counters without touching
 // the table contents or capacity. spgemm.Context calls it when reusing a
 // cached table so per-call ExecStats keep the semantics of a fresh table.
-func (h *HashTable) ResetCounters() { h.probes, h.lookups = 0, 0 }
+func (h *HashTableG[V]) ResetCounters() { h.probes, h.lookups = 0, 0 }

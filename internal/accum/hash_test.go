@@ -24,7 +24,7 @@ type accumulator interface {
 	Reset()
 	Len() int
 	InsertSymbolic(key int32) bool
-	Accumulate(key int32, v float64)
+	Upsert(key int32) (*float64, bool)
 	Lookup(key int32) (float64, bool)
 	ExtractUnsorted(cols []int32, vals []float64) int
 	ExtractSorted(cols []int32, vals []float64) int
@@ -48,7 +48,7 @@ func TestAccumulatorsMatchMapReference(t *testing.T) {
 			for op := 0; op < nops; op++ {
 				key := int32(rng.Intn(500))
 				v := rng.Float64()*2 - 1
-				acc.Accumulate(key, v)
+				plusAcc(acc, key, v)
 				ref[key] += v
 			}
 			if acc.Len() != len(ref) {
@@ -98,8 +98,8 @@ func TestAccumulatorSymbolicMatchesNumericCount(t *testing.T) {
 func TestAccumulatorLookup(t *testing.T) {
 	for name, acc := range accumulators(1024) {
 		acc.Reset()
-		acc.Accumulate(7, 1.5)
-		acc.Accumulate(7, 2.5)
+		plusAcc(acc, 7, 1.5)
+		plusAcc(acc, 7, 2.5)
 		if v, ok := acc.Lookup(7); !ok || v != 4 {
 			t.Fatalf("%s: Lookup(7) = %v,%v", name, v, ok)
 		}
@@ -113,7 +113,7 @@ func TestAccumulatorResetClears(t *testing.T) {
 	for name, acc := range accumulators(1024) {
 		acc.Reset()
 		for k := int32(0); k < 50; k++ {
-			acc.Accumulate(k, 1)
+			plusAcc(acc, k, 1)
 		}
 		acc.Reset()
 		if acc.Len() != 0 {
@@ -123,7 +123,7 @@ func TestAccumulatorResetClears(t *testing.T) {
 			t.Fatalf("%s: stale entry after Reset", name)
 		}
 		// Table is fully reusable after reset.
-		acc.Accumulate(10, 3)
+		plusAcc(acc, 10, 3)
 		if v, ok := acc.Lookup(10); !ok || v != 3 {
 			t.Fatalf("%s: reuse after Reset broken", name)
 		}
@@ -136,7 +136,7 @@ func TestHashTableNearFullLoad(t *testing.T) {
 	// NextPow2(bound) > bound, guaranteeing an empty slot).
 	h := NewHashTable(63) // capacity 64
 	for k := int32(0); k < 63; k++ {
-		h.Accumulate(k*64, float64(k)) // same slot modulo: worst-case probing
+		plusAcc(h, k*64, float64(k)) // same slot modulo: worst-case probing
 	}
 	if h.Len() != 63 {
 		t.Fatalf("Len = %d", h.Len())
@@ -155,7 +155,7 @@ func TestHashTableGrow(t *testing.T) {
 	h := NewHashTable(15) // capacity 16
 	h.SetGrow(true)
 	for k := int32(0); k < 1000; k++ {
-		h.Accumulate(k, 1)
+		plusAcc(h, k, 1)
 	}
 	if h.Len() != 1000 {
 		t.Fatalf("Len = %d", h.Len())
@@ -172,7 +172,7 @@ func TestHashTableGrow(t *testing.T) {
 
 func TestHashTableReserveShrinksAndClears(t *testing.T) {
 	h := NewHashTable(1000)
-	h.Accumulate(1, 1)
+	plusAcc(h, 1, 1)
 	h.Reserve(10)
 	if h.Len() != 0 {
 		t.Fatal("Reserve did not clear")
@@ -189,7 +189,7 @@ func TestHashVecWidths(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(w)))
 		for i := 0; i < 500; i++ {
 			k := int32(rng.Intn(90))
-			h.Accumulate(k, 1)
+			plusAcc(h, k, 1)
 			ref[k]++
 		}
 		if h.Len() != len(ref) {
@@ -220,7 +220,7 @@ func TestTwoLevelOverflowsToL2(t *testing.T) {
 	tl := NewTwoLevelHash(16)
 	// Insert far more keys than L1 can hold: overflow must engage.
 	for k := int32(0); k < 500; k++ {
-		tl.Accumulate(k, float64(k))
+		plusAcc(tl, k, float64(k))
 	}
 	if tl.Len() != 500 {
 		t.Fatalf("Len = %d", tl.Len())
@@ -244,24 +244,20 @@ func TestTwoLevelBadSizePanics(t *testing.T) {
 	NewTwoLevelHash(100)
 }
 
-func TestAccumulateFuncSemiring(t *testing.T) {
-	maxOp := func(a, b float64) float64 {
-		if a > b {
-			return a
-		}
-		return b
-	}
+func TestUpsertNonPlusSemiring(t *testing.T) {
+	// The driver applies the ring operation to the Upsert slot; max here
+	// stands in for any non-plus additive operation.
 	h := NewHashTable(64)
-	h.AccumulateFunc(3, 5, maxOp)
-	h.AccumulateFunc(3, 2, maxOp)
-	h.AccumulateFunc(3, 9, maxOp)
+	maxAcc(h, 3, 5)
+	maxAcc(h, 3, 2)
+	maxAcc(h, 3, 9)
 	if v, _ := h.Lookup(3); v != 9 {
 		t.Fatalf("hash max = %v", v)
 	}
 	hv := NewHashVecTable(64)
-	hv.AccumulateFunc(3, 5, maxOp)
-	hv.AccumulateFunc(3, 9, maxOp)
-	hv.AccumulateFunc(3, 2, maxOp)
+	maxAcc(hv, 3, 5)
+	maxAcc(hv, 3, 9)
+	maxAcc(hv, 3, 2)
 	if v, _ := hv.Lookup(3); v != 9 {
 		t.Fatalf("hashvec max = %v", v)
 	}
@@ -279,9 +275,9 @@ func TestHashFamiliesAgreeQuick(t *testing.T) {
 		for i := 0; i < n; i++ {
 			k := int32(rng.Intn(200))
 			v := float64(rng.Intn(10))
-			h.Accumulate(k, v)
-			hv.Accumulate(k, v)
-			tl.Accumulate(k, v)
+			plusAcc(h, k, v)
+			plusAcc(hv, k, v)
+			plusAcc(tl, k, v)
 		}
 		if h.Len() != hv.Len() || h.Len() != tl.Len() {
 			return false

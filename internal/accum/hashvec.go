@@ -1,6 +1,8 @@
 package accum
 
-// HashVecTable is the accumulator of HashVector SpGEMM (Section 4.2.2). The
+import "repro/internal/semiring"
+
+// HashVecTableG is the accumulator of HashVector SpGEMM (Section 4.2.2). The
 // table is divided into fixed-width chunks; the hash selects a chunk, and the
 // whole chunk is scanned at once — on Xeon/Xeon Phi with AVX2/AVX-512
 // compare instructions, here with a fixed-bound loop the compiler unrolls.
@@ -13,9 +15,9 @@ package accum
 // reducing probe counts under heavy collision at a slightly higher constant
 // per step — is preserved, which is what the Hash-vs-HashVector crossover in
 // the paper's Figures 11-14 depends on.
-type HashVecTable struct {
+type HashVecTableG[V semiring.Value] struct {
 	keys      []int32
-	vals      []float64
+	vals      []V
 	used      []int32 // occupied slot indices
 	chunkMask uint32
 	width     uint32
@@ -24,23 +26,38 @@ type HashVecTable struct {
 	lookups   int64
 }
 
+// HashVecTable is the float64 instantiation.
+type HashVecTable = HashVecTableG[float64]
+
 // DefaultChunkWidth matches a 256-bit vector register holding 8 int32 keys
 // (the paper's Haswell configuration; KNL's AVX-512 doubles it to 16).
 const DefaultChunkWidth = 8
 
-// NewHashVecTable returns a chunked table sized for bound entries with the
-// default chunk width.
+// NewHashVecTable returns a float64 chunked table sized for bound entries
+// with the default chunk width.
 func NewHashVecTable(bound int64) *HashVecTable {
 	return NewHashVecTableWidth(bound, DefaultChunkWidth)
 }
 
-// NewHashVecTableWidth returns a chunked table with the given chunk width
-// (a power of two ≥ 2); used by the chunk-width ablation benchmark.
+// NewHashVecTableG returns a chunked table over V sized for bound entries
+// with the default chunk width.
+func NewHashVecTableG[V semiring.Value](bound int64) *HashVecTableG[V] {
+	return NewHashVecTableWidthG[V](bound, DefaultChunkWidth)
+}
+
+// NewHashVecTableWidth returns a float64 chunked table with the given chunk
+// width (a power of two ≥ 2); used by the chunk-width ablation benchmark.
 func NewHashVecTableWidth(bound int64, width int) *HashVecTable {
+	return NewHashVecTableWidthG[float64](bound, width)
+}
+
+// NewHashVecTableWidthG returns a chunked table over V with the given chunk
+// width (a power of two ≥ 2).
+func NewHashVecTableWidthG[V semiring.Value](bound int64, width int) *HashVecTableG[V] {
 	if width < 2 || width&(width-1) != 0 {
 		panic("accum: chunk width must be a power of two >= 2")
 	}
-	h := &HashVecTable{width: uint32(width)}
+	h := &HashVecTableG[V]{width: uint32(width)}
 	for w := uint32(width); w > 1; w >>= 1 {
 		h.shift++
 	}
@@ -49,7 +66,7 @@ func NewHashVecTableWidth(bound int64, width int) *HashVecTable {
 }
 
 // Reserve re-sizes for bound entries and clears the table.
-func (h *HashVecTable) Reserve(bound int64) {
+func (h *HashVecTableG[V]) Reserve(bound int64) {
 	chunks := NextPow2((bound + int64(h.width) - 1) / int64(h.width))
 	if chunks < 2 {
 		chunks = 2
@@ -57,7 +74,7 @@ func (h *HashVecTable) Reserve(bound int64) {
 	capacity := chunks * int64(h.width)
 	if int64(len(h.keys)) != capacity {
 		h.keys = make([]int32, capacity)
-		h.vals = make([]float64, capacity)
+		h.vals = make([]V, capacity)
 	}
 	for i := range h.keys {
 		h.keys[i] = emptyKey
@@ -69,7 +86,7 @@ func (h *HashVecTable) Reserve(bound int64) {
 // Reset clears the table in O(entries).
 //
 //spgemm:hotpath
-func (h *HashVecTable) Reset() {
+func (h *HashVecTableG[V]) Reset() {
 	for _, s := range h.used {
 		h.keys[s] = emptyKey
 	}
@@ -77,28 +94,28 @@ func (h *HashVecTable) Reset() {
 }
 
 // Len returns the number of distinct keys stored.
-func (h *HashVecTable) Len() int { return len(h.used) }
+func (h *HashVecTableG[V]) Len() int { return len(h.used) }
 
 // Cap returns the total slot capacity.
-func (h *HashVecTable) Cap() int { return len(h.keys) }
+func (h *HashVecTableG[V]) Cap() int { return len(h.keys) }
 
 // Probes returns cumulative chunk probe steps beyond the first.
-func (h *HashVecTable) Probes() int64 { return h.probes }
+func (h *HashVecTableG[V]) Probes() int64 { return h.probes }
 
 // Lookups returns the cumulative operation count.
 //
 //spgemm:hotpath
-func (h *HashVecTable) Lookups() int64 { return h.lookups }
+func (h *HashVecTableG[V]) Lookups() int64 { return h.lookups }
 
 //spgemm:hotpath
-func (h *HashVecTable) chunk(key int32) uint32 {
+func (h *HashVecTableG[V]) chunk(key int32) uint32 {
 	return (uint32(key) * hashConst) & h.chunkMask
 }
 
 // InsertSymbolic inserts key if absent, reporting whether it was new.
 //
 //spgemm:hotpath
-func (h *HashVecTable) InsertSymbolic(key int32) bool {
+func (h *HashVecTableG[V]) InsertSymbolic(key int32) bool {
 	h.lookups++
 	c := h.chunk(key)
 	for {
@@ -121,10 +138,11 @@ func (h *HashVecTable) InsertSymbolic(key int32) bool {
 	}
 }
 
-// Accumulate adds v into key's entry, inserting if absent (plus-times path).
+// Upsert returns a pointer to key's value slot and whether the key is new
+// (fresh slots hold stale contents; the caller stores the first product).
 //
 //spgemm:hotpath
-func (h *HashVecTable) Accumulate(key int32, v float64) {
+func (h *HashVecTableG[V]) Upsert(key int32) (*V, bool) {
 	h.lookups++
 	c := h.chunk(key)
 	for {
@@ -132,40 +150,12 @@ func (h *HashVecTable) Accumulate(key int32, v float64) {
 		chunk := h.keys[base : base+h.width]
 		for i, k := range chunk {
 			if k == key {
-				h.vals[base+uint32(i)] += v
-				return
+				return &h.vals[base+uint32(i)], false
 			}
 			if k == emptyKey {
 				chunk[i] = key
-				h.vals[base+uint32(i)] = v
 				h.used = append(h.used, int32(base)+int32(i))
-				return
-			}
-		}
-		h.probes++
-		c = (c + 1) & h.chunkMask
-	}
-}
-
-// AccumulateFunc is Accumulate under an arbitrary additive operation.
-//
-//spgemm:hotpath
-func (h *HashVecTable) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
-	h.lookups++
-	c := h.chunk(key)
-	for {
-		base := c << h.shift
-		chunk := h.keys[base : base+h.width]
-		for i, k := range chunk {
-			if k == key {
-				h.vals[base+uint32(i)] = add(h.vals[base+uint32(i)], v)
-				return
-			}
-			if k == emptyKey {
-				chunk[i] = key
-				h.vals[base+uint32(i)] = v
-				h.used = append(h.used, int32(base)+int32(i))
-				return
+				return &h.vals[base+uint32(i)], true
 			}
 		}
 		h.probes++
@@ -174,7 +164,7 @@ func (h *HashVecTable) AccumulateFunc(key int32, v float64, add func(a, b float6
 }
 
 // Lookup returns the value for key and whether it is present.
-func (h *HashVecTable) Lookup(key int32) (float64, bool) {
+func (h *HashVecTableG[V]) Lookup(key int32) (V, bool) {
 	c := h.chunk(key)
 	for {
 		base := c << h.shift
@@ -184,7 +174,8 @@ func (h *HashVecTable) Lookup(key int32) (float64, bool) {
 				return h.vals[base+uint32(i)], true
 			}
 			if k == emptyKey {
-				return 0, false
+				var zero V
+				return zero, false
 			}
 		}
 		c = (c + 1) & h.chunkMask
@@ -194,7 +185,7 @@ func (h *HashVecTable) Lookup(key int32) (float64, bool) {
 // ExtractUnsorted writes entries in insertion order; returns the count.
 //
 //spgemm:hotpath
-func (h *HashVecTable) ExtractUnsorted(cols []int32, vals []float64) int {
+func (h *HashVecTableG[V]) ExtractUnsorted(cols []int32, vals []V) int {
 	for i, s := range h.used {
 		cols[i] = h.keys[s]
 		vals[i] = h.vals[s]
@@ -205,7 +196,7 @@ func (h *HashVecTable) ExtractUnsorted(cols []int32, vals []float64) int {
 // ExtractSorted writes entries in increasing key order; returns the count.
 //
 //spgemm:hotpath
-func (h *HashVecTable) ExtractSorted(cols []int32, vals []float64) int {
+func (h *HashVecTableG[V]) ExtractSorted(cols []int32, vals []V) int {
 	n := h.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])
 	return n
@@ -214,4 +205,4 @@ func (h *HashVecTable) ExtractSorted(cols []int32, vals []float64) int {
 // ResetCounters zeroes the cumulative probe/lookup counters without touching
 // the table contents or capacity. spgemm.Context calls it when reusing a
 // cached table so per-call ExecStats keep the semantics of a fresh table.
-func (h *HashVecTable) ResetCounters() { h.probes, h.lookups = 0, 0 }
+func (h *HashVecTableG[V]) ResetCounters() { h.probes, h.lookups = 0, 0 }

@@ -1,15 +1,17 @@
 package accum
 
-// MergeHeap is the accumulator of Heap SpGEMM (Section 4.2.3): a binary
+import "repro/internal/semiring"
+
+// MergeHeapG is the accumulator of Heap SpGEMM (Section 4.2.3): a binary
 // min-heap keyed by column index that k-way-merges the nnz(a_i*) scaled rows
 // of B contributing to output row i. Space is O(nnz(a_i*)) — the heap holds
 // one cursor per contributing row of B — which is the heap algorithm's
 // advantage over hash (O(flop)) and SPA (O(n)) accumulators.
-type MergeHeap struct {
+type MergeHeapG[V semiring.Value] struct {
 	// Parallel arrays beat a slice of structs here: the sift loops touch
 	// Col for every comparison but AVal/Pos/End only on swap.
 	col  []int32
-	aval []float64
+	aval []V
 	pos  []int64
 	end  []int64
 	// pushes counts cursor pushes across the heap's lifetime (one per
@@ -18,23 +20,29 @@ type MergeHeap struct {
 	pushes int64
 }
 
-// NewMergeHeap returns a heap with initial capacity for bound cursors.
-func NewMergeHeap(bound int64) *MergeHeap {
-	return &MergeHeap{
+// MergeHeap is the float64 instantiation.
+type MergeHeap = MergeHeapG[float64]
+
+// NewMergeHeap returns a float64 heap with initial capacity for bound cursors.
+func NewMergeHeap(bound int64) *MergeHeap { return NewMergeHeapG[float64](bound) }
+
+// NewMergeHeapG returns a heap over V with initial capacity for bound cursors.
+func NewMergeHeapG[V semiring.Value](bound int64) *MergeHeapG[V] {
+	return &MergeHeapG[V]{
 		col:  make([]int32, 0, bound),
-		aval: make([]float64, 0, bound),
+		aval: make([]V, 0, bound),
 		pos:  make([]int64, 0, bound),
 		end:  make([]int64, 0, bound),
 	}
 }
 
 // Len returns the number of live cursors.
-func (h *MergeHeap) Len() int { return len(h.col) }
+func (h *MergeHeapG[V]) Len() int { return len(h.col) }
 
 // Reset empties the heap, keeping capacity.
 //
 //spgemm:hotpath
-func (h *MergeHeap) Reset() {
+func (h *MergeHeapG[V]) Reset() {
 	h.col = h.col[:0]
 	h.aval = h.aval[:0]
 	h.pos = h.pos[:0]
@@ -44,11 +52,11 @@ func (h *MergeHeap) Reset() {
 // Pushes returns the cumulative number of Push calls.
 //
 //spgemm:hotpath
-func (h *MergeHeap) Pushes() int64 { return h.pushes }
+func (h *MergeHeapG[V]) Pushes() int64 { return h.pushes }
 
 // Push adds a cursor: the merge source currently at column col with scale
 // aval, reading B storage positions [pos, end).
-func (h *MergeHeap) Push(col int32, aval float64, pos, end int64) {
+func (h *MergeHeapG[V]) Push(col int32, aval V, pos, end int64) {
 	h.pushes++
 	h.col = append(h.col, col)
 	h.aval = append(h.aval, aval)
@@ -61,7 +69,7 @@ func (h *MergeHeap) Push(col int32, aval float64, pos, end int64) {
 // non-empty.
 //
 //spgemm:hotpath
-func (h *MergeHeap) Min() (col int32, aval float64, pos int64) {
+func (h *MergeHeapG[V]) Min() (col int32, aval V, pos int64) {
 	return h.col[0], h.aval[0], h.pos[0]
 }
 
@@ -70,7 +78,7 @@ func (h *MergeHeap) Min() (col int32, aval float64, pos int64) {
 // position.
 //
 //spgemm:hotpath
-func (h *MergeHeap) AdvanceMin(nextCol int32) {
+func (h *MergeHeapG[V]) AdvanceMin(nextCol int32) {
 	h.col[0] = nextCol
 	h.pos[0]++
 	h.siftDown(0)
@@ -80,12 +88,12 @@ func (h *MergeHeap) AdvanceMin(nextCol int32) {
 // driver decide between AdvanceMin and PopMin.
 //
 //spgemm:hotpath
-func (h *MergeHeap) MinPosEnd() (pos, end int64) { return h.pos[0], h.end[0] }
+func (h *MergeHeapG[V]) MinPosEnd() (pos, end int64) { return h.pos[0], h.end[0] }
 
 // PopMin removes the minimum cursor (its B row is exhausted).
 //
 //spgemm:hotpath
-func (h *MergeHeap) PopMin() {
+func (h *MergeHeapG[V]) PopMin() {
 	last := len(h.col) - 1
 	h.swap(0, last)
 	h.col = h.col[:last]
@@ -98,7 +106,7 @@ func (h *MergeHeap) PopMin() {
 }
 
 //spgemm:hotpath
-func (h *MergeHeap) swap(i, j int) {
+func (h *MergeHeapG[V]) swap(i, j int) {
 	h.col[i], h.col[j] = h.col[j], h.col[i]
 	h.aval[i], h.aval[j] = h.aval[j], h.aval[i]
 	h.pos[i], h.pos[j] = h.pos[j], h.pos[i]
@@ -106,7 +114,7 @@ func (h *MergeHeap) swap(i, j int) {
 }
 
 //spgemm:hotpath
-func (h *MergeHeap) siftUp(i int) {
+func (h *MergeHeapG[V]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if h.col[parent] <= h.col[i] {
@@ -118,7 +126,7 @@ func (h *MergeHeap) siftUp(i int) {
 }
 
 //spgemm:hotpath
-func (h *MergeHeap) siftDown(i int) {
+func (h *MergeHeapG[V]) siftDown(i int) {
 	n := len(h.col)
 	for {
 		l := 2*i + 1
@@ -138,7 +146,7 @@ func (h *MergeHeap) siftDown(i int) {
 }
 
 // CheckInvariant verifies the heap property; used by tests.
-func (h *MergeHeap) CheckInvariant() bool {
+func (h *MergeHeapG[V]) CheckInvariant() bool {
 	n := len(h.col)
 	for i := 1; i < n; i++ {
 		if h.col[(i-1)/2] > h.col[i] {
@@ -151,4 +159,4 @@ func (h *MergeHeap) CheckInvariant() bool {
 // ResetCounters zeroes the cumulative push counter without touching the
 // heap's capacity. spgemm.Context calls it when reusing a cached heap so
 // per-call ExecStats keep the semantics of a fresh heap.
-func (h *MergeHeap) ResetCounters() { h.pushes = 0 }
+func (h *MergeHeapG[V]) ResetCounters() { h.pushes = 0 }

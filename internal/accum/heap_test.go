@@ -138,7 +138,7 @@ func TestSPAMatchesMapReference(t *testing.T) {
 		for op := 0; op < 1000; op++ {
 			k := int32(rng.Intn(300))
 			v := rng.Float64()
-			s.Accumulate(k, v)
+			plusAcc(s, k, v)
 			ref[k] += v
 		}
 		if s.Len() != len(ref) {
@@ -160,7 +160,7 @@ func TestSPAMatchesMapReference(t *testing.T) {
 
 func TestSPAResetIsO1AndCorrect(t *testing.T) {
 	s := NewSPA(100)
-	s.Accumulate(5, 1)
+	plusAcc(s, 5, 1)
 	s.Reset()
 	if _, ok := s.Lookup(5); ok {
 		t.Fatal("stale entry after Reset")
@@ -170,7 +170,7 @@ func TestSPAResetIsO1AndCorrect(t *testing.T) {
 	}
 	// Generation stamps must keep rows independent across many resets.
 	for row := 0; row < 1000; row++ {
-		s.Accumulate(int32(row%100), 1)
+		plusAcc(s, int32(row%100), 1)
 		if s.Len() != 1 {
 			t.Fatalf("row %d: Len = %d", row, s.Len())
 		}
@@ -180,14 +180,14 @@ func TestSPAResetIsO1AndCorrect(t *testing.T) {
 
 func TestSPAGenerationWraparound(t *testing.T) {
 	s := NewSPA(10)
-	s.Accumulate(3, 7)
+	plusAcc(s, 3, 7)
 	// Force the generation counter to the wrap point.
 	s.gen = ^uint32(0)
 	s.Reset() // wraps to 1 after clearing stamps
 	if _, ok := s.Lookup(3); ok {
 		t.Fatal("entry survived generation wraparound")
 	}
-	s.Accumulate(4, 1)
+	plusAcc(s, 4, 1)
 	if v, ok := s.Lookup(4); !ok || v != 1 {
 		t.Fatal("SPA broken after wraparound")
 	}
@@ -209,7 +209,7 @@ func TestSPASymbolic(t *testing.T) {
 func TestSPAReserve(t *testing.T) {
 	s := NewSPA(10)
 	s.Reserve(1000)
-	s.Accumulate(999, 2)
+	plusAcc(s, 999, 2)
 	if v, ok := s.Lookup(999); !ok || v != 2 {
 		t.Fatal("Reserve did not grow")
 	}
@@ -220,17 +220,17 @@ func TestSPAReserve(t *testing.T) {
 	}
 }
 
-func TestSPAAccumulateFunc(t *testing.T) {
+func TestSPAUpsertNonPlusSemiring(t *testing.T) {
 	s := NewSPA(10)
-	min := func(a, b float64) float64 {
-		if a < b {
-			return a
+	minAcc := func(key int32, v float64) {
+		p, fresh := s.Upsert(key)
+		if fresh || v < *p {
+			*p = v
 		}
-		return b
 	}
-	s.AccumulateFunc(2, 9, min)
-	s.AccumulateFunc(2, 4, min)
-	s.AccumulateFunc(2, 6, min)
+	minAcc(2, 9)
+	minAcc(2, 4)
+	minAcc(2, 6)
 	if v, _ := s.Lookup(2); v != 4 {
 		t.Fatalf("min = %v", v)
 	}

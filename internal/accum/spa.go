@@ -1,8 +1,12 @@
 package accum
 
-import "slices"
+import (
+	"slices"
 
-// SPA is Gilbert/Moler/Schreiber's sparse accumulator: a dense value array
+	"repro/internal/semiring"
+)
+
+// SPAG is Gilbert/Moler/Schreiber's sparse accumulator: a dense value array
 // indexed directly by column, a dense occupancy mark, and a list of occupied
 // columns. Lookup and insert are a single random access — O(1) with no
 // collisions ever — at the cost of O(n) space per thread, which is the
@@ -11,17 +15,23 @@ import "slices"
 // Occupancy uses generation stamps so a per-row reset is O(1): bumping the
 // generation invalidates all marks at once. Only the index list is walked
 // during extraction.
-type SPA struct {
-	vals  []float64
+type SPAG[V semiring.Value] struct {
+	vals  []V
 	stamp []uint32
 	gen   uint32
 	idx   []int32 // occupied columns in insertion order
 }
 
-// NewSPA returns a SPA over a column space of size ncols.
-func NewSPA(ncols int) *SPA {
-	return &SPA{
-		vals:  make([]float64, ncols),
+// SPA is the float64 instantiation.
+type SPA = SPAG[float64]
+
+// NewSPA returns a float64 SPA over a column space of size ncols.
+func NewSPA(ncols int) *SPA { return NewSPAG[float64](ncols) }
+
+// NewSPAG returns a SPA over V with a column space of size ncols.
+func NewSPAG[V semiring.Value](ncols int) *SPAG[V] {
+	return &SPAG[V]{
+		vals:  make([]V, ncols),
 		stamp: make([]uint32, ncols),
 		gen:   1,
 		idx:   make([]int32, 0, 256),
@@ -30,9 +40,9 @@ func NewSPA(ncols int) *SPA {
 
 // Reserve grows the dense arrays to cover ncols columns (no-op if already
 // large enough).
-func (s *SPA) Reserve(ncols int) {
+func (s *SPAG[V]) Reserve(ncols int) {
 	if len(s.vals) < ncols {
-		s.vals = make([]float64, ncols)
+		s.vals = make([]V, ncols)
 		s.stamp = make([]uint32, ncols)
 		s.gen = 1
 	}
@@ -42,7 +52,7 @@ func (s *SPA) Reserve(ncols int) {
 // 2^32 rows when the generation counter wraps).
 //
 //spgemm:hotpath
-func (s *SPA) Reset() {
+func (s *SPAG[V]) Reset() {
 	s.idx = s.idx[:0]
 	s.gen++
 	if s.gen == 0 { // wrapped: all stamps are stale-but-matching; clear them
@@ -54,12 +64,12 @@ func (s *SPA) Reset() {
 }
 
 // Len returns the number of distinct columns accumulated this row.
-func (s *SPA) Len() int { return len(s.idx) }
+func (s *SPAG[V]) Len() int { return len(s.idx) }
 
 // InsertSymbolic marks col occupied, reporting whether it was new.
 //
 //spgemm:hotpath
-func (s *SPA) InsertSymbolic(col int32) bool {
+func (s *SPAG[V]) InsertSymbolic(col int32) bool {
 	if s.stamp[col] == s.gen {
 		return false
 	}
@@ -68,46 +78,35 @@ func (s *SPA) InsertSymbolic(col int32) bool {
 	return true
 }
 
-// Accumulate adds v into column col (plus-times fast path).
+// Upsert returns a pointer to col's value slot and whether the column is new
+// this row (fresh slots hold stale contents; the caller stores the first
+// product).
 //
 //spgemm:hotpath
-func (s *SPA) Accumulate(col int32, v float64) {
+func (s *SPAG[V]) Upsert(col int32) (*V, bool) {
 	if s.stamp[col] == s.gen {
-		s.vals[col] += v
-		return
+		return &s.vals[col], false
 	}
 	s.stamp[col] = s.gen
-	s.vals[col] = v
 	s.idx = append(s.idx, col)
-}
-
-// AccumulateFunc is Accumulate under an arbitrary additive operation.
-//
-//spgemm:hotpath
-func (s *SPA) AccumulateFunc(col int32, v float64, add func(a, b float64) float64) {
-	if s.stamp[col] == s.gen {
-		s.vals[col] = add(s.vals[col], v)
-		return
-	}
-	s.stamp[col] = s.gen
-	s.vals[col] = v
-	s.idx = append(s.idx, col)
+	return &s.vals[col], true
 }
 
 // Lookup returns the value for col and whether it is occupied this row.
 //
 //spgemm:hotpath
-func (s *SPA) Lookup(col int32) (float64, bool) {
+func (s *SPAG[V]) Lookup(col int32) (V, bool) {
 	if s.stamp[col] == s.gen {
 		return s.vals[col], true
 	}
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // ExtractUnsorted writes the (col, value) pairs in insertion order.
 //
 //spgemm:hotpath
-func (s *SPA) ExtractUnsorted(cols []int32, vals []float64) int {
+func (s *SPAG[V]) ExtractUnsorted(cols []int32, vals []V) int {
 	for i, c := range s.idx {
 		cols[i] = c
 		vals[i] = s.vals[c]
@@ -118,7 +117,7 @@ func (s *SPA) ExtractUnsorted(cols []int32, vals []float64) int {
 // ExtractSorted writes the pairs in increasing column order.
 //
 //spgemm:hotpath
-func (s *SPA) ExtractSorted(cols []int32, vals []float64) int {
+func (s *SPAG[V]) ExtractSorted(cols []int32, vals []V) int {
 	n := len(s.idx)
 	copy(cols, s.idx)
 	c := cols[:n]

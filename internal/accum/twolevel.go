@@ -1,34 +1,43 @@
 package accum
 
 import (
-	"math"
 	"sync/atomic"
+
+	"repro/internal/semiring"
 )
 
-// TwoLevelHash models KokkosKernels' kkmem accumulator: a small fixed-size
+// TwoLevelHashG models KokkosKernels' kkmem accumulator: a small fixed-size
 // first-level hash table sized to fit in cache, with a growable second-level
 // table absorbing the overflow. Probing in level 1 is bounded; once a probe
 // sequence exceeds the bound the key is delegated to level 2.
 //
-// Insertions and value updates in level 1 go through atomic
-// compare-and-swap, mirroring kkmem's thread-team execution model in which
-// several lanes may insert into a shared table concurrently. The paper makes
-// exactly this point about its own Hash SpGEMM: "Hash SpGEMM on GPU requires
-// some form of mutual exclusion ... We were able to remove this overhead in
-// our present Hash SpGEMM" (Section 4.2.1) — the portable kkmem retains it,
-// which is one reason KokkosKernels trails the specialized Hash kernel in
-// the paper's Figures 11–15, and the same gap appears in this
-// reimplementation.
-type TwoLevelHash struct {
+// Key claims in level 1 go through atomic compare-and-swap, mirroring
+// kkmem's thread-team execution model in which several lanes may insert into
+// a shared table concurrently. The paper makes exactly this point about its
+// own Hash SpGEMM: "Hash SpGEMM on GPU requires some form of mutual
+// exclusion ... We were able to remove this overhead in our present Hash
+// SpGEMM" (Section 4.2.1) — the portable kkmem retains it, which is one
+// reason KokkosKernels trails the specialized Hash kernel in the paper's
+// Figures 11–15, and the same gap appears in this reimplementation.
+//
+// Value updates are plain stores through Upsert's returned pointer: in this
+// repository every table is owned by one worker (the kernels are row-
+// parallel, never entry-parallel), so the historic CAS loop on float64 bit
+// patterns bought nothing and does not generalize to arbitrary V. The key
+// CAS is retained to keep the kkmem probe/claim cost model faithful.
+type TwoLevelHashG[V semiring.Value] struct {
 	l1Keys []int32
-	l1Vals []uint64 // float64 bit patterns, updated with CAS
+	l1Vals []V
 	l1Used []int32
 	l1Mask uint32
-	l2     *HashTable
+	l2     *HashTableG[V]
 	// overflows counts operations delegated to level 2 after an exhausted
 	// level-1 probe sequence, feeding the L2Overflows ExecStats counter.
 	overflows int64
 }
+
+// TwoLevelHash is the float64 instantiation.
+type TwoLevelHash = TwoLevelHashG[float64]
 
 // l1ProbeBound is the maximum linear-probe distance in level 1 before
 // delegating to level 2.
@@ -38,20 +47,24 @@ const l1ProbeBound = 8
 // comfortably in a 256 KiB L2 tile, mirroring kkmem's cache-resident intent.
 const DefaultL1Size = 4096
 
-// NewTwoLevelHash returns a two-level accumulator with the given level-1
-// capacity (a power of two; 0 selects DefaultL1Size).
-func NewTwoLevelHash(l1Size int) *TwoLevelHash {
+// NewTwoLevelHash returns a float64 two-level accumulator with the given
+// level-1 capacity (a power of two; 0 selects DefaultL1Size).
+func NewTwoLevelHash(l1Size int) *TwoLevelHash { return NewTwoLevelHashG[float64](l1Size) }
+
+// NewTwoLevelHashG returns a two-level accumulator over V with the given
+// level-1 capacity (a power of two; 0 selects DefaultL1Size).
+func NewTwoLevelHashG[V semiring.Value](l1Size int) *TwoLevelHashG[V] {
 	if l1Size == 0 {
 		l1Size = DefaultL1Size
 	}
 	if l1Size < 16 || l1Size&(l1Size-1) != 0 {
 		panic("accum: level-1 size must be a power of two >= 16")
 	}
-	t := &TwoLevelHash{
+	t := &TwoLevelHashG[V]{
 		l1Keys: make([]int32, l1Size),
-		l1Vals: make([]uint64, l1Size),
+		l1Vals: make([]V, l1Size),
 		l1Mask: uint32(l1Size - 1),
-		l2:     NewHashTable(64),
+		l2:     NewHashTableG[V](64),
 	}
 	t.l2.SetGrow(true)
 	for i := range t.l1Keys {
@@ -63,7 +76,7 @@ func NewTwoLevelHash(l1Size int) *TwoLevelHash {
 // Reset clears both levels in O(entries).
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) Reset() {
+func (t *TwoLevelHashG[V]) Reset() {
 	for _, s := range t.l1Used {
 		t.l1Keys[s] = emptyKey
 	}
@@ -72,27 +85,27 @@ func (t *TwoLevelHash) Reset() {
 }
 
 // Len returns the number of distinct keys across both levels.
-func (t *TwoLevelHash) Len() int { return len(t.l1Used) + t.l2.Len() }
+func (t *TwoLevelHashG[V]) Len() int { return len(t.l1Used) + t.l2.Len() }
 
 // L2Len returns the number of keys that overflowed to level 2 (test hook).
-func (t *TwoLevelHash) L2Len() int { return t.l2.Len() }
+func (t *TwoLevelHashG[V]) L2Len() int { return t.l2.Len() }
 
 // Overflows returns the cumulative count of operations delegated to level 2.
-func (t *TwoLevelHash) Overflows() int64 { return t.overflows }
+func (t *TwoLevelHashG[V]) Overflows() int64 { return t.overflows }
 
 // Lookups returns the cumulative operation count of the level-2 table (the
 // level-1 fast path is deliberately uncounted to keep its CAS loop lean).
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) Lookups() int64 { return t.l2.Lookups() }
+func (t *TwoLevelHashG[V]) Lookups() int64 { return t.l2.Lookups() }
 
 // Probes returns the collision probe steps of the level-2 table.
-func (t *TwoLevelHash) Probes() int64 { return t.l2.Probes() }
+func (t *TwoLevelHashG[V]) Probes() int64 { return t.l2.Probes() }
 
 // InsertSymbolic inserts key if absent, reporting whether it was new.
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
+func (t *TwoLevelHashG[V]) InsertSymbolic(key int32) bool {
 	s := (uint32(key) * hashConst) & t.l1Mask
 	for probe := 0; probe < l1ProbeBound; probe++ {
 		k := atomic.LoadInt32(&t.l1Keys[s])
@@ -114,35 +127,23 @@ func (t *TwoLevelHash) InsertSymbolic(key int32) bool {
 	return t.l2.InsertSymbolic(key)
 }
 
-// Accumulate adds v into key's entry, inserting if absent. The value update
-// is a CAS loop on the float64 bit pattern, kkmem-style.
+// Upsert returns a pointer to key's value slot (level 1 or the overflow
+// table) and whether the key is new. The pointer is invalidated by the next
+// Upsert (the level-2 table grows); the caller must finish its read-modify-
+// write before the next operation, which the row-by-row drivers do.
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) Accumulate(key int32, v float64) {
-	t.accumulate(key, v, nil)
-}
-
-// AccumulateFunc is Accumulate under an arbitrary additive operation.
-//
-//spgemm:hotpath
-func (t *TwoLevelHash) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
-	t.accumulate(key, v, add)
-}
-
-//spgemm:hotpath
-func (t *TwoLevelHash) accumulate(key int32, v float64, add func(a, b float64) float64) {
+func (t *TwoLevelHashG[V]) Upsert(key int32) (*V, bool) {
 	s := (uint32(key) * hashConst) & t.l1Mask
 	for probe := 0; probe < l1ProbeBound; probe++ {
 		k := atomic.LoadInt32(&t.l1Keys[s])
 		if k == key {
-			t.atomicAdd(s, v, add)
-			return
+			return &t.l1Vals[s], false
 		}
 		if k == emptyKey {
 			if atomic.CompareAndSwapInt32(&t.l1Keys[s], emptyKey, key) {
 				t.l1Used = append(t.l1Used, int32(s))
-				atomic.StoreUint64(&t.l1Vals[s], math.Float64bits(v))
-				return
+				return &t.l1Vals[s], true
 			}
 			probe--
 			continue
@@ -150,41 +151,20 @@ func (t *TwoLevelHash) accumulate(key int32, v float64, add func(a, b float64) f
 		s = (s + 1) & t.l1Mask
 	}
 	t.overflows++
-	if add == nil {
-		t.l2.Accumulate(key, v)
-	} else {
-		t.l2.AccumulateFunc(key, v, add)
-	}
-}
-
-// atomicAdd merges v into slot s with a compare-and-swap loop.
-//
-//spgemm:hotpath
-func (t *TwoLevelHash) atomicAdd(s uint32, v float64, add func(a, b float64) float64) {
-	for {
-		old := atomic.LoadUint64(&t.l1Vals[s])
-		var merged float64
-		if add == nil {
-			merged = math.Float64frombits(old) + v
-		} else {
-			merged = add(math.Float64frombits(old), v)
-		}
-		if atomic.CompareAndSwapUint64(&t.l1Vals[s], old, math.Float64bits(merged)) {
-			return
-		}
-	}
+	return t.l2.Upsert(key)
 }
 
 // Lookup returns the value for key and whether it is present in either level.
-func (t *TwoLevelHash) Lookup(key int32) (float64, bool) {
+func (t *TwoLevelHashG[V]) Lookup(key int32) (V, bool) {
 	s := (uint32(key) * hashConst) & t.l1Mask
 	for probe := 0; probe < l1ProbeBound; probe++ {
 		k := t.l1Keys[s]
 		if k == key {
-			return math.Float64frombits(atomic.LoadUint64(&t.l1Vals[s])), true
+			return t.l1Vals[s], true
 		}
 		if k == emptyKey {
-			return 0, false
+			var zero V
+			return zero, false
 		}
 		s = (s + 1) & t.l1Mask
 	}
@@ -195,11 +175,11 @@ func (t *TwoLevelHash) Lookup(key int32) (float64, bool) {
 // count.
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) ExtractUnsorted(cols []int32, vals []float64) int {
+func (t *TwoLevelHashG[V]) ExtractUnsorted(cols []int32, vals []V) int {
 	n := 0
 	for _, s := range t.l1Used {
 		cols[n] = t.l1Keys[s]
-		vals[n] = math.Float64frombits(t.l1Vals[s])
+		vals[n] = t.l1Vals[s]
 		n++
 	}
 	n += t.l2.ExtractUnsorted(cols[n:], vals[n:])
@@ -209,7 +189,7 @@ func (t *TwoLevelHash) ExtractUnsorted(cols []int32, vals []float64) int {
 // ExtractSorted writes all entries in increasing key order.
 //
 //spgemm:hotpath
-func (t *TwoLevelHash) ExtractSorted(cols []int32, vals []float64) int {
+func (t *TwoLevelHashG[V]) ExtractSorted(cols []int32, vals []V) int {
 	n := t.ExtractUnsorted(cols, vals)
 	sortPairs(cols[:n], vals[:n])
 	return n

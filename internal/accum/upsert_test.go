@@ -1,0 +1,27 @@
+package accum
+
+// upserter is the value-slot API shared by every accumulator in the package
+// (float64 instantiations), used to run the same conformance tests over all
+// of them.
+type upserter interface {
+	Upsert(key int32) (*float64, bool)
+}
+
+// plusAcc folds v into key's entry with conventional addition via Upsert —
+// the test-side stand-in for the driver-side ring application.
+func plusAcc(a upserter, key int32, v float64) {
+	p, fresh := a.Upsert(key)
+	if fresh {
+		*p = v
+	} else {
+		*p += v
+	}
+}
+
+// maxAcc folds v into key's entry with max, standing in for a non-plus ring.
+func maxAcc(a upserter, key int32, v float64) {
+	p, fresh := a.Upsert(key)
+	if fresh || v > *p {
+		*p = v
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Bench regression smoke: re-run the reuse experiment at the configuration
+// recorded in a checked-in snapshot (BENCH_spgemm.json) and gate the result
+// against it. Two signals with very different noise profiles:
+//
+//   - allocs_per_op is machine-independent and deterministic for a fixed
+//     workload — the strict gate. A steady-state allocation creeping into the
+//     context or plan path fails here regardless of host speed.
+//   - ns_per_op varies with the host, so the timing gate takes a tolerance
+//     (fraction of the baseline; only slowdowns beyond it fail). CI passes a
+//     generous value to absorb runner-vs-recording-host variance; local runs
+//     on the recording host can use a tight one.
+//
+// bytes_per_op sits in between (dominated by the output matrix, but the
+// runtime's own allocations jitter) and gets a fixed 10% + 1 MiB budget.
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported snapshot schema %d", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// baselineConfig reconstructs the Config that produced base, so the
+// comparison run measures the identical workload.
+func baselineConfig(base *Snapshot) (Config, error) {
+	p, err := ParsePreset(base.Preset)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Preset: p, Workers: base.Workers, Seed: base.Seed, Reps: base.Iters}, nil
+}
+
+// allocBudget is the allowed allocs_per_op growth over the baseline: a small
+// absolute slack for runtime-internal jitter (GC bookkeeping, goroutine
+// stacks land in MemStats.Mallocs too), plus 25% relative.
+func allocBudget(base uint64) uint64 {
+	slack := base / 4
+	if slack < 4 {
+		slack = 4
+	}
+	return base + slack
+}
+
+// CompareSnapshots re-runs the reuse experiment at base's recorded
+// configuration and checks each (alg, variant) row against the baseline.
+// timeTol is the allowed fractional slowdown (0.5 = fail beyond 1.5x the
+// baseline time). The rendered table and any verdicts go to w; the returned
+// slice holds one message per regression (empty = gate passes).
+func CompareSnapshots(base *Snapshot, timeTol float64, w io.Writer) ([]string, error) {
+	cfg, err := baselineConfig(base)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := ReuseSnapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct{ alg, variant string }
+	baseRows := make(map[key]reuseVariant, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[key{r.Alg, r.Variant}] = r
+	}
+
+	fmt.Fprintf(w, "baseline: %s/%s preset=%s workers=%d seed=%d (go %s)\n",
+		base.OS, base.Arch, base.Preset, base.Workers, base.Seed, base.Go)
+	fmt.Fprintf(w, "timing tolerance: +%.0f%%; alloc budget: +max(4, 25%%)\n", timeTol*100)
+	t := newTable("alg", "variant", "base ms", "cur ms", "Δtime", "base allocs", "cur allocs", "verdict")
+
+	var regressions []string
+	seen := make(map[key]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		k := key{r.Alg, r.Variant}
+		seen[k] = true
+		b, ok := baseRows[k]
+		if !ok {
+			t.add(r.Alg, r.Variant, "-", f2(float64(r.NsPerOp)/1e6), "-",
+				"-", fmt.Sprintf("%d", r.Allocs), "new")
+			continue
+		}
+		dt := float64(r.NsPerOp)/float64(b.NsPerOp) - 1
+		verdict := "ok"
+		if r.NsPerOp > int64(float64(b.NsPerOp)*(1+timeTol)) {
+			verdict = "SLOW"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: %.2f ms/iter vs baseline %.2f (%+.0f%%, tolerance +%.0f%%)",
+				r.Alg, r.Variant, float64(r.NsPerOp)/1e6, float64(b.NsPerOp)/1e6, dt*100, timeTol*100))
+		}
+		if r.Allocs > allocBudget(b.Allocs) {
+			verdict = "ALLOCS"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: %d allocs/iter vs baseline %d (budget %d)",
+				r.Alg, r.Variant, r.Allocs, b.Allocs, allocBudget(b.Allocs)))
+		}
+		if r.Bytes > b.Bytes+b.Bytes/10+1<<20 {
+			verdict = "BYTES"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: %d bytes/iter vs baseline %d (+10%% + 1 MiB budget)",
+				r.Alg, r.Variant, r.Bytes, b.Bytes))
+		}
+		t.add(r.Alg, r.Variant,
+			f2(float64(b.NsPerOp)/1e6), f2(float64(r.NsPerOp)/1e6),
+			fmt.Sprintf("%+.1f%%", dt*100),
+			fmt.Sprintf("%d", b.Allocs), fmt.Sprintf("%d", r.Allocs), verdict)
+	}
+	for _, r := range base.Results {
+		if !seen[key{r.Alg, r.Variant}] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: present in baseline but missing from this run", r.Alg, r.Variant))
+		}
+	}
+	t.write(w, false)
+	return regressions, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCompareSnapshotsGate exercises the bench regression gate end to end at
+// tiny scale: a fresh snapshot compared against itself must pass with a
+// loose timing tolerance, and a doctored baseline (faster times, fewer
+// allocs, missing row) must produce one regression per doctored axis.
+func TestCompareSnapshotsGate(t *testing.T) {
+	cfg := Config{Preset: Tiny, Workers: 1, Seed: 42}
+	snap, err := ReuseSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Preset != "tiny" || base.Seed != 42 || len(base.Results) != len(snap.Results) {
+		t.Fatalf("round-trip mismatch: %+v", base)
+	}
+
+	var out strings.Builder
+	// Self-comparison with a very loose timing tolerance: allocs and bytes
+	// are deterministic for a fixed workload, timing absorbs host jitter.
+	regs, err := CompareSnapshots(base, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v\n%s", regs, out.String())
+	}
+	for _, col := range []string{"verdict", "hash", "oneshot", "plan"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("report missing %q:\n%s", col, out.String())
+		}
+	}
+
+	// Doctor the baseline: claim it was 100x faster with zero allocs, and
+	// that a variant existed that this run will not produce.
+	doctored := *base
+	doctored.Results = append([]reuseVariant(nil), base.Results...)
+	for i := range doctored.Results {
+		doctored.Results[i].NsPerOp /= 100
+		doctored.Results[i].Allocs = 0
+		doctored.Results[i].Bytes = 1
+	}
+	doctored.Results = append(doctored.Results, reuseVariant{Alg: "ghost", Variant: "plan"})
+	regs, err = CompareSnapshots(&doctored, 0.5, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SLOW + ALLOCS per row (the bytes budget's 1 MiB absolute slack
+	// swallows tiny-scale footprints), plus the missing ghost row.
+	wantAtLeast := 2*len(base.Results) + 1
+	if len(regs) < wantAtLeast {
+		t.Fatalf("doctored baseline produced %d regressions, want >= %d: %v", len(regs), wantAtLeast, regs)
+	}
+	foundGhost := false
+	for _, r := range regs {
+		if strings.Contains(r, "ghost/plan") && strings.Contains(r, "missing") {
+			foundGhost = true
+		}
+	}
+	if !foundGhost {
+		t.Fatalf("missing-row regression not reported: %v", regs)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("expected schema error, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 	"repro/internal/spgemm"
 )
 
@@ -38,6 +39,20 @@ type (
 	// Plan caches the symbolic phase of a product for repeated numeric
 	// re-execution; see spgemm.Plan.
 	Plan = spgemm.Plan
+)
+
+// Generic surface: multiply over any value type and semiring ring. These are
+// aliases of the spgemm generics, so core.Multiply above is exactly
+// core.MultiplyRing with the plus-times float64 ring.
+type (
+	// CSR is the generic CSR matrix over value type V.
+	CSR[V semiring.Value] = matrix.CSRG[V]
+	// OptionsG configures MultiplyRing over value type V.
+	OptionsG[V semiring.Value] = spgemm.OptionsG[V]
+	// ContextG is the reusable execution context over value type V.
+	ContextG[V semiring.Value] = spgemm.ContextG[V]
+	// Ring is the inlinable semiring contract; see semiring.Ring.
+	Ring[V semiring.Value] = semiring.Ring[V]
 )
 
 // ErrPlanStale is returned by Plan.Execute when the input structure changed.
@@ -69,6 +84,19 @@ const (
 // Multiply computes C = A·B. See spgemm.Multiply.
 func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	return spgemm.Multiply(a, b, opt)
+}
+
+// MultiplyRing computes C = A·B over an arbitrary value type and semiring.
+// With one of the shipped zero-size rings (semiring.PlusTimesF64,
+// PlusTimesF32, OrAndBool, MinPlusF64, ...) the ring operations inline into
+// each kernel's inner loop. See spgemm.MultiplyRing.
+func MultiplyRing[V semiring.Value, R Ring[V]](ring R, a, b *CSR[V], opt *OptionsG[V]) (*CSR[V], error) {
+	return spgemm.MultiplyRing(ring, a, b, opt)
+}
+
+// NewContextG returns an empty reusable execution context for value type V.
+func NewContextG[V semiring.Value]() *ContextG[V] {
+	return spgemm.NewContextG[V]()
 }
 
 // NewContext returns an empty reusable execution context. Point

@@ -21,6 +21,14 @@ type BFSResult struct {
 // left-hand-side matrix represents the graph and the right-hand-side matrix
 // represents the stack of frontiers, each column representing one BFS
 // frontier").
+//
+// The sweep runs natively over CSRG[bool] with the monomorphized OrAndBool
+// ring: frontier values are 1-byte booleans rather than 8-byte floats, which
+// cuts the value-stream bandwidth of every product by 8×, and the or-and
+// fold compiles to direct boolean ops instead of going through a func-pointer
+// semiring. opt carries the algorithm/worker selection; its Semiring, Mask
+// and Context fields are ignored (the semiring is fixed, and a float64
+// Context cannot serve a bool product — MSBFS keeps its own).
 func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, error) {
 	if g.Rows != g.Cols {
 		return nil, fmt.Errorf("graph: adjacency must be square, got %dx%d", g.Rows, g.Cols)
@@ -35,19 +43,19 @@ func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, err
 	if opt == nil {
 		opt = &spgemm.Options{Algorithm: spgemm.AlgHash}
 	}
-	inner := *opt
-	inner.Semiring = semiring.OrAnd()
-	inner.Mask = nil
-	inner.Unsorted = false
-	if inner.Context == nil {
+	inner := spgemm.OptionsG[bool]{
+		Algorithm: opt.Algorithm,
+		Workers:   opt.Workers,
+		UseCase:   spgemm.UseTallSkinny,
+		Stats:     opt.Stats,
 		// One reusable context across the frontier sweeps.
-		inner.Context = spgemm.NewContext()
+		Context: spgemm.NewContextG[bool](),
 	}
 
 	// The frontier advances along edges u→v for each edge (u,v); with the
 	// frontier stored as an n×k matrix F, the next frontier is Aᵀ·F. Build
-	// the transpose once.
-	at := g.Transpose()
+	// the (boolean pattern of the) transpose once.
+	at := matrix.MapValues(g.Transpose(), func(v float64) bool { return v != 0 })
 
 	res := &BFSResult{Sources: append([]int32(nil), sources...)}
 	res.Level = make([][]int32, n)
@@ -59,16 +67,16 @@ func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, err
 		res.Level[v] = row
 	}
 
-	// Initial frontier: F[s][j] = 1 for source j.
-	frontier := matrix.NewCOO(n, k)
+	// Initial frontier: F[s][j] = true for source j.
+	frontier := matrix.NewCOOG[bool](n, k)
 	for j, s := range sources {
-		frontier.Append(s, int32(j), 1)
+		frontier.Append(s, int32(j), true)
 		res.Level[s][j] = 0
 	}
 	f := frontier.ToCSR()
 
 	for depth := int32(1); f.NNZ() > 0; depth++ {
-		next, err := spgemm.Multiply(at, f, &inner)
+		next, err := spgemm.MultiplyRing(semiring.OrAndBool{}, at, f, &inner)
 		if err != nil {
 			return nil, err
 		}
@@ -76,13 +84,13 @@ func MSBFS(g *matrix.CSR, sources []int32, opt *spgemm.Options) (*BFSResult, err
 		bfsNNZ.Add(next.NNZ())
 		// Mask out already-visited (vertex, source) pairs and record
 		// levels for the fresh ones.
-		nf := matrix.NewCOO(n, k)
+		nf := matrix.NewCOOG[bool](n, k)
 		for v := 0; v < n; v++ {
 			cols, _ := next.Row(v)
 			for _, j := range cols {
 				if res.Level[v][j] < 0 {
 					res.Level[v][j] = depth
-					nf.Append(int32(v), j, 1)
+					nf.Append(int32(v), j, true)
 				}
 			}
 		}

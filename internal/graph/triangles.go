@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 	"repro/internal/spgemm"
 )
 
@@ -67,28 +68,49 @@ func CountTriangles(adj *matrix.CSR, opt *spgemm.Options) (*TriangleResult, erro
 // CountFromLU computes the number of triangles given the triangular split:
 // triangles = Σ ((L·U) .* L). With a hash-family algorithm the mask is
 // fused into the SpGEMM; otherwise the product is formed and filtered.
+//
+// The product runs over int64 with the monomorphized plus-times ring:
+// wedge counts are integers, so summing them in int64 is exact at any
+// scale, where the historical float64 accumulation relied on counts staying
+// under 2^53 and a final +0.5 rounding. opt carries the algorithm/worker
+// selection; Semiring, Mask and Context are ignored (the mask is derived
+// from L, and a float64 Context cannot serve an int64 product).
 func CountFromLU(l, u *matrix.CSR, opt *spgemm.Options) (int64, error) {
 	if opt == nil {
 		opt = &spgemm.Options{Algorithm: spgemm.AlgHash}
 	}
-	inner := *opt
+	toCount := func(v float64) int64 {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	li := matrix.MapValues(l, toCount)
+	ui := matrix.MapValues(u, toCount)
+	inner := spgemm.OptionsG[int64]{
+		Algorithm: opt.Algorithm,
+		Workers:   opt.Workers,
+		Unsorted:  opt.Unsorted,
+		UseCase:   spgemm.UseTriangle,
+		Stats:     opt.Stats,
+	}
 	useMask := inner.Algorithm == spgemm.AlgHash || inner.Algorithm == spgemm.AlgHashVec
 	if useMask {
-		inner.Mask = l
+		inner.Mask = li
 	}
-	b, err := spgemm.Multiply(l, u, &inner)
+	b, err := spgemm.MultiplyRing(semiring.PlusTimesI64{}, li, ui, &inner)
 	if err != nil {
 		return 0, err
 	}
 	if useMask {
-		return int64(b.Sum() + 0.5), nil
+		return b.Sum(), nil
 	}
 	// Filter the full product against L's pattern.
-	masked, err := matrix.Hadamard(b, l)
+	masked, err := matrix.HadamardG(b, li)
 	if err != nil {
 		return 0, err
 	}
-	return int64(masked.Sum() + 0.5), nil
+	return masked.Sum(), nil
 }
 
 // Pattern returns a copy of m with every stored value set to 1.

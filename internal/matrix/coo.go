@@ -3,34 +3,45 @@ package matrix
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/semiring"
 )
 
-// Entry is one (row, column, value) triple of a sparse matrix.
-type Entry struct {
+// EntryG is one (row, column, value) triple of a sparse matrix over V.
+type EntryG[V semiring.Value] struct {
 	Row, Col int32
-	Val      float64
+	Val      V
 }
 
-// COO is a sparse matrix in coordinate (triplet) format. It is the natural
-// output format of the generators and of Matrix Market parsing, and converts
-// to CSR for computation.
-type COO struct {
+// Entry is the float64 instantiation.
+type Entry = EntryG[float64]
+
+// COOG is a sparse matrix in coordinate (triplet) format over V. It is the
+// natural output format of the generators and of Matrix Market parsing, and
+// converts to CSR for computation.
+type COOG[V semiring.Value] struct {
 	Rows, Cols int
-	Entries    []Entry
+	Entries    []EntryG[V]
 }
 
-// NewCOO returns an empty rows×cols coordinate matrix.
-func NewCOO(rows, cols int) *COO {
-	return &COO{Rows: rows, Cols: cols}
+// COO is the float64 instantiation.
+type COO = COOG[float64]
+
+// NewCOO returns an empty rows×cols float64 coordinate matrix.
+func NewCOO(rows, cols int) *COO { return NewCOOG[float64](rows, cols) }
+
+// NewCOOG returns an empty rows×cols coordinate matrix over V.
+func NewCOOG[V semiring.Value](rows, cols int) *COOG[V] {
+	return &COOG[V]{Rows: rows, Cols: cols}
 }
 
 // Append adds one entry. It does not check for duplicates; ToCSR merges them.
-func (c *COO) Append(row, col int32, val float64) {
-	c.Entries = append(c.Entries, Entry{row, col, val})
+func (c *COOG[V]) Append(row, col int32, val V) {
+	c.Entries = append(c.Entries, EntryG[V]{row, col, val})
 }
 
 // Validate checks that all entries are in range.
-func (c *COO) Validate() error {
+func (c *COOG[V]) Validate() error {
 	for i, e := range c.Entries {
 		if e.Row < 0 || int(e.Row) >= c.Rows || e.Col < 0 || int(e.Col) >= c.Cols {
 			return fmt.Errorf("matrix: COO entry %d (%d,%d) out of range %dx%d", i, e.Row, e.Col, c.Rows, c.Cols)
@@ -39,9 +50,10 @@ func (c *COO) Validate() error {
 	return nil
 }
 
-// ToCSR converts to CSR, merging duplicate (row,col) entries by summation and
-// dropping entries whose merged value is exactly zero. Rows come out sorted.
-func (c *COO) ToCSR() *CSR {
+// ToCSR converts to CSR, merging duplicate (row,col) entries (numeric +,
+// logical OR for bool) and dropping entries whose merged value is the
+// storage zero. Rows come out sorted.
+func (c *COOG[V]) ToCSR() *CSRG[V] {
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
@@ -54,7 +66,7 @@ func (c *COO) ToCSR() *CSR {
 		rowCount[i+1] += rowCount[i]
 	}
 	cols := make([]int32, len(c.Entries))
-	vals := make([]float64, len(c.Entries))
+	vals := make([]V, len(c.Entries))
 	next := make([]int64, c.Rows)
 	copy(next, rowCount[:c.Rows])
 	for _, e := range c.Entries {
@@ -63,7 +75,7 @@ func (c *COO) ToCSR() *CSR {
 		vals[p] = e.Val
 		next[e.Row] = p + 1
 	}
-	m := &CSR{
+	m := &CSRG[V]{
 		Rows:   c.Rows,
 		Cols:   c.Cols,
 		RowPtr: rowCount,
@@ -76,12 +88,12 @@ func (c *COO) ToCSR() *CSR {
 }
 
 // FromCSR converts back to coordinate format with entries in row-major order.
-func FromCSR(m *CSR) *COO {
-	c := &COO{Rows: m.Rows, Cols: m.Cols, Entries: make([]Entry, 0, m.NNZ())}
+func FromCSR[V semiring.Value](m *CSRG[V]) *COOG[V] {
+	c := &COOG[V]{Rows: m.Rows, Cols: m.Cols, Entries: make([]EntryG[V], 0, m.NNZ())}
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo; p < hi; p++ {
-			c.Entries = append(c.Entries, Entry{int32(i), m.ColIdx[p], m.Val[p]})
+			c.Entries = append(c.Entries, EntryG[V]{int32(i), m.ColIdx[p], m.Val[p]})
 		}
 	}
 	return c
@@ -89,18 +101,18 @@ func FromCSR(m *CSR) *COO {
 
 // Symmetrize adds the transpose entry for every off-diagonal entry, producing
 // the adjacency of an undirected graph. Duplicates are merged later by ToCSR.
-func (c *COO) Symmetrize() {
+func (c *COOG[V]) Symmetrize() {
 	n := len(c.Entries)
 	for i := 0; i < n; i++ {
 		e := c.Entries[i]
 		if e.Row != e.Col {
-			c.Entries = append(c.Entries, Entry{e.Col, e.Row, e.Val})
+			c.Entries = append(c.Entries, EntryG[V]{e.Col, e.Row, e.Val})
 		}
 	}
 }
 
 // SortRowMajor sorts the entries in (row, col) order. Duplicates stay adjacent.
-func (c *COO) SortRowMajor() {
+func (c *COOG[V]) SortRowMajor() {
 	sort.Slice(c.Entries, func(a, b int) bool {
 		ea, eb := c.Entries[a], c.Entries[b]
 		if ea.Row != eb.Row {

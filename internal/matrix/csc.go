@@ -1,27 +1,35 @@
 package matrix
 
-import "fmt"
+import (
+	"fmt"
 
-// CSC is a sparse matrix in Compressed Sparse Columns format: the column-
-// major dual of CSR. Column j's row indices and values live in
-// RowIdx[ColPtr[j]:ColPtr[j+1]] and Val[ColPtr[j]:ColPtr[j+1]].
+	"repro/internal/semiring"
+)
+
+// CSCG is a sparse matrix in Compressed Sparse Columns format: the column-
+// major dual of CSR, generic over the stored value type V. Column j's row
+// indices and values live in RowIdx[ColPtr[j]:ColPtr[j+1]] and
+// Val[ColPtr[j]:ColPtr[j+1]].
 //
 // The row-wise SpGEMM algorithms of this repository operate on CSR; CSC is
 // provided for interoperability (many numerical packages are column-major)
 // and for column-access patterns such as the right-hand-side slicing of the
 // tall-skinny use case.
-type CSC struct {
+type CSCG[V semiring.Value] struct {
 	Rows, Cols int
 	ColPtr     []int64
 	RowIdx     []int32
-	Val        []float64
+	Val        []V
 	// Sorted reports whether every column's row indices are strictly
 	// increasing.
 	Sorted bool
 }
 
+// CSC is the float64 instantiation.
+type CSC = CSCG[float64]
+
 // NNZ returns the number of stored entries.
-func (m *CSC) NNZ() int64 {
+func (m *CSCG[V]) NNZ() int64 {
 	if len(m.ColPtr) == 0 {
 		return 0
 	}
@@ -29,13 +37,13 @@ func (m *CSC) NNZ() int64 {
 }
 
 // Col returns the row-index and value slices of column j, aliasing storage.
-func (m *CSC) Col(j int) ([]int32, []float64) {
+func (m *CSCG[V]) Col(j int) ([]int32, []V) {
 	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
 	return m.RowIdx[lo:hi], m.Val[lo:hi]
 }
 
 // Validate checks the CSC structural invariants.
-func (m *CSC) Validate() error {
+func (m *CSCG[V]) Validate() error {
 	if m.Rows < 0 || m.Cols < 0 {
 		return fmt.Errorf("matrix: negative dimensions %dx%d", m.Rows, m.Cols)
 	}
@@ -76,13 +84,13 @@ func (m *CSC) Validate() error {
 
 // ToCSC converts a CSR matrix to CSC. Columns come out sorted (the
 // conversion is a stable counting sort by column).
-func (m *CSR) ToCSC() *CSC {
-	out := &CSC{
+func (m *CSRG[V]) ToCSC() *CSCG[V] {
+	out := &CSCG[V]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		ColPtr: make([]int64, m.Cols+1),
 		RowIdx: make([]int32, m.NNZ()),
-		Val:    make([]float64, m.NNZ()),
+		Val:    make([]V, m.NNZ()),
 		Sorted: true,
 	}
 	for _, c := range m.ColIdx {
@@ -107,13 +115,13 @@ func (m *CSR) ToCSC() *CSC {
 }
 
 // ToCSR converts a CSC matrix to CSR with sorted rows.
-func (m *CSC) ToCSR() *CSR {
-	out := &CSR{
+func (m *CSCG[V]) ToCSR() *CSRG[V] {
+	out := &CSRG[V]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		RowPtr: make([]int64, m.Rows+1),
 		ColIdx: make([]int32, m.NNZ()),
-		Val:    make([]float64, m.NNZ()),
+		Val:    make([]V, m.NNZ()),
 		Sorted: true,
 	}
 	for _, r := range m.RowIdx {
@@ -138,18 +146,19 @@ func (m *CSC) ToCSR() *CSR {
 }
 
 // Diagonal returns the main-diagonal values of a CSR matrix as a dense
-// slice (missing entries are zero).
-func (m *CSR) Diagonal() []float64 {
+// slice (missing entries are the storage zero; duplicates merge with V's
+// conventional addition).
+func (m *CSRG[V]) Diagonal() []V {
 	n := m.Rows
 	if m.Cols < n {
 		n = m.Cols
 	}
-	d := make([]float64, n)
+	d := make([]V, n)
 	for i := 0; i < n; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo; p < hi; p++ {
 			if int(m.ColIdx[p]) == i {
-				d[i] += m.Val[p]
+				d[i] = addValue(d[i], m.Val[p])
 			}
 		}
 	}
@@ -157,22 +166,22 @@ func (m *CSR) Diagonal() []float64 {
 }
 
 // Trace returns the sum of the main diagonal.
-func (m *CSR) Trace() float64 {
-	var t float64
+func (m *CSRG[V]) Trace() V {
+	var t V
 	for _, v := range m.Diagonal() {
-		t += v
+		t = addValue(t, v)
 	}
 	return t
 }
 
-// InfNorm returns the maximum absolute row sum.
-func (m *CSR) InfNorm() float64 {
+// InfNorm returns the maximum absolute row sum (bool entries count as 1).
+func (m *CSRG[V]) InfNorm() float64 {
 	var worst float64
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		var s float64
 		for p := lo; p < hi; p++ {
-			v := m.Val[p]
+			v := toFloat64(m.Val[p])
 			if v < 0 {
 				v = -v
 			}

@@ -1,20 +1,26 @@
 // Package matrix provides sparse matrix storage formats and the structural
 // operations the SpGEMM algorithms in this repository are built on.
 //
-// The central type is CSR (Compressed Sparse Rows): three arrays — row
-// pointers, column indices and values — exactly as described in Section 2 of
-// Nagasaka et al. (ICPP 2018). Column indices within a row may be sorted or
-// unsorted; the Sorted flag records which, because several SpGEMM algorithms
-// in this repository behave differently (and are benchmarked differently)
-// depending on sortedness.
+// The central type is CSRG[V] (Compressed Sparse Rows, generic over the
+// stored value type): three arrays — row pointers, column indices and values
+// — exactly as described in Section 2 of Nagasaka et al. (ICPP 2018), with
+// the value type chosen per workload (float64 numerics, float32 for half the
+// value bandwidth, bool for reachability). CSR, COO and CSC are aliases for
+// the float64 instantiations, preserving the historic API. Column indices
+// within a row may be sorted or unsorted; the Sorted flag records which,
+// because several SpGEMM algorithms in this repository behave differently
+// (and are benchmarked differently) depending on sortedness.
 package matrix
 
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/semiring"
 )
 
-// CSR is a sparse matrix in Compressed Sparse Rows format.
+// CSRG is a sparse matrix in Compressed Sparse Rows format, generic over the
+// stored value type V.
 //
 // RowPtr has length Rows+1; the column indices and values of row i live in
 // ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]].
@@ -22,31 +28,38 @@ import (
 // Column indices are int32 (the paper's implementations use 32-bit keys) and
 // row pointers are int64 so that matrices with more than 2^31 nonzeros are
 // representable.
-type CSR struct {
+type CSRG[V semiring.Value] struct {
 	Rows, Cols int
 	RowPtr     []int64
 	ColIdx     []int32
-	Val        []float64
+	Val        []V
 	// Sorted reports whether every row's column indices are in strictly
 	// increasing order. Algorithms that require sorted inputs check this
 	// flag; algorithms that emit unsorted output clear it.
 	Sorted bool
 }
 
-// NewCSR returns an empty Rows×Cols matrix with no nonzeros.
-func NewCSR(rows, cols int) *CSR {
-	return &CSR{
+// CSR is the float64 instantiation — the historic type of this package, and
+// still the default for all numeric work.
+type CSR = CSRG[float64]
+
+// NewCSR returns an empty Rows×Cols float64 matrix with no nonzeros.
+func NewCSR(rows, cols int) *CSR { return NewCSRG[float64](rows, cols) }
+
+// NewCSRG returns an empty Rows×Cols matrix with no nonzeros over V.
+func NewCSRG[V semiring.Value](rows, cols int) *CSRG[V] {
+	return &CSRG[V]{
 		Rows:   rows,
 		Cols:   cols,
 		RowPtr: make([]int64, rows+1),
 		ColIdx: []int32{},
-		Val:    []float64{},
+		Val:    []V{},
 		Sorted: true,
 	}
 }
 
 // NNZ returns the number of stored nonzero entries.
-func (m *CSR) NNZ() int64 {
+func (m *CSRG[V]) NNZ() int64 {
 	if len(m.RowPtr) == 0 {
 		return 0
 	}
@@ -54,25 +67,25 @@ func (m *CSR) NNZ() int64 {
 }
 
 // RowNNZ returns the number of stored entries in row i.
-func (m *CSR) RowNNZ(i int) int64 {
+func (m *CSRG[V]) RowNNZ(i int) int64 {
 	return m.RowPtr[i+1] - m.RowPtr[i]
 }
 
 // Row returns the column-index and value slices of row i. The slices alias
 // the matrix storage; callers must not grow them.
-func (m *CSR) Row(i int) ([]int32, []float64) {
+func (m *CSRG[V]) Row(i int) ([]int32, []V) {
 	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 	return m.ColIdx[lo:hi], m.Val[lo:hi]
 }
 
 // Clone returns a deep copy of m.
-func (m *CSR) Clone() *CSR {
-	c := &CSR{
+func (m *CSRG[V]) Clone() *CSRG[V] {
+	c := &CSRG[V]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		RowPtr: append([]int64(nil), m.RowPtr...),
 		ColIdx: append([]int32(nil), m.ColIdx...),
-		Val:    append([]float64(nil), m.Val...),
+		Val:    append([]V(nil), m.Val...),
 		Sorted: m.Sorted,
 	}
 	return c
@@ -82,7 +95,7 @@ func (m *CSR) Clone() *CSR {
 // in-range column indices, consistent array lengths, and — when Sorted is
 // set — strictly increasing column indices within each row. It returns a
 // descriptive error for the first violation found.
-func (m *CSR) Validate() error {
+func (m *CSRG[V]) Validate() error {
 	if m.Rows < 0 || m.Cols < 0 {
 		return fmt.Errorf("matrix: negative dimensions %dx%d", m.Rows, m.Cols)
 	}
@@ -126,7 +139,7 @@ func (m *CSR) Validate() error {
 // SortRows sorts the column indices (and values) of each row into increasing
 // order, in place, and sets Sorted. Duplicate columns within a row are not
 // merged; use Compact for that.
-func (m *CSR) SortRows() {
+func (m *CSRG[V]) SortRows() {
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		sortRowSegment(m.ColIdx[lo:hi], m.Val[lo:hi])
@@ -135,32 +148,33 @@ func (m *CSR) SortRows() {
 }
 
 // sortRowSegment sorts cols ascending, permuting vals identically.
-func sortRowSegment(cols []int32, vals []float64) {
+func sortRowSegment[V semiring.Value](cols []int32, vals []V) {
 	if len(cols) < 2 {
 		return
 	}
 	if sort.SliceIsSorted(cols, func(a, b int) bool { return cols[a] < cols[b] }) {
 		return
 	}
-	sort.Sort(&rowSorter{cols, vals})
+	sort.Sort(&rowSorter[V]{cols, vals})
 }
 
-type rowSorter struct {
+type rowSorter[V semiring.Value] struct {
 	cols []int32
-	vals []float64
+	vals []V
 }
 
-func (s *rowSorter) Len() int           { return len(s.cols) }
-func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
-func (s *rowSorter) Swap(i, j int) {
+func (s *rowSorter[V]) Len() int           { return len(s.cols) }
+func (s *rowSorter[V]) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter[V]) Swap(i, j int) {
 	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
 	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
 }
 
-// Compact merges duplicate column entries within each row (summing their
-// values) and drops explicit zeros. Rows are left sorted. The matrix is
+// Compact merges duplicate column entries within each row (combining their
+// values with V's conventional addition — numeric +, logical OR for bool)
+// and drops explicit storage zeros. Rows are left sorted. The matrix is
 // modified in place and also returned for chaining.
-func (m *CSR) Compact() *CSR {
+func (m *CSRG[V]) Compact() *CSRG[V] {
 	if !m.Sorted {
 		m.SortRows()
 	}
@@ -174,10 +188,10 @@ func (m *CSR) Compact() *CSR {
 			v := m.Val[p]
 			p++
 			for p < hi && m.ColIdx[p] == c {
-				v += m.Val[p]
+				v = addValue(v, m.Val[p])
 				p++
 			}
-			if v != 0 {
+			if !isZeroValue(v) {
 				m.ColIdx[out] = c
 				m.Val[out] = v
 				out++
@@ -193,7 +207,7 @@ func (m *CSR) Compact() *CSR {
 
 // IsSortedRows reports whether each row's column indices are strictly
 // increasing, regardless of the Sorted flag. Useful in tests.
-func (m *CSR) IsSortedRows() bool {
+func (m *CSRG[V]) IsSortedRows() bool {
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo + 1; p < hi; p++ {
@@ -207,13 +221,13 @@ func (m *CSR) IsSortedRows() bool {
 
 // Transpose returns the transpose of m in CSR format (equivalently, m in CSC
 // format reinterpreted). The output has sorted rows.
-func (m *CSR) Transpose() *CSR {
-	t := &CSR{
+func (m *CSRG[V]) Transpose() *CSRG[V] {
+	t := &CSRG[V]{
 		Rows:   m.Cols,
 		Cols:   m.Rows,
 		RowPtr: make([]int64, m.Cols+1),
 		ColIdx: make([]int32, m.NNZ()),
-		Val:    make([]float64, m.NNZ()),
+		Val:    make([]V, m.NNZ()),
 		Sorted: true,
 	}
 	// Count entries per column.
@@ -242,7 +256,7 @@ func (m *CSR) Transpose() *CSR {
 // PermuteCols relabels columns through perm (new column of old column j is
 // perm[j]). Used to produce the "randomly permuted column indices" unsorted
 // inputs of the paper's evaluation. The result is marked unsorted.
-func (m *CSR) PermuteCols(perm []int32) *CSR {
+func (m *CSRG[V]) PermuteCols(perm []int32) *CSRG[V] {
 	if len(perm) != m.Cols {
 		panic(fmt.Sprintf("matrix: PermuteCols perm length %d, want %d", len(perm), m.Cols))
 	}
@@ -255,16 +269,16 @@ func (m *CSR) PermuteCols(perm []int32) *CSR {
 }
 
 // PermuteRows reorders rows through perm: output row i is input row perm[i].
-func (m *CSR) PermuteRows(perm []int) *CSR {
+func (m *CSRG[V]) PermuteRows(perm []int) *CSRG[V] {
 	if len(perm) != m.Rows {
 		panic(fmt.Sprintf("matrix: PermuteRows perm length %d, want %d", len(perm), m.Rows))
 	}
-	out := &CSR{
+	out := &CSRG[V]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		RowPtr: make([]int64, m.Rows+1),
 		ColIdx: make([]int32, m.NNZ()),
-		Val:    make([]float64, m.NNZ()),
+		Val:    make([]V, m.NNZ()),
 		Sorted: m.Sorted,
 	}
 	pos := int64(0)
@@ -279,36 +293,41 @@ func (m *CSR) PermuteRows(perm []int) *CSR {
 	return out
 }
 
-// Identity returns the n×n identity matrix.
-func Identity(n int) *CSR {
-	m := &CSR{
+// Identity returns the n×n float64 identity matrix.
+func Identity(n int) *CSR { return IdentityG[float64](n) }
+
+// IdentityG returns the n×n identity over V (diagonal of multiplicative
+// ones — true for bool).
+func IdentityG[V semiring.Value](n int) *CSRG[V] {
+	m := &CSRG[V]{
 		Rows:   n,
 		Cols:   n,
 		RowPtr: make([]int64, n+1),
 		ColIdx: make([]int32, n),
-		Val:    make([]float64, n),
+		Val:    make([]V, n),
 		Sorted: true,
 	}
+	one := oneValue[V]()
 	for i := 0; i < n; i++ {
 		m.RowPtr[i+1] = int64(i + 1)
 		m.ColIdx[i] = int32(i)
-		m.Val[i] = 1
+		m.Val[i] = one
 	}
 	return m
 }
 
 // LowerTriangle returns the strictly lower triangular part of m (entries with
 // column < row), preserving row sortedness.
-func (m *CSR) LowerTriangle() *CSR { return m.triangle(true) }
+func (m *CSRG[V]) LowerTriangle() *CSRG[V] { return m.triangle(true) }
 
 // UpperTriangle returns the strictly upper triangular part of m (entries with
 // column > row), preserving row sortedness.
-func (m *CSR) UpperTriangle() *CSR { return m.triangle(false) }
+func (m *CSRG[V]) UpperTriangle() *CSRG[V] { return m.triangle(false) }
 
-func (m *CSR) triangle(lower bool) *CSR {
-	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int64, m.Rows+1), Sorted: m.Sorted}
+func (m *CSRG[V]) triangle(lower bool) *CSRG[V] {
+	out := &CSRG[V]{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int64, m.Rows+1), Sorted: m.Sorted}
 	var cols []int32
-	var vals []float64
+	var vals []V
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo; p < hi; p++ {
@@ -330,7 +349,7 @@ func (m *CSR) triangle(lower bool) *CSR {
 // strictly increasing for the output to preserve sortedness; otherwise the
 // output is marked unsorted. Used to build the tall-skinny right-hand sides
 // of the paper's Section 5.5 evaluation.
-func (m *CSR) SelectColumns(cols []int32) *CSR {
+func (m *CSRG[V]) SelectColumns(cols []int32) *CSRG[V] {
 	remap := make(map[int32]int32, len(cols))
 	increasing := true
 	for i, c := range cols {
@@ -339,9 +358,9 @@ func (m *CSR) SelectColumns(cols []int32) *CSR {
 			increasing = false
 		}
 	}
-	out := &CSR{Rows: m.Rows, Cols: len(cols), RowPtr: make([]int64, m.Rows+1)}
+	out := &CSRG[V]{Rows: m.Rows, Cols: len(cols), RowPtr: make([]int64, m.Rows+1)}
 	var oc []int32
-	var ov []float64
+	var ov []V
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo; p < hi; p++ {
@@ -359,6 +378,6 @@ func (m *CSR) SelectColumns(cols []int32) *CSR {
 }
 
 // String returns a short human-readable description (not the full contents).
-func (m *CSR) String() string {
+func (m *CSRG[V]) String() string {
 	return fmt.Sprintf("CSR{%dx%d, nnz=%d, sorted=%v}", m.Rows, m.Cols, m.NNZ(), m.Sorted)
 }

@@ -20,14 +20,15 @@ func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
 // Set assigns element (i, j).
 func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
 
-// ToDense expands a CSR matrix into dense form. Duplicate entries within a
-// row (possible in unsorted non-compacted matrices) are summed.
-func (m *CSR) ToDense() *Dense {
+// ToDense expands a CSR matrix into float64 dense form (bool entries map to
+// 0/1). Duplicate entries within a row (possible in unsorted non-compacted
+// matrices) are summed.
+func (m *CSRG[V]) ToDense() *Dense {
 	d := NewDense(m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		for p := lo; p < hi; p++ {
-			d.Data[i*m.Cols+int(m.ColIdx[p])] += m.Val[p]
+			d.Data[i*m.Cols+int(m.ColIdx[p])] += toFloat64(m.Val[p])
 		}
 	}
 	return d

@@ -1,9 +1,15 @@
 package matrix
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
 
 // Elementwise matrix algebra. These operate row-by-row on sorted matrices
 // (unsorted inputs are sorted into a copy first) and return sorted results.
+// Add is float64-specific (it scales by float64 factors); Hadamard and the
+// reductions below it are generic.
 
 // Add returns alpha·a + beta·b. Dimensions must match.
 func Add(a, b *CSR, alpha, beta float64) (*CSR, error) {
@@ -42,13 +48,18 @@ func Add(a, b *CSR, alpha, beta float64) (*CSR, error) {
 
 // Hadamard returns the elementwise product a .* b (intersection of
 // patterns). Dimensions must match.
-func Hadamard(a, b *CSR) (*CSR, error) {
+func Hadamard(a, b *CSR) (*CSR, error) { return HadamardG(a, b) }
+
+// HadamardG is the generic elementwise product: mulValue semantics (numeric
+// product; logical AND for bool), entries whose product is the storage zero
+// are dropped.
+func HadamardG[V semiring.Value](a, b *CSRG[V]) (*CSRG[V], error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("matrix: Hadamard dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	a = ensureSorted(a)
 	b = ensureSorted(b)
-	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
+	out := &CSRG[V]{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
 	for i := 0; i < a.Rows; i++ {
 		ac, av := a.Row(i)
 		bc, bv := b.Row(i)
@@ -60,7 +71,7 @@ func Hadamard(a, b *CSR) (*CSR, error) {
 			case bc[q] < ac[p]:
 				q++
 			default:
-				if v := av[p] * bv[q]; v != 0 {
+				if v := mulValue(av[p], bv[q]); !isZeroValue(v) {
 					out.push(ac[p], v)
 				}
 				p++
@@ -72,31 +83,33 @@ func Hadamard(a, b *CSR) (*CSR, error) {
 	return out, nil
 }
 
-// Scale multiplies every stored value by alpha, in place, and returns m.
-func (m *CSR) Scale(alpha float64) *CSR {
+// Scale multiplies every stored value by alpha (logical AND for bool), in
+// place, and returns m.
+func (m *CSRG[V]) Scale(alpha V) *CSRG[V] {
 	for i := range m.Val {
-		m.Val[i] *= alpha
+		m.Val[i] = mulValue(m.Val[i], alpha)
 	}
 	return m
 }
 
-// Sum returns the sum of all stored values.
-func (m *CSR) Sum() float64 {
-	var s float64
+// Sum returns the combination of all stored values under V's conventional
+// addition (numeric sum; logical OR for bool).
+func (m *CSRG[V]) Sum() V {
+	var s V
 	for _, v := range m.Val {
-		s += v
+		s = addValue(s, v)
 	}
 	return s
 }
 
 // RowSums returns the per-row sums of stored values.
-func (m *CSR) RowSums() []float64 {
-	out := make([]float64, m.Rows)
+func (m *CSRG[V]) RowSums() []V {
+	out := make([]V, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		var s float64
+		var s V
 		for p := lo; p < hi; p++ {
-			s += m.Val[p]
+			s = addValue(s, m.Val[p])
 		}
 		out[i] = s
 	}
@@ -104,13 +117,13 @@ func (m *CSR) RowSums() []float64 {
 }
 
 // push appends one entry to the under-construction matrix.
-func (m *CSR) push(col int32, v float64) {
+func (m *CSRG[V]) push(col int32, v V) {
 	m.ColIdx = append(m.ColIdx, col)
 	m.Val = append(m.Val, v)
 }
 
 // ensureSorted returns m if its rows are sorted, else a sorted copy.
-func ensureSorted(m *CSR) *CSR {
+func ensureSorted[V semiring.Value](m *CSRG[V]) *CSRG[V] {
 	if m.Sorted {
 		return m
 	}

@@ -1,16 +1,31 @@
 package matrix
 
-import "math"
+import (
+	"math"
 
-// NaiveMultiply computes a·b sequentially with a map accumulator. It is the
-// correctness oracle for every SpGEMM implementation in this repository: slow
-// but obviously right. The output has sorted, compacted rows.
+	"repro/internal/semiring"
+)
+
+// NaiveMultiply computes a·b sequentially with a map accumulator over
+// ordinary (+, ×) arithmetic. It is the correctness oracle for the float64
+// plus-times SpGEMM paths: slow but obviously right. The output has sorted,
+// compacted rows.
 func NaiveMultiply(a, b *CSR) *CSR {
+	return NaiveMultiplyRing(semiring.PlusTimesF64{}, a, b)
+}
+
+// NaiveMultiplyRing computes a·b sequentially with a map accumulator over an
+// arbitrary ring. It is the correctness oracle for the generic kernels and
+// for semiring Zero-handling audits: an output entry exists iff at least one
+// product landed on it (never dropped because its value equals ring.Zero(),
+// never fabricated for untouched columns — the MinPlus +Inf discipline).
+// The output has sorted rows; values equal to ring.Zero() are kept.
+func NaiveMultiplyRing[V semiring.Value, R semiring.Ring[V]](ring R, a, b *CSRG[V]) *CSRG[V] {
 	if a.Cols != b.Rows {
 		panic("matrix: NaiveMultiply dimension mismatch")
 	}
-	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
-	acc := make(map[int32]float64)
+	out := &CSRG[V]{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1), Sorted: true}
+	acc := make(map[int32]V)
 	for i := 0; i < a.Rows; i++ {
 		clear(acc)
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
@@ -19,7 +34,13 @@ func NaiveMultiply(a, b *CSR) *CSR {
 			av := a.Val[p]
 			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
 			for q := blo; q < bhi; q++ {
-				acc[b.ColIdx[q]] += av * b.Val[q]
+				c := b.ColIdx[q]
+				prod := ring.Mul(av, b.Val[q])
+				if cur, ok := acc[c]; ok {
+					acc[c] = ring.Add(cur, prod)
+				} else {
+					acc[c] = prod
+				}
 			}
 		}
 		cols := make([]int32, 0, len(acc))
@@ -44,7 +65,7 @@ func NaiveMultiply(a, b *CSR) *CSR {
 // Equal reports exact structural and numerical equality (same dimensions,
 // row pointers, column order and values). Both matrices should be in the same
 // canonical form for this to be meaningful.
-func Equal(a, b *CSR) bool {
+func Equal[V semiring.Value](a, b *CSRG[V]) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
 		return false
 	}
@@ -61,10 +82,13 @@ func Equal(a, b *CSR) bool {
 	return true
 }
 
-// EqualApprox reports whether a and b represent the same matrix up to
+// EqualApprox reports whether a and b represent the same float64 matrix up to
 // floating-point tolerance, after canonicalizing both (sorting rows and
 // merging duplicates). Entries smaller than tol in both matrices are treated
-// as zero, so algorithms that drop or keep numeric zeros both pass.
+// as zero, so algorithms that drop or keep numeric zeros both pass. Note the
+// Compact canonicalization merges with + and drops machine zeros, which is
+// only meaningful under plus-times; ring-aware comparisons (MinPlus et al.)
+// must compare structure exactly instead (see spgemm/difftest).
 func EqualApprox(a, b *CSR, tol float64) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return false

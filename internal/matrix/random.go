@@ -58,7 +58,7 @@ func RandomWithDegree(rows, cols, deg int, rng *rand.Rand) *CSR {
 // row's entries is randomly shuffled. The matrix it represents is unchanged;
 // only the storage order (and the Sorted flag) differ. This is the paper's
 // "unsorted input" evaluation mode: same problem, rows no longer sorted.
-func (m *CSR) ShuffleRowEntries(rng *rand.Rand) *CSR {
+func (m *CSRG[V]) ShuffleRowEntries(rng *rand.Rand) *CSRG[V] {
 	out := m.Clone()
 	for i := 0; i < out.Rows; i++ {
 		lo, hi := out.RowPtr[i], out.RowPtr[i+1]

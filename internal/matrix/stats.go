@@ -1,6 +1,10 @@
 package matrix
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/semiring"
+)
 
 // Stats summarizes the structural quantities the paper's evaluation keys on
 // (Table 2 and the compression-ratio plots of Figures 14 and 17).
@@ -16,8 +20,9 @@ type Stats struct {
 
 // Flop returns the number of non-trivial scalar multiplications required to
 // compute A·B by a row-wise algorithm (the paper's "flop"), together with the
-// per-row counts that drive the balanced scheduler of Figure 6.
-func Flop(a, b *CSR) (total int64, perRow []int64) {
+// per-row counts that drive the balanced scheduler of Figure 6. It depends
+// only on structure, so it is generic over the value types.
+func Flop[V, W semiring.Value](a *CSRG[V], b *CSRG[W]) (total int64, perRow []int64) {
 	return FlopInto(a, b, nil)
 }
 
@@ -26,7 +31,7 @@ func Flop(a, b *CSR) (total int64, perRow []int64) {
 // otherwise a new slice is allocated. Iterative callers (spgemm.Context) pass
 // the same buffer every multiplication so the flop pre-pass stops allocating
 // at steady state.
-func FlopInto(a, b *CSR, buf []int64) (total int64, perRow []int64) {
+func FlopInto[V, W semiring.Value](a *CSRG[V], b *CSRG[W], buf []int64) (total int64, perRow []int64) {
 	if a.Cols != b.Rows {
 		panic("matrix: Flop dimension mismatch")
 	}
@@ -53,7 +58,7 @@ func FlopInto(a, b *CSR, buf []int64) (total int64, perRow []int64) {
 // still applies: numeric re-execution is sound whenever the structure is
 // unchanged, however much the values moved. Cost is O(rows + nnz), far below
 // the O(flop) symbolic pass it guards.
-func (m *CSR) StructureChecksum() uint64 {
+func (m *CSRG[V]) StructureChecksum() uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -78,7 +83,7 @@ func (m *CSR) StructureChecksum() uint64 {
 }
 
 // MaxRowNNZ returns the maximum number of stored entries in any row.
-func (m *CSR) MaxRowNNZ() int64 {
+func (m *CSRG[V]) MaxRowNNZ() int64 {
 	var mx int64
 	for i := 0; i < m.Rows; i++ {
 		if r := m.RowPtr[i+1] - m.RowPtr[i]; r > mx {
@@ -90,7 +95,7 @@ func (m *CSR) MaxRowNNZ() int64 {
 
 // AvgRowNNZ returns the mean number of entries per row (the "edge factor" of
 // the paper's synthetic matrices).
-func (m *CSR) AvgRowNNZ() float64 {
+func (m *CSRG[V]) AvgRowNNZ() float64 {
 	if m.Rows == 0 {
 		return 0
 	}
@@ -101,7 +106,7 @@ func (m *CSR) AvgRowNNZ() float64 {
 // without materializing the product values: nnz of the inputs, flop, nnz of
 // the output (via a symbolic pass with a dense generation-stamped accumulator)
 // and the compression ratio.
-func ProductStats(a, b *CSR) Stats {
+func ProductStats[V, W semiring.Value](a *CSRG[V], b *CSRG[W]) Stats {
 	flop, _ := Flop(a, b)
 	nnzOut := SymbolicNNZ(a, b)
 	cr := math.Inf(1)
@@ -120,7 +125,7 @@ func ProductStats(a, b *CSR) Stats {
 // SymbolicNNZ returns nnz(a·b) using a sequential symbolic pass. It is the
 // simple reference used for statistics; the parallel symbolic phases live in
 // the spgemm package.
-func SymbolicNNZ(a, b *CSR) int64 {
+func SymbolicNNZ[V, W semiring.Value](a *CSRG[V], b *CSRG[W]) int64 {
 	if a.Cols != b.Rows {
 		panic("matrix: SymbolicNNZ dimension mismatch")
 	}
@@ -150,7 +155,7 @@ func SymbolicNNZ(a, b *CSR) int64 {
 // DegreeHistogram returns counts of rows by nnz bucket: bucket i counts rows
 // with nnz in [2^(i-1), 2^i), bucket 0 counts empty rows. Used to
 // characterize skew (ER vs G500) in the experiment reports.
-func (m *CSR) DegreeHistogram() []int64 {
+func (m *CSRG[V]) DegreeHistogram() []int64 {
 	var hist []int64
 	bump := func(b int) {
 		for len(hist) <= b {

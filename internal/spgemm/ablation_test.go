@@ -19,7 +19,8 @@ func TestHashOnePhaseMatchesNaive(t *testing.T) {
 		a, b := randPair(rng, 35, 0.2)
 		want := matrix.NaiveMultiply(a, b)
 		for _, unsorted := range []bool{false, true} {
-			got, err := hashOnePhase(a, b, &Options{Unsorted: unsorted, Workers: 1 + trial%3})
+			opt := &OptionsG[float64]{Unsorted: unsorted, Workers: 1 + trial%3}
+			got, err := hashOnePhase(semiring.PlusTimesF64{}, a, b, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -42,7 +43,7 @@ func TestHashOnePhaseSemiring(t *testing.T) {
 	for i := range a.Val {
 		a.Val[i] = 1
 	}
-	got, err := hashOnePhase(a, a, &Options{Semiring: semiring.OrAnd()})
+	got, err := hashOnePhase(semiring.Func{S: semiring.OrAnd()}, a, a, &OptionsG[float64]{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +79,14 @@ func BenchmarkAblationPhases(b *testing.B) {
 	a := ablMatrix(b)
 	b.Run("two-phase", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := hashMultiply(a, a, &Options{}, false); err != nil {
+			if _, err := hashMultiply(semiring.PlusTimesF64{}, a, a, &OptionsG[float64]{}, false); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("one-phase", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := hashOnePhase(a, a, &Options{}); err != nil {
+			if _, err := hashOnePhase(semiring.PlusTimesF64{}, a, a, &OptionsG[float64]{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -98,13 +99,15 @@ func BenchmarkAblationSchedHash(b *testing.B) {
 	a := ablMatrix(b)
 	for _, s := range []sched.Schedule{sched.Balanced, sched.Static, sched.Dynamic, sched.Guided} {
 		b.Run(s.String(), func(b *testing.B) {
-			cfg := twoPhaseConfig{
+			cfg := twoPhaseConfig[float64]{
 				schedule: s,
 				grain:    16,
-				factory:  func(ctx *Context, w int, bound int64) rowAcc { return accum.NewHashTable(bound) },
+				factory: func(ctx *ContextG[float64], w int, bound int64) rowAcc[float64] {
+					return accum.NewHashTable(bound)
+				},
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := twoPhase(a, a, &Options{}, cfg); err != nil {
+				if _, err := twoPhase(semiring.PlusTimesF64{}, a, a, &OptionsG[float64]{}, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -142,7 +145,7 @@ func BenchmarkAblationSortSkip(b *testing.B) {
 	for _, unsorted := range []bool{false, true} {
 		b.Run(fmt.Sprintf("unsorted=%v", unsorted), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := hashMultiply(a, a, &Options{Unsorted: unsorted}, false); err != nil {
+				if _, err := hashMultiply(semiring.PlusTimesF64{}, a, a, &OptionsG[float64]{Unsorted: unsorted}, false); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // blockedSPAMultiply implements the cache-blocked SPA SpGEMM of Patwary et
@@ -26,7 +27,7 @@ type blockedSPAConfig struct {
 // (32768 × 12 bytes), comfortably inside an L2 slice.
 const defaultSPABlock = 32768
 
-func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*matrix.CSR, error) {
+func blockedSPAMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V], cfg blockedSPAConfig) (*matrix.CSRG[V], error) {
 	blockCols := cfg.blockCols
 	if blockCols <= 0 {
 		blockCols = defaultSPABlock
@@ -49,12 +50,11 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	flopRow := perRowFlop(a, b)
 	offsets := sched.BalancedPartition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
-	sr := opt.Semiring
 
 	// One-phase with per-worker growable buffers; rows stay contiguous per
 	// worker because workers own contiguous row ranges.
 	bufCols := make([][]int32, workers)
-	bufVals := make([][]float64, workers)
+	bufVals := make([][]V, workers)
 	rowNnz := make([]int64, a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
@@ -63,9 +63,9 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 		if lo >= hi {
 			return
 		}
-		spa := accum.NewSPA(blockCols)
+		spa := accum.NewSPAG[V](blockCols)
 		scratchCols := make([]int32, blockCols)
-		scratchVals := make([]float64, blockCols)
+		scratchVals := make([]V, blockCols)
 		for i := lo; i < hi; i++ {
 			rowOffset[i] = int64(len(bufCols[w]))
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
@@ -77,13 +77,13 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 					k := a.ColIdx[p]
 					av := a.Val[p]
 					blo, bhi := bb.RowPtr[k], bb.RowPtr[k+1]
-					if sr == nil {
-						for q := blo; q < bhi; q++ {
-							spa.Accumulate(bb.ColIdx[q], av*bb.Val[q])
-						}
-					} else {
-						for q := blo; q < bhi; q++ {
-							spa.AccumulateFunc(bb.ColIdx[q], sr.Mul(av, bb.Val[q]), sr.Add)
+					for q := blo; q < bhi; q++ {
+						prod := ring.Mul(av, bb.Val[q])
+						slot, fresh := spa.Upsert(bb.ColIdx[q])
+						if fresh {
+							*slot = prod
+						} else {
+							*slot = ring.Add(*slot, prod)
 						}
 					}
 				}
@@ -116,7 +116,7 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	// Blocks are emitted in increasing column order, so with sorted
 	// per-block extraction the whole row is sorted.
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 	sched.RunWorkersNamed("assemble", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
@@ -133,15 +133,15 @@ func blockedSPAMultiply(a, b *matrix.CSR, opt *Options, cfg blockedSPAConfig) (*
 }
 
 // splitColumns partitions b into column blocks with block-local column ids.
-func splitColumns(b *matrix.CSR, blockCols, nBlocks int) []*matrix.CSR {
-	blocks := make([]*matrix.CSR, nBlocks)
+func splitColumns[V semiring.Value](b *matrix.CSRG[V], blockCols, nBlocks int) []*matrix.CSRG[V] {
+	blocks := make([]*matrix.CSRG[V], nBlocks)
 	counts := make([][]int64, nBlocks)
 	for k := range blocks {
 		width := blockCols
 		if (k+1)*blockCols > b.Cols {
 			width = b.Cols - k*blockCols
 		}
-		blocks[k] = &matrix.CSR{
+		blocks[k] = &matrix.CSRG[V]{
 			Rows:   b.Rows,
 			Cols:   width,
 			RowPtr: make([]int64, b.Rows+1),
@@ -162,7 +162,7 @@ func splitColumns(b *matrix.CSR, blockCols, nBlocks int) []*matrix.CSR {
 			blocks[k].RowPtr[i+1] = acc
 		}
 		blocks[k].ColIdx = make([]int32, acc)
-		blocks[k].Val = make([]float64, acc)
+		blocks[k].Val = make([]V, acc)
 		// Reuse counts[k] as per-row insertion cursors.
 		for i := 0; i < b.Rows; i++ {
 			counts[k][i] = blocks[k].RowPtr[i]

@@ -5,17 +5,24 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/mempool"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
-// Context is the reusable execution state of the SpGEMM kernels: the
+// ContextG is the reusable execution state of the SpGEMM kernels: the
 // per-worker accumulators (hash tables, chunked hash tables, merge heaps),
-// the per-worker mempool.Scratch temp buffers of the one-phase kernels, and
-// the per-row bookkeeping arrays (flop counts, row sizes, partition offsets,
-// prefix-sum scratch). All of it grows monotonically and is reused across
-// Multiply calls, so iterative workloads — MCL's repeated M·M, multi-source
-// BFS frontiers, label propagation, betweenness — pay the paper's Section 3.2
+// the per-worker temp buffers of the one-phase kernels, and the per-row
+// bookkeeping arrays (flop counts, row sizes, partition offsets, prefix-sum
+// scratch). All of it grows monotonically and is reused across Multiply
+// calls, so iterative workloads — MCL's repeated M·M, multi-source BFS
+// frontiers, label propagation, betweenness — pay the paper's Section 3.2
 // memory-management bill once instead of every call. After warm-up, a hash
 // SpGEMM through a Context allocates only the output matrix.
+//
+// A Context is specific to one value type V: its accumulators and value
+// scratch hold V entries. The ring used for a given call is independent —
+// the same ContextG[float64] serves plus-times, min-plus and max-times
+// products alike, because the accumulators store values without ever
+// interpreting them (the driver applies the ring to Upsert slots).
 //
 // Usage: create one Context, point Options.Context at it, and call Multiply
 // in a loop. A nil Options.Context preserves the one-shot behavior (every
@@ -24,7 +31,7 @@ import (
 // A Context is NOT safe for concurrent use: concurrent Multiply calls must
 // use distinct Contexts (or nil). The optional worker pool is the exception —
 // sched.Pool is concurrency-safe and may be shared.
-type Context struct {
+type ContextG[V semiring.Value] struct {
 	// Pool, when non-nil, runs this context's parallel regions on a caller-
 	// managed worker pool instead of the process-wide default pool. Both are
 	// persistent (parked goroutines); a dedicated pool only isolates this
@@ -32,10 +39,16 @@ type Context struct {
 	Pool *sched.Pool
 
 	// Per-worker accumulator state, grown on demand.
-	hash    []*accum.HashTable
-	hashVec []*accum.HashVecTable
-	heaps   []*accum.MergeHeap
+	hash    []*accum.HashTableG[V]
+	hashVec []*accum.HashVecTableG[V]
+	heaps   []*accum.MergeHeapG[V]
 	scratch *mempool.Pool
+
+	// Per-worker value scratch (the V-typed counterpart of the index buffers
+	// in mempool.Scratch), grown monotonically like everything else here.
+	// Two independent buffers per worker because the merge kernel ping-pongs.
+	valA [][]V
+	valB [][]V
 
 	// Per-row bookkeeping, grown on demand.
 	flopRow []int64
@@ -49,23 +62,29 @@ type Context struct {
 	cumCalls int64
 }
 
-// NewContext returns an empty Context. Buffers are sized on first use and
-// grow monotonically afterwards.
+// Context is the float64 instantiation — the type existing callers hold.
+type Context = ContextG[float64]
+
+// NewContext returns an empty float64 Context. Buffers are sized on first
+// use and grow monotonically afterwards.
 func NewContext() *Context { return &Context{} }
+
+// NewContextG returns an empty Context over V.
+func NewContextG[V semiring.Value]() *ContextG[V] { return &ContextG[V]{} }
 
 // ctx returns the reusable context for this call: the caller's when set, or
 // a fresh transient one, which makes every ensure-method allocate — byte-for-
 // byte the pre-Context one-shot behavior.
-func (o *Options) ctx() *Context {
+func (o *OptionsG[V]) ctx() *ContextG[V] {
 	if o.Context != nil {
 		return o.Context
 	}
-	return &Context{}
+	return &ContextG[V]{}
 }
 
 // pool returns the worker pool this context's parallel regions run on: the
 // caller-managed one when set, the process-wide default otherwise.
-func (c *Context) pool() *sched.Pool {
+func (c *ContextG[V]) pool() *sched.Pool {
 	if c.Pool != nil {
 		return c.Pool
 	}
@@ -74,18 +93,18 @@ func (c *Context) pool() *sched.Pool {
 
 // runWorkers runs a parallel region on the context's pool (or the default).
 // name labels the region on the tracer's worker lanes.
-func (c *Context) runWorkers(name string, workers int, body func(worker int)) {
+func (c *ContextG[V]) runWorkers(name string, workers int, body func(worker int)) {
 	c.pool().RunWorkersNamed(name, workers, body)
 }
 
 // parallelFor runs a scheduled loop on the context's pool (or the default).
 // name labels the region on the tracer's worker lanes.
-func (c *Context) parallelFor(name string, workers, n int, s sched.Schedule, grain int, body func(worker, lo, hi int)) {
+func (c *ContextG[V]) parallelFor(name string, workers, n int, s sched.Schedule, grain int, body func(worker, lo, hi int)) {
 	c.pool().ParallelForNamed(name, workers, n, s, grain, body)
 }
 
 // accumulate folds one stats-enabled call into the context's running totals.
-func (c *Context) accumulate(st *ExecStats) {
+func (c *ContextG[V]) accumulate(st *ExecStats) {
 	c.cum.Add(st)
 	c.cumCalls++
 }
@@ -95,7 +114,7 @@ func (c *Context) accumulate(st *ExecStats) {
 // through this context — the aggregate breakdown iterative workloads like MCL
 // report instead of just the last call's. Returns nil before the first
 // stats-enabled call.
-func (c *Context) CumulativeStats() *ExecStats {
+func (c *ContextG[V]) CumulativeStats() *ExecStats {
 	if c.cumCalls == 0 {
 		return nil
 	}
@@ -103,23 +122,23 @@ func (c *Context) CumulativeStats() *ExecStats {
 }
 
 // CumulativeCalls returns how many stats-enabled calls have been accumulated.
-func (c *Context) CumulativeCalls() int64 { return c.cumCalls }
+func (c *ContextG[V]) CumulativeCalls() int64 { return c.cumCalls }
 
 // ResetCumulative clears the running totals (e.g. between benchmark reps).
-func (c *Context) ResetCumulative() {
+func (c *ContextG[V]) ResetCumulative() {
 	c.cum = ExecStats{}
 	c.cumCalls = 0
 }
 
 // prefixSum computes the exclusive prefix sum on the context's pool.
-func (c *Context) prefixSum(weights, out []int64, workers int) []int64 {
+func (c *ContextG[V]) prefixSum(weights, out []int64, workers int) []int64 {
 	return c.pool().PrefixSum(weights, out, workers)
 }
 
 // perRowFlop computes the per-row flop counts into the context's reusable
 // buffer (the FlopInto satellite of the allocate-once discipline). The total
 // the pre-pass computes anyway feeds the spgemm_flop_total counter.
-func (c *Context) perRowFlop(a, b *matrix.CSR) []int64 {
+func (c *ContextG[V]) perRowFlop(a, b *matrix.CSRG[V]) []int64 {
 	total, perRow := matrix.FlopInto(a, b, c.flopRow)
 	mFlop.Add(total)
 	c.flopRow = perRow
@@ -128,7 +147,7 @@ func (c *Context) perRowFlop(a, b *matrix.CSR) []int64 {
 
 // partition computes the flop-balanced row partition (Figure 6) into the
 // context's reusable offsets and prefix-sum buffers.
-func (c *Context) partition(flopRow []int64, parts, workers int) []int {
+func (c *ContextG[V]) partition(flopRow []int64, parts, workers int) []int {
 	if n := len(flopRow); cap(c.ps) < n+1 {
 		c.ps = make([]int64, n+1)
 	}
@@ -137,7 +156,7 @@ func (c *Context) partition(flopRow []int64, parts, workers int) []int {
 }
 
 // rowNnzBuf returns the per-row output-size array, zeroed, with length rows.
-func (c *Context) rowNnzBuf(rows int) []int64 {
+func (c *ContextG[V]) rowNnzBuf(rows int) []int64 {
 	if cap(c.rowNnz) < rows {
 		c.rowNnz = make([]int64, rows)
 	}
@@ -149,21 +168,31 @@ func (c *Context) rowNnzBuf(rows int) []int64 {
 }
 
 // ensureWorkers grows the per-worker accumulator slices to at least n slots.
-func (c *Context) ensureWorkers(n int) {
+func (c *ContextG[V]) ensureWorkers(n int) {
 	if n > len(c.hash) {
-		grown := make([]*accum.HashTable, n)
+		grown := make([]*accum.HashTableG[V], n)
 		copy(grown, c.hash)
 		c.hash = grown
 	}
 	if n > len(c.hashVec) {
-		grown := make([]*accum.HashVecTable, n)
+		grown := make([]*accum.HashVecTableG[V], n)
 		copy(grown, c.hashVec)
 		c.hashVec = grown
 	}
 	if n > len(c.heaps) {
-		grown := make([]*accum.MergeHeap, n)
+		grown := make([]*accum.MergeHeapG[V], n)
 		copy(grown, c.heaps)
 		c.heaps = grown
+	}
+	if n > len(c.valA) {
+		grown := make([][]V, n)
+		copy(grown, c.valA)
+		c.valA = grown
+	}
+	if n > len(c.valB) {
+		grown := make([][]V, n)
+		copy(grown, c.valB)
+		c.valB = grown
 	}
 	if c.scratch == nil {
 		c.scratch = mempool.NewPool(n)
@@ -175,12 +204,12 @@ func (c *Context) ensureWorkers(n int) {
 // hashTable returns worker w's hash table with capacity for bound entries:
 // cached when large enough (reset), re-reserved when the bound grew,
 // allocated on first use. ensureWorkers(>w) must have been called.
-func (c *Context) hashTable(w int, bound int64) *accum.HashTable {
+func (c *ContextG[V]) hashTable(w int, bound int64) *accum.HashTableG[V] {
 	t := c.hash[w]
 	switch {
 	case t == nil:
 		mCtxAlloc.Inc()
-		t = accum.NewHashTable(bound)
+		t = accum.NewHashTableG[V](bound)
 		c.hash[w] = t
 		return t
 	case int64(t.Cap()) <= bound:
@@ -195,12 +224,12 @@ func (c *Context) hashTable(w int, bound int64) *accum.HashTable {
 }
 
 // hashVecTable is hashTable for the chunked (HashVector) table.
-func (c *Context) hashVecTable(w int, bound int64) *accum.HashVecTable {
+func (c *ContextG[V]) hashVecTable(w int, bound int64) *accum.HashVecTableG[V] {
 	t := c.hashVec[w]
 	switch {
 	case t == nil:
 		mCtxAlloc.Inc()
-		t = accum.NewHashVecTable(bound)
+		t = accum.NewHashVecTableG[V](bound)
 		c.hashVec[w] = t
 		return t
 	case int64(t.Cap()) <= bound:
@@ -216,11 +245,11 @@ func (c *Context) hashVecTable(w int, bound int64) *accum.HashVecTable {
 
 // mergeHeap returns worker w's merge heap, reset, with capacity for bound
 // cursors. ensureWorkers(>w) must have been called.
-func (c *Context) mergeHeap(w int, bound int64) *accum.MergeHeap {
+func (c *ContextG[V]) mergeHeap(w int, bound int64) *accum.MergeHeapG[V] {
 	h := c.heaps[w]
 	if h == nil {
 		mCtxAlloc.Inc()
-		h = accum.NewMergeHeap(bound)
+		h = accum.NewMergeHeapG[V](bound)
 		c.heaps[w] = h
 	} else {
 		mCtxReuse.Inc()
@@ -230,8 +259,26 @@ func (c *Context) mergeHeap(w int, bound int64) *accum.MergeHeap {
 	return h
 }
 
-// workerScratch returns worker w's reusable temp-buffer set. ensureWorkers
+// workerScratch returns worker w's reusable index-buffer set. ensureWorkers
 // must have been called with a count above w.
-func (c *Context) workerScratch(w int) *mempool.Scratch {
+func (c *ContextG[V]) workerScratch(w int) *mempool.Scratch {
 	return c.scratch.Get(w)
+}
+
+// valScratchA returns worker w's first value buffer with length at least n
+// (contents undefined), growing it monotonically like mempool.Scratch does
+// for the index buffers. ensureWorkers must have been called above w.
+func (c *ContextG[V]) valScratchA(w, n int) []V {
+	if cap(c.valA[w]) < n {
+		c.valA[w] = make([]V, n)
+	}
+	return c.valA[w][:n]
+}
+
+// valScratchB is the second, independent value buffer (merge ping-pong).
+func (c *ContextG[V]) valScratchB(w, n int) []V {
+	if cap(c.valB[w]) < n {
+		c.valB[w] = make([]V, n)
+	}
+	return c.valB[w][:n]
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 	"repro/internal/spgemm"
 )
 
@@ -136,7 +137,11 @@ func randomCSR(rng *rand.Rand, rows, cols, nnz int) *matrix.CSR {
 // Invariants verifies the structural output contract of a CSR result (see
 // the package comment): consistent RowPtr, in-range columns, no duplicate
 // columns within a row, and an honest Sorted flag.
-func Invariants(c *matrix.CSR) error {
+func Invariants(c *matrix.CSR) error { return InvariantsG(c) }
+
+// InvariantsG is Invariants over any value type — the contract is purely
+// structural, so one implementation serves every CSRG instantiation.
+func InvariantsG[V semiring.Value](c *matrix.CSRG[V]) error {
 	if len(c.RowPtr) != c.Rows+1 {
 		return fmt.Errorf("RowPtr length %d, want Rows+1 = %d", len(c.RowPtr), c.Rows+1)
 	}

@@ -1,0 +1,142 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+	"repro/internal/spgemm"
+)
+
+// Ring-differential harness: every kernel, cross-checked against the
+// NaiveMultiplyRing oracle over every shipped semiring and value type.
+//
+// The predicate here is deliberately stricter than the float64 Equivalent:
+// under a general semiring there is no notion of "explicit zeros may be
+// dropped" — the output contract is that an entry exists iff at least one
+// intermediate product landed on its position (min-plus keeps +Inf entries;
+// plus-times keeps exact cancellations). So after sorting rows, got must
+// match the oracle's structure entry-for-entry, with values compared by a
+// per-type closeness function (exact for bool and the integer rings, a
+// small relative tolerance for the float rings, whose kernels may fold
+// contributions in a different association order than the oracle).
+
+// EquivalentRing verifies got against the ring oracle result want: the
+// structural InvariantsG, identical shape, exact entry structure after
+// row-sorting a copy (no compaction), and per-entry value closeness.
+func EquivalentRing[V semiring.Value](got, want *matrix.CSRG[V], close func(x, y V) bool) error {
+	if err := InvariantsG(got); err != nil {
+		return err
+	}
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		return fmt.Errorf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	g := got
+	if !g.Sorted || !g.IsSortedRows() {
+		g = got.Clone()
+		g.SortRows()
+	}
+	for i := 0; i <= g.Rows; i++ {
+		if g.RowPtr[i] != want.RowPtr[i] {
+			return fmt.Errorf("RowPtr[%d]=%d, want %d (entries dropped or fabricated)", i, g.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for p := range want.ColIdx {
+		if g.ColIdx[p] != want.ColIdx[p] {
+			return fmt.Errorf("ColIdx[%d]=%d, want %d", p, g.ColIdx[p], want.ColIdx[p])
+		}
+		if !close(g.Val[p], want.Val[p]) {
+			return fmt.Errorf("Val[%d]=%v, want %v", p, g.Val[p], want.Val[p])
+		}
+	}
+	return nil
+}
+
+// CheckRing multiplies a·b over ring with the given algorithm and verifies
+// the result against NaiveMultiplyRing via EquivalentRing. Like Check,
+// algorithms that require sorted input rows are expected to reject unsorted
+// B with an error.
+func CheckRing[V semiring.Value, R semiring.Ring[V]](caseName string, ring R, a, b *matrix.CSRG[V], alg spgemm.Algorithm, unsorted bool, workers int, close func(x, y V) bool) error {
+	opt := &spgemm.OptionsG[V]{Algorithm: alg, Unsorted: unsorted, Workers: workers}
+	got, err := spgemm.MultiplyRing(ring, a, b, opt)
+	if err != nil {
+		if spgemm.RequiresSortedInput(alg) && !b.Sorted {
+			return nil // documented rejection, not a defect
+		}
+		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", caseName, alg, unsorted, workers, err)
+	}
+	if spgemm.RequiresSortedInput(alg) && !b.Sorted {
+		return fmt.Errorf("%s/%v: accepted unsorted input instead of rejecting it", caseName, alg)
+	}
+	want := matrix.NaiveMultiplyRing(ring, a, b)
+	if err := EquivalentRing(got, want, close); err != nil {
+		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", caseName, alg, unsorted, workers, err)
+	}
+	return nil
+}
+
+// Value-closeness predicates for EquivalentRing.
+
+// ExactEq is bit equality — the right predicate for bool and integer rings,
+// whose operations are exact and order-independent.
+func ExactEq[V semiring.Value](x, y V) bool { return x == y }
+
+// ApproxF64 compares float64 values with relative tolerance Tol, treating
+// same-signed infinities as equal (min-plus unreachable entries).
+func ApproxF64(x, y float64) bool {
+	if x == y {
+		return true
+	}
+	d := math.Abs(x - y)
+	scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	return d <= Tol*scale
+}
+
+// TolF32 is the float32 analogue of Tol: float32 has ~7 significant digits,
+// so reassociated sums diverge many orders of magnitude sooner.
+const TolF32 = 1e-4
+
+// ApproxF32 compares float32 values with relative tolerance TolF32.
+func ApproxF32(x, y float32) bool {
+	if x == y {
+		return true
+	}
+	xf, yf := float64(x), float64(y)
+	d := math.Abs(xf - yf)
+	scale := math.Max(1, math.Max(math.Abs(xf), math.Abs(yf)))
+	return d <= TolF32*scale
+}
+
+// Ring-view constructors: each maps the float64 differential Case inputs
+// into a value type suited to one ring, so the whole Cases suite (including
+// the degenerate shapes) exercises every instantiation.
+
+// AsF32 converts to float32 values.
+func AsF32(m *matrix.CSR) *matrix.CSRG[float32] {
+	return matrix.MapValues(m, func(v float64) float32 { return float32(v) })
+}
+
+// AsBool converts to the boolean pattern.
+func AsBool(m *matrix.CSR) *matrix.CSRG[bool] {
+	return matrix.MapValues(m, func(v float64) bool { return v != 0 })
+}
+
+// AsI64 converts to small integer weights (round toward a [-3,3] range, so
+// products and sums stay far from overflow while zeros still occur).
+func AsI64(m *matrix.CSR) *matrix.CSRG[int64] {
+	return matrix.MapValues(m, func(v float64) int64 { return int64(math.Round(v * 3)) })
+}
+
+// AsMinPlus converts to min-plus path weights: non-negative, with values
+// above a threshold pinned to +Inf so unreachable (Zero-valued) output
+// entries are common — the structure-preservation hazard of min-plus.
+func AsMinPlus(m *matrix.CSR) *matrix.CSR {
+	return matrix.MapValues(m, func(v float64) float64 {
+		av := math.Abs(v)
+		if av > 1.2 {
+			return math.Inf(1)
+		}
+		return av
+	})
+}

@@ -1,7 +1,9 @@
 package spgemm
 
 import (
+	"repro/internal/accum"
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 )
 
 // escMultiply implements the ESC (expansion, sorting, compression) SpGEMM of
@@ -12,7 +14,7 @@ import (
 // sort maps onto radix-sort primitives; on CPUs its O(flop·log flop) sort
 // makes it a lower bound illustration of why accumulator-based formulations
 // win — exactly the framing of the paper's Section 2.
-func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func escMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -26,10 +28,9 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	flopRow := ctx.perRowFlop(a, b)
 	offsets := ctx.partition(flopRow, workers, workers)
 	pt.tick(PhasePartition)
-	sr := opt.Semiring
 
 	bufCols := make([][]int32, workers)
-	bufVals := make([][]float64, workers)
+	bufVals := make([][]V, workers)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowOffset := make([]int64, a.Rows)
 
@@ -46,7 +47,7 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		}
 		s := ctx.workerScratch(w)
 		expCols := s.EnsureInt32A(int(maxFlop))
-		expVals := s.EnsureFloat64(int(maxFlop))
+		expVals := ctx.valScratchA(w, int(maxFlop))
 		for i := lo; i < hi; i++ {
 			// Expansion.
 			var n int64
@@ -55,22 +56,14 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				k := a.ColIdx[p]
 				av := a.Val[p]
 				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				if sr == nil {
-					for q := blo; q < bhi; q++ {
-						expCols[n] = b.ColIdx[q]
-						expVals[n] = av * b.Val[q]
-						n++
-					}
-				} else {
-					for q := blo; q < bhi; q++ {
-						expCols[n] = b.ColIdx[q]
-						expVals[n] = sr.Mul(av, b.Val[q])
-						n++
-					}
+				for q := blo; q < bhi; q++ {
+					expCols[n] = b.ColIdx[q]
+					expVals[n] = ring.Mul(av, b.Val[q])
+					n++
 				}
 			}
 			// Sorting.
-			sortInt32Float64(expCols[:n], expVals[:n])
+			accum.SortPairs(expCols[:n], expVals[:n])
 			// Compression.
 			rowOffset[i] = int64(len(bufCols[w]))
 			var out int64
@@ -79,11 +72,7 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				v := expVals[p]
 				p++
 				for p < n && expCols[p] == col {
-					if sr == nil {
-						v += expVals[p]
-					} else {
-						v = sr.Add(v, expVals[p])
-					}
+					v = ring.Add(v, expVals[p])
 					p++
 				}
 				bufCols[w] = append(bufCols[w], col)
@@ -100,7 +89,7 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseNumeric)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, true) // compression leaves rows sorted
 	pt.tick(PhaseAlloc)
 	ctx.runWorkers("assemble", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
@@ -114,62 +103,4 @@ func escMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseAssemble)
 	pt.finish()
 	return c, nil
-}
-
-// sortInt32Float64 sorts cols ascending carrying vals, same contract as
-// accum's sortPairs but local to avoid exporting that helper; quicksort with
-// median-of-three and insertion-sort base case.
-//
-//spgemm:hotpath
-func sortInt32Float64(cols []int32, vals []float64) {
-	for len(cols) > 24 {
-		n := len(cols)
-		m := n / 2
-		if cols[m] < cols[0] {
-			cols[m], cols[0] = cols[0], cols[m]
-			vals[m], vals[0] = vals[0], vals[m]
-		}
-		if cols[n-1] < cols[0] {
-			cols[n-1], cols[0] = cols[0], cols[n-1]
-			vals[n-1], vals[0] = vals[0], vals[n-1]
-		}
-		if cols[n-1] < cols[m] {
-			cols[n-1], cols[m] = cols[m], cols[n-1]
-			vals[n-1], vals[m] = vals[m], vals[n-1]
-		}
-		pivot := cols[m]
-		i, j := 0, n-1
-		for i <= j {
-			for cols[i] < pivot {
-				i++
-			}
-			for cols[j] > pivot {
-				j--
-			}
-			if i <= j {
-				cols[i], cols[j] = cols[j], cols[i]
-				vals[i], vals[j] = vals[j], vals[i]
-				i++
-				j--
-			}
-		}
-		if j+1 < n-i {
-			sortInt32Float64(cols[:j+1], vals[:j+1])
-			cols, vals = cols[i:], vals[i:]
-		} else {
-			sortInt32Float64(cols[i:], vals[i:])
-			cols, vals = cols[:j+1], vals[:j+1]
-		}
-	}
-	for i := 1; i < len(cols); i++ {
-		c, v := cols[i], vals[i]
-		j := i - 1
-		for j >= 0 && cols[j] > c {
-			cols[j+1] = cols[j]
-			vals[j+1] = vals[j]
-			j--
-		}
-		cols[j+1] = c
-		vals[j+1] = v
-	}
 }

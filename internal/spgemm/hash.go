@@ -4,64 +4,64 @@ import (
 	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // hashMultiply is Hash SpGEMM (Figure 7) and, with vectorized=true,
 // HashVector SpGEMM: two-phase, balanced scheduling, thread-private tables
 // sized to each thread's maximum per-row flop.
 //
-// The common case (plus-times, no mask) runs through the specialized
-// concrete-type driver in hashfast.go — the headline algorithm must not pay
-// an interface dispatch per intermediate product when the hand-written heap
-// driver does not. Masked and semiring multiplications take the generic
-// two-phase driver.
-func hashMultiply(a, b *matrix.CSR, opt *Options, vectorized bool) (*matrix.CSR, error) {
-	if opt.Mask == nil && opt.Semiring == nil {
+// The unmasked case runs through the specialized concrete-type driver in
+// hashfast.go for every ring — the headline algorithm must not pay an
+// interface dispatch per intermediate product when the hand-written heap
+// driver does not. Masked multiplications take the generic two-phase driver.
+func hashMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V], vectorized bool) (*matrix.CSRG[V], error) {
+	if opt.Mask == nil {
 		if vectorized {
-			return hashVecFast(a, b, opt)
+			return hashVecFast(ring, a, b, opt)
 		}
-		return hashFast(a, b, opt)
+		return hashFast(ring, a, b, opt)
 	}
-	cfg := twoPhaseConfig{
+	cfg := twoPhaseConfig[V]{
 		schedule: sched.Balanced,
-		factory: func(ctx *Context, w int, bound int64) rowAcc {
+		factory: func(ctx *ContextG[V], w int, bound int64) rowAcc[V] {
 			if vectorized {
 				return ctx.hashVecTable(w, bound)
 			}
 			return ctx.hashTable(w, bound)
 		},
 	}
-	return twoPhase(a, b, opt, cfg)
+	return twoPhase(ring, a, b, opt, cfg)
 }
 
 // spaMultiply is Gustavson's algorithm with a dense sparse accumulator:
 // every worker owns an O(Cols) dense array with generation-stamped
 // occupancy. Balanced scheduling, two-phase for exact allocation.
-func spaMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
-	cfg := twoPhaseConfig{
+func spaMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
+	cfg := twoPhaseConfig[V]{
 		schedule: sched.Balanced,
-		factory: func(ctx *Context, w int, bound int64) rowAcc {
-			return accum.NewSPA(b.Cols)
+		factory: func(ctx *ContextG[V], w int, bound int64) rowAcc[V] {
+			return accum.NewSPAG[V](b.Cols)
 		},
 	}
-	return twoPhase(a, b, opt, cfg)
+	return twoPhase(ring, a, b, opt, cfg)
 }
 
 // kokkosMultiply models KokkosKernels' kkmem: two-level hashmap accumulator
 // with dynamic scheduling; unsorted output only (Table 1: "Any/Unsorted").
 // A sorted request is honored by sorting rows afterwards, mirroring how a
 // user of such a library would have to post-process.
-func kokkosMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func kokkosMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	inner := *opt
 	inner.Unsorted = true
-	cfg := twoPhaseConfig{
+	cfg := twoPhaseConfig[V]{
 		schedule: sched.Dynamic,
 		grain:    64,
-		factory: func(ctx *Context, w int, bound int64) rowAcc {
-			return accum.NewTwoLevelHash(0)
+		factory: func(ctx *ContextG[V], w int, bound int64) rowAcc[V] {
+			return accum.NewTwoLevelHashG[V](0)
 		},
 	}
-	c, err := twoPhase(a, b, &inner, cfg)
+	c, err := twoPhase(ring, a, b, &inner, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,10 @@ package spgemm
 
 import (
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 )
 
-// Specialized plus-times drivers for Hash and HashVector SpGEMM.
+// Specialized monomorphized drivers for Hash and HashVector SpGEMM.
 //
 // These duplicate the control flow of the generic twoPhase driver with the
 // accumulator as a concrete type, so the symbolic insert and numeric
@@ -14,12 +15,17 @@ import (
 // interface in its inner loop either) is the headline result; routing them
 // through an interface would tax exactly the algorithms the paper optimizes.
 //
+// Since the drivers are generic over the ring type, the same specialized
+// code path serves every semiring: with a zero-size concrete ring the
+// Mul/Add on the Upsert slot inline, and the historic plus-times-only
+// restriction (with a func-pointer slow path for everything else) is gone.
+//
 // All transient state (flop counts, partition, row sizes, hash tables) lives
 // in the call's Context, so iterative callers that pass Options.Context reach
 // a steady state where only the output matrix is allocated.
 
-// hashFast is the plus-times, unmasked Hash SpGEMM.
-func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+// hashFast is the unmasked Hash SpGEMM over an arbitrary ring.
+func hashFast[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -64,7 +70,7 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseSymbolic)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
 	// Numeric phase.
@@ -82,7 +88,13 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				av := a.Val[p]
 				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
 				for q := blo; q < bhi; q++ {
-					table.Accumulate(b.ColIdx[q], av*b.Val[q])
+					prod := ring.Mul(av, b.Val[q])
+					slot, fresh := table.Upsert(b.ColIdx[q])
+					if fresh {
+						*slot = prod
+					} else {
+						*slot = ring.Add(*slot, prod)
+					}
 				}
 			}
 			start := c.RowPtr[i]
@@ -106,8 +118,8 @@ func hashFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	return c, nil
 }
 
-// hashVecFast is the plus-times, unmasked HashVector SpGEMM.
-func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+// hashVecFast is the unmasked HashVector SpGEMM over an arbitrary ring.
+func hashVecFast[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -151,7 +163,7 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseSymbolic)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
 	ctx.runWorkers("numeric", workers, func(w int) {
@@ -168,7 +180,13 @@ func hashVecFast(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				av := a.Val[p]
 				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
 				for q := blo; q < bhi; q++ {
-					table.Accumulate(b.ColIdx[q], av*b.Val[q])
+					prod := ring.Mul(av, b.Val[q])
+					slot, fresh := table.Upsert(b.ColIdx[q])
+					if fresh {
+						*slot = prod
+					} else {
+						*slot = ring.Add(*slot, prod)
+					}
 				}
 			}
 			start := c.RowPtr[i]

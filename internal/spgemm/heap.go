@@ -6,34 +6,39 @@ import (
 	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // heapMultiply is Heap SpGEMM (Section 4.2.3): one-phase, k-way merge of the
 // sorted contributing rows of B with a thread-private binary heap. Output
 // rows are produced in sorted order by construction. The five HeapVariant
 // values reproduce the scheduling/memory-management comparison of Figure 9.
-func heapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func heapMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	if !b.Sorted {
 		return nil, fmt.Errorf("spgemm: heap algorithm requires sorted input rows (B is unsorted)")
 	}
 	switch opt.HeapVariant {
 	case HeapBalancedParallel, HeapBalancedSingle:
-		return heapBalanced(a, b, opt)
+		return heapBalanced(ring, a, b, opt)
 	case HeapStatic:
-		return heapScheduled(a, b, opt, sched.Static, 1)
+		return heapScheduled(ring, a, b, opt, sched.Static, 1)
 	case HeapDynamic:
-		return heapScheduled(a, b, opt, sched.Dynamic, 16)
+		return heapScheduled(ring, a, b, opt, sched.Dynamic, 16)
 	case HeapGuided:
-		return heapScheduled(a, b, opt, sched.Guided, 16)
+		return heapScheduled(ring, a, b, opt, sched.Guided, 16)
 	}
 	return nil, fmt.Errorf("spgemm: unknown heap variant %d", opt.HeapVariant)
 }
 
 // heapRow merges output row i into cols/vals (which must hold at least
-// flop(i) entries) and returns the number of entries produced.
+// flop(i) entries) and returns the number of entries produced. An output
+// entry exists iff at least one product landed on it; the first product is
+// stored directly and later ones folded with ring.Add, so entries whose
+// value happens to equal ring.Zero() (min-plus: +Inf inputs) are kept, and
+// none are fabricated.
 //
 //spgemm:hotpath
-func heapRow(a, b *matrix.CSR, i int, h *accum.MergeHeap, cols []int32, vals []float64, opt *Options) int {
+func heapRow[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], i int, h *accum.MergeHeapG[V], cols []int32, vals []V) int {
 	h.Reset()
 	alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
 	for p := alo; p < ahi; p++ {
@@ -43,22 +48,12 @@ func heapRow(a, b *matrix.CSR, i int, h *accum.MergeHeap, cols []int32, vals []f
 			h.Push(b.ColIdx[blo], a.Val[p], blo, bhi)
 		}
 	}
-	sr := opt.Semiring
 	n := 0
 	for h.Len() > 0 {
 		col, av, pos := h.Min()
-		var prod float64
-		if sr == nil {
-			prod = av * b.Val[pos]
-		} else {
-			prod = sr.Mul(av, b.Val[pos])
-		}
+		prod := ring.Mul(av, b.Val[pos])
 		if n > 0 && cols[n-1] == col {
-			if sr == nil {
-				vals[n-1] += prod
-			} else {
-				vals[n-1] = sr.Add(vals[n-1], prod)
-			}
+			vals[n-1] = ring.Add(vals[n-1], prod)
 		} else {
 			cols[n] = col
 			vals[n] = prod
@@ -80,7 +75,7 @@ func heapRow(a, b *matrix.CSR, i int, h *accum.MergeHeap, cols []int32, vals []f
 // memory management, Figure 3); HeapBalancedSingle carves all workers' temp
 // space out of one shared slab ("single"), reproducing the costly variant of
 // Figures 4 and 9.
-func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func heapBalanced[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -107,7 +102,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	}
 
 	tmpCols := make([][]int32, workers)
-	tmpVals := make([][]float64, workers)
+	tmpVals := make([][]V, workers)
 	if opt.HeapVariant == HeapBalancedSingle {
 		// One shared slab, carved into per-worker segments. Deliberately
 		// never drawn from the Context: the point of this variant is to
@@ -117,7 +112,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			total += s
 		}
 		allCols := make([]int32, total)
-		allVals := make([]float64, total)
+		allVals := make([]V, total)
 		var off int64
 		for w := 0; w < workers; w++ {
 			tmpCols[w] = allCols[off : off+tempSize[w]]
@@ -139,7 +134,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			// share (first-touched locally, reused across calls).
 			s := ctx.workerScratch(w)
 			tmpCols[w] = s.EnsureInt32A(int(tempSize[w]))
-			tmpVals[w] = s.EnsureFloat64(int(tempSize[w]))
+			tmpVals[w] = ctx.valScratchA(w, int(tempSize[w]))
 		}
 		var maxK int64
 		for i := lo; i < hi; i++ {
@@ -150,7 +145,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		h := ctx.mergeHeap(w, maxK)
 		var pos int64
 		for i := lo; i < hi; i++ {
-			n := heapRow(a, b, i, h, tmpCols[w][pos:], tmpVals[w][pos:], opt)
+			n := heapRow(ring, a, b, i, h, tmpCols[w][pos:], tmpVals[w][pos:])
 			rowNnz[i] = int64(n)
 			pos += int64(n)
 		}
@@ -164,7 +159,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseNumeric)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
 	// Each worker's rows are contiguous in both temp and final storage:
 	// one bulk copy per worker.
@@ -186,7 +181,7 @@ func heapBalanced(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 // (the static/dynamic/guided curves of Figure 9). Workers append finished
 // rows to growable private buffers and the matrix is stitched together at
 // the end.
-func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grain int) (*matrix.CSR, error) {
+func heapScheduled[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V], schedule sched.Schedule, grain int) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -201,7 +196,7 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
-	bufVals := make([][]float64, workers)
+	bufVals := make([][]V, workers)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowWorker := make([]int32, a.Rows)
 	rowOffset := make([]int64, a.Rows)
@@ -210,14 +205,14 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 		h := ctx.mergeHeap(w, 8)
 		sw := ctx.workerScratch(w)
 		var rowCols []int32
-		var rowVals []float64
+		var rowVals []V
 		for i := lo; i < hi; i++ {
 			f := flopRow[i]
 			if int64(cap(rowCols)) < f {
 				rowCols = sw.EnsureInt32A(int(f))
-				rowVals = sw.EnsureFloat64(int(f))
+				rowVals = ctx.valScratchA(w, int(f))
 			}
-			n := heapRow(a, b, i, h, rowCols[:f], rowVals[:f], opt)
+			n := heapRow(ring, a, b, i, h, rowCols[:f], rowVals[:f])
 			rowNnz[i] = int64(n)
 			rowWorker[i] = int32(w)
 			rowOffset[i] = int64(len(bufCols[w]))
@@ -235,7 +230,7 @@ func heapScheduled(a, b *matrix.CSR, opt *Options, schedule sched.Schedule, grai
 	pt.tick(PhaseNumeric)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
 	ctx.parallelFor("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -4,6 +4,7 @@ import (
 	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // ikjMultiply is the IKJ method of Sulatycke and Ghose (IPPS/SPDP 1998) —
@@ -16,7 +17,7 @@ import (
 // The row of A is first scattered into a generation-stamped dense vector so
 // the k-loop is a dense scan (the cache-friendly access pattern that
 // motivated the original work), then each hit streams row b_k*.
-func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func ikjMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -35,17 +36,22 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhasePartition)
 
 	rowNnz := make([]int64, a.Rows)
-	spas := make([]*accum.SPA, workers)
-	arows := make([]*accum.SPA, workers)
+	spas := make([]*accum.SPAG[V], workers)
+	arows := make([]*accum.SPAG[V], workers)
 
-	runRow := func(w int, i int, numeric bool, c *matrix.CSR) {
+	runRow := func(w int, i int, numeric bool, c *matrix.CSRG[V]) {
 		acc := spas[w]
 		arow := arows[w]
 		acc.Reset()
 		arow.Reset()
 		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
 		for p := alo; p < ahi; p++ {
-			arow.Accumulate(a.ColIdx[p], a.Val[p])
+			slot, fresh := arow.Upsert(a.ColIdx[p])
+			if fresh {
+				*slot = a.Val[p]
+			} else {
+				*slot = ring.Add(*slot, a.Val[p])
+			}
 		}
 		// The defining dense K loop.
 		for k := 0; k < a.Cols; k++ {
@@ -55,13 +61,13 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			}
 			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
 			if numeric {
-				if sr := opt.Semiring; sr != nil {
-					for q := blo; q < bhi; q++ {
-						acc.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
-					}
-				} else {
-					for q := blo; q < bhi; q++ {
-						acc.Accumulate(b.ColIdx[q], av*b.Val[q])
+				for q := blo; q < bhi; q++ {
+					prod := ring.Mul(av, b.Val[q])
+					slot, fresh := acc.Upsert(b.ColIdx[q])
+					if fresh {
+						*slot = prod
+					} else {
+						*slot = ring.Add(*slot, prod)
 					}
 				}
 			} else {
@@ -89,15 +95,15 @@ func ikjMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		if lo >= hi {
 			return
 		}
-		spas[w] = accum.NewSPA(b.Cols)
-		arows[w] = accum.NewSPA(a.Cols)
+		spas[w] = accum.NewSPAG[V](b.Cols)
+		arows[w] = accum.NewSPAG[V](a.Cols)
 		for i := lo; i < hi; i++ {
 			runRow(w, i, false, nil)
 		}
 	})
 	pt.tick(PhaseSymbolic)
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 	sched.RunWorkersNamed("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]

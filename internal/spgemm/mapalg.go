@@ -1,88 +1,93 @@
 package spgemm
 
 import (
-	"sort"
-
+	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // mapAcc adapts Go's built-in map to the rowAcc interface. It is the
 // accumulator of the MKL stand-in baseline: a general-purpose associative
 // container with per-operation costs far above the specialized hash table,
 // but completely insensitive to sizing.
-type mapAcc struct {
-	m map[int32]float64
+//
+// Map values are not addressable in Go, so Upsert cannot hand out a pointer
+// into the map itself; instead the map stores an index into a parallel value
+// slice and Upsert returns a pointer into that slice. The pointer is valid
+// until the next Upsert (an append may move the backing array), which is
+// exactly the rowAcc contract: callers write through the slot immediately.
+type mapAcc[V semiring.Value] struct {
+	m    map[int32]int32
+	keys []int32
+	vals []V
 }
 
-func newMapAcc() *mapAcc { return &mapAcc{m: make(map[int32]float64, 256)} }
+func newMapAcc[V semiring.Value]() *mapAcc[V] {
+	return &mapAcc[V]{m: make(map[int32]int32, 256)}
+}
 
-func (m *mapAcc) Reset()   { clear(m.m) }
-func (m *mapAcc) Len() int { return len(m.m) }
+func (m *mapAcc[V]) Reset() {
+	clear(m.m)
+	m.keys = m.keys[:0]
+	m.vals = m.vals[:0]
+}
 
-func (m *mapAcc) InsertSymbolic(key int32) bool {
+func (m *mapAcc[V]) Len() int { return len(m.keys) }
+
+func (m *mapAcc[V]) InsertSymbolic(key int32) bool {
 	if _, ok := m.m[key]; ok {
 		return false
 	}
-	m.m[key] = 0
+	var zero V
+	m.m[key] = int32(len(m.keys))
+	m.keys = append(m.keys, key)
+	m.vals = append(m.vals, zero)
 	return true
 }
 
-func (m *mapAcc) Accumulate(key int32, v float64) { m.m[key] += v }
-
-func (m *mapAcc) AccumulateFunc(key int32, v float64, add func(a, b float64) float64) {
-	if old, ok := m.m[key]; ok {
-		m.m[key] = add(old, v)
-	} else {
-		m.m[key] = v
+func (m *mapAcc[V]) Upsert(key int32) (*V, bool) {
+	if idx, ok := m.m[key]; ok {
+		return &m.vals[idx], false
 	}
+	var zero V
+	idx := int32(len(m.keys))
+	m.m[key] = idx
+	m.keys = append(m.keys, key)
+	m.vals = append(m.vals, zero)
+	return &m.vals[idx], true
 }
 
-func (m *mapAcc) Lookup(key int32) (float64, bool) {
-	v, ok := m.m[key]
-	return v, ok
-}
-
-func (m *mapAcc) ExtractUnsorted(cols []int32, vals []float64) int {
-	i := 0
-	for k, v := range m.m {
-		cols[i] = k
-		vals[i] = v
-		i++
+func (m *mapAcc[V]) Lookup(key int32) (V, bool) {
+	if idx, ok := m.m[key]; ok {
+		return m.vals[idx], true
 	}
-	return i
+	var zero V
+	return zero, false
 }
 
-func (m *mapAcc) ExtractSorted(cols []int32, vals []float64) int {
-	n := m.ExtractUnsorted(cols, vals)
-	c := cols[:n]
-	vs := vals[:n]
-	sort.Sort(&colValSorter{c, vs})
+func (m *mapAcc[V]) ExtractUnsorted(cols []int32, vals []V) int {
+	n := copy(cols, m.keys)
+	copy(vals, m.vals)
 	return n
 }
 
-type colValSorter struct {
-	cols []int32
-	vals []float64
-}
-
-func (s *colValSorter) Len() int           { return len(s.cols) }
-func (s *colValSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
-func (s *colValSorter) Swap(i, j int) {
-	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+func (m *mapAcc[V]) ExtractSorted(cols []int32, vals []V) int {
+	n := m.ExtractUnsorted(cols, vals)
+	accum.SortPairs(cols[:n], vals[:n])
+	return n
 }
 
 // mapMultiply is the AlgMKL baseline: two-phase map accumulation with plain
 // static scheduling — see the DESIGN.md substitution table for why this
 // reproduces MKL's qualitative profile (load imbalance on skewed inputs,
 // large sorted-vs-unsorted gap, strength at high compression ratio).
-func mapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
-	cfg := twoPhaseConfig{
+func mapMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
+	cfg := twoPhaseConfig[V]{
 		schedule: sched.Static,
-		factory:  func(ctx *Context, w int, bound int64) rowAcc { return newMapAcc() },
+		factory:  func(ctx *ContextG[V], w int, bound int64) rowAcc[V] { return newMapAcc[V]() },
 	}
-	return twoPhase(a, b, opt, cfg)
+	return twoPhase(ring, a, b, opt, cfg)
 }
 
 // inspectorMultiply is the AlgMKLInspector baseline: one-phase map
@@ -90,7 +95,7 @@ func mapMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 // guided scheduling. One-phase means each row's results are appended to the
 // worker's buffer as soon as they are computed and stitched into the final
 // matrix afterwards, trading memory for the skipped symbolic pass.
-func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func inspectorMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -105,12 +110,11 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	}
 	pt := startPhases(opt.Stats, workers)
 	bufCols := make([][]int32, workers)
-	bufVals := make([][]float64, workers)
+	bufVals := make([][]V, workers)
 	refs := make([][]rowRef, workers)
-	sr := opt.Semiring
 
 	sched.ParallelForNamed("numeric", workers, a.Rows, sched.Guided, 16, func(w, lo, hi int) {
-		acc := newMapAcc()
+		acc := newMapAcc[V]()
 		for i := lo; i < hi; i++ {
 			acc.Reset()
 			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
@@ -118,21 +122,19 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				k := a.ColIdx[p]
 				av := a.Val[p]
 				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				if sr == nil {
-					for q := blo; q < bhi; q++ {
-						acc.m[b.ColIdx[q]] += av * b.Val[q]
-					}
-				} else {
-					for q := blo; q < bhi; q++ {
-						acc.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
+				for q := blo; q < bhi; q++ {
+					prod := ring.Mul(av, b.Val[q])
+					slot, fresh := acc.Upsert(b.ColIdx[q])
+					if fresh {
+						*slot = prod
+					} else {
+						*slot = ring.Add(*slot, prod)
 					}
 				}
 			}
 			off := int64(len(bufCols[w]))
-			for k, v := range acc.m {
-				bufCols[w] = append(bufCols[w], k)
-				bufVals[w] = append(bufVals[w], v)
-			}
+			bufCols[w] = append(bufCols[w], acc.keys...)
+			bufVals[w] = append(bufVals[w], acc.vals...)
 			refs[w] = append(refs[w], rowRef{row: i, offset: off, n: int64(len(bufCols[w])) - off})
 		}
 		if ws := pt.worker(w); ws != nil {
@@ -161,7 +163,7 @@ func inspectorMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	rowPtr := sched.PrefixSum(rowNnz, nil, workers)
 	// The inspector path is inherently unsorted; honor a sorted request by
 	// sorting rows at the end (the post-processing a user would need).
-	c := outputShell(a.Rows, b.Cols, rowPtr, false)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, false)
 	pt.tick(PhaseAlloc)
 	sched.ParallelForNamed("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -13,7 +13,7 @@ import (
 // pairwise, round after round, like the merge phase of merge sort, combining
 // duplicate columns as they meet. One-phase with growable per-worker output
 // buffers; output is inherently sorted.
-func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func mergeMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	if !b.Sorted {
 		return nil, fmt.Errorf("spgemm: merge algorithm requires sorted input rows (B is unsorted)")
 	}
@@ -31,18 +31,17 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhasePartition)
 
 	bufCols := make([][]int32, workers)
-	bufVals := make([][]float64, workers)
+	bufVals := make([][]V, workers)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	rowWorker := make([]int32, a.Rows)
 	rowOffset := make([]int64, a.Rows)
-	sr := opt.Semiring
 
 	ctx.parallelFor("numeric", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		// Ping-pong scratch for merge rounds, grown to the largest row —
 		// the worker's reusable Scratch pair (A/B) from the call's Context.
 		sw := ctx.workerScratch(w)
 		var sc [2][]int32
-		var sv [2][]float64
+		var sv [2][]V
 		// Per-round segment boundaries within the scratch buffers.
 		var segs [][2]int64
 		var next [][2]int64
@@ -52,8 +51,8 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 			if int64(len(sc[0])) < f {
 				sc[0] = sw.EnsureInt32A(int(f))
 				sc[1] = sw.EnsureInt32B(int(f))
-				sv[0] = sw.EnsureFloat64(int(f))
-				sv[1] = sw.EnsureFloat64B(int(f))
+				sv[0] = ctx.valScratchA(w, int(f))
+				sv[1] = ctx.valScratchB(w, int(f))
 			}
 			// Round 0: copy each contributing row of B, scaled by a_ik,
 			// into scratch 0.
@@ -68,18 +67,10 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 					continue
 				}
 				start := pos
-				if sr == nil {
-					for q := blo; q < bhi; q++ {
-						sc[0][pos] = b.ColIdx[q]
-						sv[0][pos] = av * b.Val[q]
-						pos++
-					}
-				} else {
-					for q := blo; q < bhi; q++ {
-						sc[0][pos] = b.ColIdx[q]
-						sv[0][pos] = sr.Mul(av, b.Val[q])
-						pos++
-					}
+				for q := blo; q < bhi; q++ {
+					sc[0][pos] = b.ColIdx[q]
+					sv[0][pos] = ring.Mul(av, b.Val[q])
+					pos++
 				}
 				segs = append(segs, [2]int64{start, pos})
 			}
@@ -93,8 +84,9 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				for s := 0; s+1 < len(segs); s += 2 {
 					start := out
 					out = mergeSegments(
+						ring,
 						sc[cur], sv[cur], segs[s], segs[s+1],
-						sc[nxt], sv[nxt], out, sr,
+						sc[nxt], sv[nxt], out,
 					)
 					next = append(next, [2]int64{start, out})
 				}
@@ -131,7 +123,7 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseNumeric)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, true)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, true)
 	pt.tick(PhaseAlloc)
 	ctx.parallelFor("assemble", workers, a.Rows, sched.Static, 1, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -148,11 +140,11 @@ func mergeMultiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 }
 
 // mergeSegments merges two sorted segments of (srcC, srcV), combining equal
-// columns, into (dstC, dstV) starting at out; returns the new output cursor.
-// A nil semiring means plus-times.
+// columns with ring.Add, into (dstC, dstV) starting at out; returns the new
+// output cursor.
 //
 //spgemm:hotpath
-func mergeSegments(srcC []int32, srcV []float64, s1, s2 [2]int64, dstC []int32, dstV []float64, out int64, sr *semiring.Semiring) int64 {
+func mergeSegments[V semiring.Value, R semiring.Ring[V]](ring R, srcC []int32, srcV []V, s1, s2 [2]int64, dstC []int32, dstV []V, out int64) int64 {
 	p, pe := s1[0], s1[1]
 	q, qe := s2[0], s2[1]
 	for p < pe && q < qe {
@@ -168,11 +160,7 @@ func mergeSegments(srcC []int32, srcV []float64, s1, s2 [2]int64, dstC []int32, 
 			q++
 		default:
 			dstC[out] = cp
-			if sr == nil {
-				dstV[out] = srcV[p] + srcV[q]
-			} else {
-				dstV[out] = sr.Add(srcV[p], srcV[q])
-			}
+			dstV[out] = ring.Add(srcV[p], srcV[q])
 			p++
 			q++
 		}

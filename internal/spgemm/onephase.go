@@ -2,6 +2,7 @@ package spgemm
 
 import (
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 )
 
 // hashOnePhase is the one-phase alternative the paper's Section 2 contrasts
@@ -13,7 +14,7 @@ import (
 //
 // Kept unexported: the exported AlgHash is the paper's two-phase design;
 // this variant exists for the ablation study.
-func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func hashOnePhase[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -29,10 +30,9 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhasePartition)
 
 	tmpCols := make([][]int32, workers)
-	tmpVals := make([][]float64, workers)
+	tmpVals := make([][]V, workers)
 	rowNnz := ctx.rowNnzBuf(a.Rows)
 	used := make([]int64, workers)
-	sr := opt.Semiring
 
 	ctx.runWorkers("numeric", workers, func(w int) {
 		lo, hi := offsets[w], offsets[w+1]
@@ -48,7 +48,7 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		}
 		s := ctx.workerScratch(w)
 		tmpCols[w] = s.EnsureInt32A(int(tempSize))
-		tmpVals[w] = s.EnsureFloat64(int(tempSize))
+		tmpVals[w] = ctx.valScratchA(w, int(tempSize))
 		table := ctx.hashTable(w, capBound(bound, b.Cols))
 		var pos int64
 		for i := lo; i < hi; i++ {
@@ -58,13 +58,13 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				k := a.ColIdx[p]
 				av := a.Val[p]
 				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				if sr == nil {
-					for q := blo; q < bhi; q++ {
-						table.Accumulate(b.ColIdx[q], av*b.Val[q])
-					}
-				} else {
-					for q := blo; q < bhi; q++ {
-						table.AccumulateFunc(b.ColIdx[q], sr.Mul(av, b.Val[q]), sr.Add)
+				for q := blo; q < bhi; q++ {
+					prod := ring.Mul(av, b.Val[q])
+					slot, fresh := table.Upsert(b.ColIdx[q])
+					if fresh {
+						*slot = prod
+					} else {
+						*slot = ring.Add(*slot, prod)
 					}
 				}
 			}
@@ -88,7 +88,7 @@ func hashOnePhase(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	pt.tick(PhaseNumeric)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 	ctx.runWorkers("assemble", workers, func(w int) {
 		lo := offsets[w]

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/matrix"
+	"repro/internal/sched"
 )
 
 // ErrPlanStale is returned by Plan.Execute when the plan no longer applies:
@@ -25,6 +26,12 @@ var ErrPlanStale = errors.New("spgemm: plan is stale (input structure changed or
 // values): Execute revalidates both inputs and returns ErrPlanStale on any
 // structural change, however the values moved. The O(nnz) check is far
 // cheaper than the O(flop) symbolic pass it replaces.
+//
+// Plans are part of the legacy float64 surface and fix the plus-times ring:
+// the numeric phase below hard-codes the multiply-add so it stays exactly
+// the monomorphized fast path. (A generic plan would have to carry its ring
+// as a value or re-instantiate per ring type; the reuse-heavy iterative
+// callers plans serve are the float64 solvers.)
 //
 // A Plan is NOT safe for concurrent use, and shares its Context: a plan and
 // other Multiply calls using the same Context must not run concurrently.
@@ -70,7 +77,10 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	if alg != AlgHash && alg != AlgHashVec {
 		return nil, fmt.Errorf("spgemm: plans support hash and hashvec, not %v", alg)
 	}
-	workers := opt.workers()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
 	}
@@ -186,7 +196,7 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 
 	outPtr := make([]int64, len(p.rowPtr))
 	copy(outPtr, p.rowPtr)
-	c := outputShell(a.Rows, b.Cols, outPtr, !p.unsorted)
+	c := outputShell[float64](a.Rows, b.Cols, outPtr, !p.unsorted)
 	pt.tick(PhaseAlloc)
 
 	ctx.runWorkers("plan-numeric", p.workers, func(w int) {
@@ -203,7 +213,13 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 					k := a.ColIdx[q]
 					av := a.Val[q]
 					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
-						table.Accumulate(b.ColIdx[r], av*b.Val[r])
+						prod := av * b.Val[r]
+						slot, fresh := table.Upsert(b.ColIdx[r])
+						if fresh {
+							*slot = prod
+						} else {
+							*slot += prod
+						}
 					}
 				}
 				start := c.RowPtr[i]
@@ -229,7 +245,13 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 					k := a.ColIdx[q]
 					av := a.Val[q]
 					for r := b.RowPtr[k]; r < b.RowPtr[k+1]; r++ {
-						table.Accumulate(b.ColIdx[r], av*b.Val[r])
+						prod := av * b.Val[r]
+						slot, fresh := table.Upsert(b.ColIdx[r])
+						if fresh {
+							*slot = prod
+						} else {
+							*slot += prod
+						}
 					}
 				}
 				start := c.RowPtr[i]

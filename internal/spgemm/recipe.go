@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/accum"
 	"repro/internal/matrix"
+	"repro/internal/semiring"
 )
 
 // UseCase classifies the multiplication scenario, following the paper's
@@ -41,7 +42,10 @@ func (u UseCase) String() string {
 // proposed when B's rows are unsorted — Hash accepts any input order and is
 // the recipe's fallback, so Multiply with AlgAuto succeeds for every
 // (sorted, unsorted) input combination.
-func Recommend(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
+//
+// The recipe only inspects sparsity structure, so it applies unchanged to
+// any value type.
+func Recommend[V semiring.Value](a, b *matrix.CSRG[V], sorted bool, uc UseCase) Algorithm {
 	alg := recommendTable4(a, b, sorted, uc)
 	if RequiresSortedInput(alg) && !b.Sorted {
 		return AlgHash
@@ -50,7 +54,7 @@ func Recommend(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
 }
 
 // recommendTable4 is the unconstrained Table 4 lookup.
-func recommendTable4(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
+func recommendTable4[V semiring.Value](a, b *matrix.CSRG[V], sorted bool, uc UseCase) Algorithm {
 	ef := a.AvgRowNNZ()
 	cr := EstimateCompressionRatio(a, b, 1000)
 	skewed := IsSkewed(a)
@@ -97,7 +101,8 @@ func recommendTable4(a, b *matrix.CSR, sorted bool, uc UseCase) Algorithm {
 // phase on a sample of up to sampleRows rows (stride-sampled so both head
 // and tail of the matrix contribute). An exact value requires the full
 // symbolic phase; the estimate is what a recipe-driven caller can afford.
-func EstimateCompressionRatio(a, b *matrix.CSR, sampleRows int) float64 {
+// Structure-only: the sampling hash table never touches values.
+func EstimateCompressionRatio[V semiring.Value](a, b *matrix.CSRG[V], sampleRows int) float64 {
 	if a.Rows == 0 {
 		return 1
 	}
@@ -133,7 +138,7 @@ func EstimateCompressionRatio(a, b *matrix.CSR, sampleRows int) float64 {
 // IsSkewed reports whether the row-degree distribution of m looks power-law
 // rather than uniform, using the coefficient of variation of row nnz. R-MAT
 // G500 matrices have CoV well above 1; ER matrices sit near 1/sqrt(ef).
-func IsSkewed(m *matrix.CSR) bool {
+func IsSkewed[V semiring.Value](m *matrix.CSRG[V]) bool {
 	if m.Rows < 2 {
 		return false
 	}

@@ -148,8 +148,15 @@ func (v HeapVariant) String() string {
 	return "unknown"
 }
 
-// Options configures Multiply. The zero value means: auto algorithm,
-// GOMAXPROCS workers, sorted output, plus-times semiring.
+// Options configures the float64 Multiply entry point. The zero value
+// means: auto algorithm, GOMAXPROCS workers, sorted output, plus-times.
+//
+// Options is the legacy float64 surface; MultiplyRing with an OptionsG[V]
+// is the generic one. The only field that does not carry over is Semiring:
+// a ring is a type in the generic API, not a value, so Multiply routes a
+// non-nil Semiring through the semiring.Func adapter ring (one indirect
+// call per operation — the price of runtime-chosen semantics; the shipped
+// rings monomorphize instead).
 type Options struct {
 	Algorithm Algorithm
 	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
@@ -161,8 +168,8 @@ type Options struct {
 	// HeapVariant selects the Figure 9 scheduling/memory variant of
 	// AlgHeap.
 	HeapVariant HeapVariant
-	// Semiring, when non-nil, replaces (+, ×). The nil default uses a
-	// specialized plus-times fast path.
+	// Semiring, when non-nil, replaces (+, ×) via the semiring.Func
+	// adapter ring. The nil default uses the monomorphized plus-times ring.
 	Semiring *semiring.Semiring
 	// Mask, when non-nil, restricts the output pattern: only entries whose
 	// position is nonzero in Mask are produced. Used by the triangle
@@ -185,7 +192,25 @@ type Options struct {
 	Context *Context
 }
 
-func (o *Options) workers() int {
+// OptionsG configures MultiplyRing over value type V. Field semantics match
+// Options; the semiring is the ring argument of MultiplyRing rather than a
+// field, so each instantiation compiles its Add/Mul directly into the
+// kernels' inner loops.
+type OptionsG[V semiring.Value] struct {
+	Algorithm   Algorithm
+	Workers     int
+	Unsorted    bool
+	HeapVariant HeapVariant
+	// Mask, when non-nil, restricts the output pattern (its values are
+	// ignored; only the sparsity structure matters).
+	Mask    *matrix.CSRG[V]
+	UseCase UseCase
+	Stats   *ExecStats
+	// Context must be a ContextG over the same V as the inputs.
+	Context *ContextG[V]
+}
+
+func (o *OptionsG[V]) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -198,6 +223,31 @@ func (o *Options) workers() int {
 func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	if opt == nil {
 		opt = &Options{}
+	}
+	g := &OptionsG[float64]{
+		Algorithm:   opt.Algorithm,
+		Workers:     opt.Workers,
+		Unsorted:    opt.Unsorted,
+		HeapVariant: opt.HeapVariant,
+		Mask:        opt.Mask,
+		UseCase:     opt.UseCase,
+		Stats:       opt.Stats,
+		Context:     opt.Context,
+	}
+	if opt.Semiring != nil {
+		return MultiplyRing(semiring.Func{S: opt.Semiring}, a, b, g)
+	}
+	return MultiplyRing(semiring.PlusTimesF64{}, a, b, g)
+}
+
+// MultiplyRing computes C = A·B over the given semiring ring. Every kernel
+// is monomorphized per (V, ring) pair: with one of the shipped zero-size
+// rings the Add/Mul calls in the inner loops compile to direct (inlined)
+// operations, so a min-plus or boolean product runs the same machine-code
+// shape as the plus-times fast path.
+func MultiplyRing[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
+	if opt == nil {
+		opt = &OptionsG[V]{}
 	}
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -220,7 +270,7 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 				opt.Mask.Rows, opt.Mask.Cols, a.Rows, b.Cols)
 		}
 	}
-	c, err := dispatch(alg, a, b, opt)
+	c, err := dispatch(ring, alg, a, b, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -229,37 +279,37 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 }
 
 // dispatch routes to the concrete kernel.
-func dispatch(alg Algorithm, a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
+func dispatch[V semiring.Value, R semiring.Ring[V]](ring R, alg Algorithm, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	switch alg {
 	case AlgHash:
-		return hashMultiply(a, b, opt, false)
+		return hashMultiply(ring, a, b, opt, false)
 	case AlgHashVec:
-		return hashMultiply(a, b, opt, true)
+		return hashMultiply(ring, a, b, opt, true)
 	case AlgHeap:
-		return heapMultiply(a, b, opt)
+		return heapMultiply(ring, a, b, opt)
 	case AlgSPA:
-		return spaMultiply(a, b, opt)
+		return spaMultiply(ring, a, b, opt)
 	case AlgMKL:
-		return mapMultiply(a, b, opt)
+		return mapMultiply(ring, a, b, opt)
 	case AlgMKLInspector:
-		return inspectorMultiply(a, b, opt)
+		return inspectorMultiply(ring, a, b, opt)
 	case AlgKokkos:
-		return kokkosMultiply(a, b, opt)
+		return kokkosMultiply(ring, a, b, opt)
 	case AlgMerge:
-		return mergeMultiply(a, b, opt)
+		return mergeMultiply(ring, a, b, opt)
 	case AlgIKJ:
-		return ikjMultiply(a, b, opt)
+		return ikjMultiply(ring, a, b, opt)
 	case AlgBlockedSPA:
-		return blockedSPAMultiply(a, b, opt, blockedSPAConfig{})
+		return blockedSPAMultiply(ring, a, b, opt, blockedSPAConfig{})
 	case AlgESC:
-		return escMultiply(a, b, opt)
+		return escMultiply(ring, a, b, opt)
 	}
 	return nil, fmt.Errorf("spgemm: unknown algorithm %d", alg)
 }
 
 // recordMultiply stamps the per-call metrics after a successful kernel run
 // and folds stats-enabled calls into the Context's cumulative totals.
-func recordMultiply(alg Algorithm, opt *Options) {
+func recordMultiply[V semiring.Value](alg Algorithm, opt *OptionsG[V]) {
 	multiplyCounter[alg].Inc()
 	if opt.Stats != nil {
 		if cf := opt.Stats.CollisionFactor(); cf > 0 {
@@ -272,7 +322,7 @@ func recordMultiply(alg Algorithm, opt *Options) {
 }
 
 // Flop re-exports the flop count used for balancing and MFLOPS metrics.
-func Flop(a, b *matrix.CSR) (total int64, perRow []int64) {
+func Flop[V, W semiring.Value](a *matrix.CSRG[V], b *matrix.CSRG[W]) (total int64, perRow []int64) {
 	return matrix.Flop(a, b)
 }
 
@@ -294,14 +344,14 @@ func RequiresSortedInput(a Algorithm) bool {
 
 // outputShell allocates the column/value arrays of the result once the row
 // pointer array is final.
-func outputShell(rows, cols int, rowPtr []int64, sorted bool) *matrix.CSR {
+func outputShell[V semiring.Value](rows, cols int, rowPtr []int64, sorted bool) *matrix.CSRG[V] {
 	nnz := rowPtr[rows]
-	return &matrix.CSR{
+	return &matrix.CSRG[V]{
 		Rows:   rows,
 		Cols:   cols,
 		RowPtr: rowPtr,
 		ColIdx: make([]int32, nnz),
-		Val:    make([]float64, nnz),
+		Val:    make([]V, nnz),
 		Sorted: sorted,
 	}
 }

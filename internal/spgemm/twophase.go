@@ -4,40 +4,47 @@ import (
 	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/semiring"
 )
 
 // rowAcc is the per-row accumulator contract shared by the two-phase
 // algorithms (Hash, HashVector, SPA, Kokkos-style and the MKL map stand-in).
 // An accumulator is owned by one worker, allocated once, and Reset between
 // rows — the paper's thread-private "parallel" memory discipline.
-type rowAcc interface {
+//
+// Accumulators are generic over the value type only and never see the
+// semiring: Upsert hands the driver a pointer to the key's value slot plus a
+// freshness flag, and the driver applies the ring (store on fresh,
+// ring.Add otherwise). One accumulator implementation therefore serves
+// every ring over V.
+type rowAcc[V semiring.Value] interface {
 	Reset()
 	Len() int
 	InsertSymbolic(key int32) bool
-	Accumulate(key int32, v float64)
-	AccumulateFunc(key int32, v float64, add func(a, b float64) float64)
-	Lookup(key int32) (float64, bool)
-	ExtractUnsorted(cols []int32, vals []float64) int
-	ExtractSorted(cols []int32, vals []float64) int
+	Upsert(key int32) (*V, bool)
+	Lookup(key int32) (V, bool)
+	ExtractUnsorted(cols []int32, vals []V) int
+	ExtractSorted(cols []int32, vals []V) int
 }
 
 // Interface conformance for the accum package types.
 var (
-	_ rowAcc = (*accum.HashTable)(nil)
-	_ rowAcc = (*accum.HashVecTable)(nil)
-	_ rowAcc = (*accum.SPA)(nil)
-	_ rowAcc = (*accum.TwoLevelHash)(nil)
+	_ rowAcc[float64] = (*accum.HashTable)(nil)
+	_ rowAcc[float64] = (*accum.HashVecTable)(nil)
+	_ rowAcc[float64] = (*accum.SPA)(nil)
+	_ rowAcc[float64] = (*accum.TwoLevelHash)(nil)
+	_ rowAcc[bool]    = (*accum.HashTableG[bool])(nil)
 )
 
 // twoPhaseConfig parameterizes the shared symbolic+numeric driver.
-type twoPhaseConfig struct {
+type twoPhaseConfig[V semiring.Value] struct {
 	// factory builds (or, via the call's Context, revives) worker w's
 	// accumulator. bound is an upper bound on the entries any single row
 	// handled by this worker can produce (max per-row flop, capped at the
 	// column count) — the paper's Figure 7 sizing rule. Factories that
 	// cache in ctx (hash, hashvec) make repeated calls allocation-free;
 	// the baseline factories ignore ctx by design.
-	factory func(ctx *Context, w int, bound int64) rowAcc
+	factory func(ctx *ContextG[V], w int, bound int64) rowAcc[V]
 	// schedule distributes rows over workers. Balanced uses the flop-
 	// weighted partition of Figure 6; the others exist to reproduce
 	// baseline behaviour (MKL: static; Kokkos: dynamic).
@@ -48,8 +55,9 @@ type twoPhaseConfig struct {
 
 // twoPhase runs the symbolic phase (per-row output sizes), materializes the
 // row pointer array with a parallel prefix sum, and runs the numeric phase
-// into the exactly-sized output — Figure 7 of the paper.
-func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, error) {
+// into the exactly-sized output — Figure 7 of the paper. The ring is applied
+// by this driver alone; the accumulators only store values.
+func twoPhase[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V], cfg twoPhaseConfig[V]) (*matrix.CSRG[V], error) {
 	workers := opt.workers()
 	if workers > a.Rows && a.Rows > 0 {
 		workers = a.Rows
@@ -83,17 +91,17 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	}
 	pt.tick(PhasePartition)
 
-	accs := make([]rowAcc, workers)
-	var maskAccs []*accum.HashTable
+	accs := make([]rowAcc[V], workers)
+	var maskAccs []*accum.HashTableG[V]
 	if opt.Mask != nil {
-		maskAccs = make([]*accum.HashTable, workers)
+		maskAccs = make([]*accum.HashTableG[V], workers)
 	}
-	getAcc := func(w int, bound int64) rowAcc {
+	getAcc := func(w int, bound int64) rowAcc[V] {
 		if accs[w] == nil {
 			accs[w] = cfg.factory(ctx, w, bound)
 			if maskAccs != nil {
 				maskBound := capBound(opt.Mask.MaxRowNNZ(), b.Cols)
-				maskAccs[w] = accum.NewHashTable(maskBound)
+				maskAccs[w] = accum.NewHashTableG[V](maskBound)
 			}
 		}
 		return accs[w]
@@ -128,7 +136,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 		}
 	}
 
-	symbolicRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
+	symbolicRow := func(acc rowAcc[V], maskAcc *accum.HashTableG[V], i int) {
 		acc.Reset()
 		if maskAcc != nil {
 			loadMask(maskAcc, opt.Mask, i)
@@ -161,7 +169,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 				}
 			}
 			acc := getAcc(w, capBound(bound, b.Cols))
-			var maskAcc *accum.HashTable
+			var maskAcc *accum.HashTableG[V]
 			if maskAccs != nil {
 				maskAcc = maskAccs[w]
 			}
@@ -172,7 +180,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	} else {
 		ctx.parallelFor("symbolic", workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
-			var maskAcc *accum.HashTable
+			var maskAcc *accum.HashTableG[V]
 			if maskAccs != nil {
 				maskAcc = maskAccs[w]
 			}
@@ -185,44 +193,32 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	pt.tick(PhaseSymbolic)
 
 	rowPtr := ctx.prefixSum(rowNnz, nil, workers)
-	c := outputShell(a.Rows, b.Cols, rowPtr, !opt.Unsorted)
+	c := outputShell[V](a.Rows, b.Cols, rowPtr, !opt.Unsorted)
 	pt.tick(PhaseAlloc)
 
-	sr := opt.Semiring
-	numericRow := func(acc rowAcc, maskAcc *accum.HashTable, i int) {
+	numericRow := func(acc rowAcc[V], maskAcc *accum.HashTableG[V], i int) {
 		acc.Reset()
 		if maskAcc != nil {
 			loadMask(maskAcc, opt.Mask, i)
 		}
 		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
-		if sr == nil {
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				av := a.Val[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					col := b.ColIdx[q]
-					if maskAcc != nil {
-						if _, ok := maskAcc.Lookup(col); !ok {
-							continue
-						}
+		for p := alo; p < ahi; p++ {
+			k := a.ColIdx[p]
+			av := a.Val[p]
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			for q := blo; q < bhi; q++ {
+				col := b.ColIdx[q]
+				if maskAcc != nil {
+					if _, ok := maskAcc.Lookup(col); !ok {
+						continue
 					}
-					acc.Accumulate(col, av*b.Val[q])
 				}
-			}
-		} else {
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				av := a.Val[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					col := b.ColIdx[q]
-					if maskAcc != nil {
-						if _, ok := maskAcc.Lookup(col); !ok {
-							continue
-						}
-					}
-					acc.AccumulateFunc(col, sr.Mul(av, b.Val[q]), sr.Add)
+				prod := ring.Mul(av, b.Val[q])
+				slot, fresh := acc.Upsert(col)
+				if fresh {
+					*slot = prod
+				} else {
+					*slot = ring.Add(*slot, prod)
 				}
 			}
 		}
@@ -244,7 +240,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 			if acc == nil { // worker had no rows in symbolic (possible with 0-row spans)
 				return
 			}
-			var maskAcc *accum.HashTable
+			var maskAcc *accum.HashTableG[V]
 			if maskAccs != nil {
 				maskAcc = maskAccs[w]
 			}
@@ -256,7 +252,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 	} else {
 		ctx.parallelFor("numeric", workers, a.Rows, cfg.schedule, cfg.grain, func(w, lo, hi int) {
 			acc := getAcc(w, globalBound)
-			var maskAcc *accum.HashTable
+			var maskAcc *accum.HashTableG[V]
 			if maskAccs != nil {
 				maskAcc = maskAccs[w]
 			}
@@ -272,7 +268,7 @@ func twoPhase(a, b *matrix.CSR, opt *Options, cfg twoPhaseConfig) (*matrix.CSR, 
 }
 
 // perRowFlop returns the flop count of each output row.
-func perRowFlop(a, b *matrix.CSR) []int64 {
+func perRowFlop[V semiring.Value](a, b *matrix.CSRG[V]) []int64 {
 	_, perRow := matrix.Flop(a, b)
 	return perRow
 }
@@ -295,10 +291,10 @@ func capBound(bound int64, cols int) int64 {
 }
 
 // loadMask fills the worker's mask table with the column pattern of mask row
-// i.
+// i. Only the mask's structure matters; its values are never read.
 //
 //spgemm:hotpath
-func loadMask(maskAcc *accum.HashTable, mask *matrix.CSR, i int) {
+func loadMask[V semiring.Value](maskAcc *accum.HashTableG[V], mask *matrix.CSRG[V], i int) {
 	maskAcc.Reset()
 	lo, hi := mask.RowPtr[i], mask.RowPtr[i+1]
 	for p := lo; p < hi; p++ {
