@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -48,7 +49,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		// Graceful shutdown: srv.Close() would truncate a /metrics scrape
+		// racing process exit; drain in-flight requests briefly instead.
+		defer srv.ShutdownTimeout(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "spgemm-bench: debug server on http://%s\n", srv.Addr())
 	}
 	if *tracePath != "" {

@@ -1,0 +1,224 @@
+// Command spgemm-load drives a running spgemm-serve instance: it generates
+// R-MAT matrices locally, uploads them over the binary CSR wire format, and
+// fires multiply requests at a fixed concurrency while measuring latency
+// quantiles and throughput. With -sweep it steps through increasing
+// concurrency levels to trace the saturation curve (req/s vs p50/p99), and
+// -snapshot writes the whole run as JSON for benchmarking records.
+//
+// Usage:
+//
+//	spgemm-load -url http://127.0.0.1:8080 -n 1000 -c 8
+//	spgemm-load -url http://127.0.0.1:8080 -n 400 -sweep 1,2,4,8,16 -snapshot BENCH_server.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/server"
+)
+
+type levelResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Rejected    int     `json:"rejected"` // 429 responses (shed load, not errors)
+	ReqPerSec   float64 `json:"reqPerSec"`
+	P50Ms       float64 `json:"p50Ms"`
+	P90Ms       float64 `json:"p90Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	MaxMs       float64 `json:"maxMs"`
+	PlanHits    int     `json:"planHits"`
+}
+
+type snapshot struct {
+	Timestamp string        `json:"timestamp"`
+	URL       string        `json:"url"`
+	Scale     int           `json:"scale"`
+	EdgeFac   int           `json:"edgeFactor"`
+	Pairs     int           `json:"pairs"`
+	Algorithm string        `json:"algorithm"`
+	GoVersion string        `json:"goVersion"`
+	MaxProcs  int           `json:"maxProcs"`
+	Levels    []levelResult `json:"levels"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of spgemm-serve")
+		n        = flag.Int("n", 1000, "multiply requests per concurrency level")
+		conc     = flag.Int("c", 4, "request concurrency (ignored with -sweep)")
+		sweep    = flag.String("sweep", "", "comma-separated concurrency levels, e.g. 1,2,4,8,16")
+		scale    = flag.Int("scale", 8, "R-MAT scale of generated operands (n = 2^scale)")
+		edgeFac  = flag.Int("edgefactor", 8, "R-MAT edge factor")
+		pairs    = flag.Int("pairs", 4, "distinct operand pairs to rotate through")
+		alg      = flag.String("alg", "hash", "algorithm requested per multiply")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		snapPath = flag.String("snapshot", "", "write results as JSON to this path")
+	)
+	flag.Parse()
+
+	levels := []int{*conc}
+	if *sweep != "" {
+		levels = levels[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatalf("bad -sweep element %q", f)
+			}
+			levels = append(levels, v)
+		}
+	}
+
+	// Generate and upload the operand pool. Rotating through a few distinct
+	// pairs keeps the plan cache honest (several live keys) while still
+	// making repeat products the common case, as in a real serving workload.
+	rng := rand.New(rand.NewSource(*seed))
+	hashes := make([][2]string, *pairs)
+	for i := range hashes {
+		a := gen.RMAT(*scale, *edgeFac, gen.G500Params, rng)
+		b := gen.RMAT(*scale, *edgeFac, gen.G500Params, rng)
+		hashes[i] = [2]string{upload(*url, a), upload(*url, b)}
+	}
+	fmt.Fprintf(os.Stderr, "spgemm-load: uploaded %d operand pairs (scale %d, edgefactor %d)\n",
+		*pairs, *scale, *edgeFac)
+
+	snap := snapshot{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		URL:       *url,
+		Scale:     *scale,
+		EdgeFac:   *edgeFac,
+		Pairs:     *pairs,
+		Algorithm: *alg,
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, c := range levels {
+		res := runLevel(*url, hashes, *alg, *n, c)
+		snap.Levels = append(snap.Levels, res)
+		fmt.Printf("c=%-3d  %8.1f req/s  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  errors %d  rejected %d  planHits %d\n",
+			res.Concurrency, res.ReqPerSec, res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs,
+			res.Errors, res.Rejected, res.PlanHits)
+		if res.Errors > 0 {
+			defer os.Exit(1)
+		}
+	}
+
+	if *snapPath != "" {
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*snapPath, append(out, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "spgemm-load: wrote %s\n", *snapPath)
+	}
+}
+
+func runLevel(url string, hashes [][2]string, alg string, n, c int) levelResult {
+	lat := make([]time.Duration, n)
+	var next atomic.Int64
+	var errs, rejected, planHits atomic.Int64
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				pair := hashes[i%len(hashes)]
+				body, _ := json.Marshal(server.MultiplyRequest{A: pair[0], B: pair[1], Algorithm: alg})
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/multiply", "application/json", bytes.NewReader(body))
+				lat[i] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var mr server.MultiplyResponse
+					if json.Unmarshal(raw, &mr) == nil && mr.PlanCacheHit {
+						planHits.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return levelResult{
+		Concurrency: c,
+		Requests:    n,
+		Errors:      int(errs.Load()),
+		Rejected:    int(rejected.Load()),
+		ReqPerSec:   float64(n) / elapsed.Seconds(),
+		P50Ms:       q(0.50),
+		P90Ms:       q(0.90),
+		P99Ms:       q(0.99),
+		MaxMs:       float64(lat[n-1]) / float64(time.Millisecond),
+		PlanHits:    int(planHits.Load()),
+	}
+}
+
+func upload(url string, m *matrix.CSR) string {
+	var buf bytes.Buffer
+	if err := matrix.WriteCSRBinary(&buf, m); err != nil {
+		fatalf("encode upload: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/matrices", server.ContentTypeCSRBinary, &buf)
+	if err != nil {
+		fatalf("upload: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		fatalf("upload: status %d: %s", resp.StatusCode, raw)
+	}
+	var info struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		fatalf("upload: decode response: %v", err)
+	}
+	return info.Hash
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spgemm-load: "+format+"\n", args...)
+	os.Exit(1)
+}

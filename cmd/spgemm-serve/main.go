@@ -1,0 +1,72 @@
+// Command spgemm-serve runs the SpGEMM multiply server: a long-running
+// HTTP/JSON service that interns uploaded matrices by content hash and
+// multiplies them on a bounded pool of reusable kernel contexts, with a
+// concurrent plan cache for repeat products.
+//
+// Usage:
+//
+//	spgemm-serve -addr :8080 -contexts 8 -queue 128
+//
+// Endpoints:
+//
+//	POST /v1/matrices        upload (Matrix Market text or binary CSR)
+//	GET  /v1/matrices/{hash} metadata for an interned matrix
+//	POST /v1/multiply        multiply two interned matrices by hash
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus text exposition (server_* series)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		contexts   = flag.Int("contexts", 0, "size of the kernel context pool (0 = default)")
+		queue      = flag.Int("queue", 0, "admission queue depth before shedding with 429 (0 = default)")
+		planCache  = flag.Int("plan-cache", 0, "max cached multiply plans (0 = default)")
+		workers    = flag.Int("workers", 0, "worker threads per multiply (0 = default)")
+		storeBytes = flag.Int64("max-store-bytes", 0, "matrix store byte budget before LRU eviction (0 = default)")
+		uploadMax  = flag.Int64("max-upload-bytes", 0, "largest accepted upload body (0 = default)")
+		maxDim     = flag.Int("max-dim", 0, "largest accepted matrix dimension (0 = default)")
+		maxNNZ     = flag.Int64("max-nnz", 0, "largest accepted nonzero count (0 = default)")
+		grace      = flag.Duration("grace", 5*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Contexts:       *contexts,
+		QueueDepth:     *queue,
+		PlanCacheSize:  *planCache,
+		Workers:        *workers,
+		MaxStoreBytes:  *storeBytes,
+		MaxUploadBytes: *uploadMax,
+		MaxDim:         *maxDim,
+		MaxNNZ:         *maxNNZ,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "spgemm-serve: listening on http://%s\n", ln.Addr())
+	if err := server.Serve(ctx, ln, s.Handler(), *grace); err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

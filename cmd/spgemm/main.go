@@ -54,7 +54,9 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer srv.Close()
+		// Graceful shutdown: srv.Close() would truncate a /metrics scrape
+		// racing process exit; drain in-flight requests briefly instead.
+		defer srv.ShutdownTimeout(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "spgemm: debug server on http://%s\n", srv.Addr())
 	}
 	if *trace != "" {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -12,10 +13,45 @@ import (
 // what the SuiteSparse collection uses for the matrices of the paper's
 // Table 2: "matrix coordinate (real|integer|pattern) (general|symmetric)".
 
+// ReadLimits bounds the matrix shape a reader will accept before doing any
+// shape-proportional allocation. Servers parsing untrusted uploads set
+// these: a handful of header bytes can otherwise claim 2^31 rows and make
+// the parser allocate gigabytes for row pointers. Zero fields mean
+// "unlimited" (subject only to the int32 index space).
+type ReadLimits struct {
+	MaxRows int
+	MaxCols int
+	MaxNNZ  int64
+}
+
+// check validates a claimed shape against the limits. A nil receiver
+// accepts everything.
+func (l *ReadLimits) check(rows, cols int, nnz int64) error {
+	if l == nil {
+		return nil
+	}
+	if l.MaxRows > 0 && rows > l.MaxRows {
+		return fmt.Errorf("matrix: %d rows exceeds limit %d", rows, l.MaxRows)
+	}
+	if l.MaxCols > 0 && cols > l.MaxCols {
+		return fmt.Errorf("matrix: %d cols exceeds limit %d", cols, l.MaxCols)
+	}
+	if l.MaxNNZ > 0 && nnz > l.MaxNNZ {
+		return fmt.Errorf("matrix: %d nonzeros exceeds limit %d", nnz, l.MaxNNZ)
+	}
+	return nil
+}
+
 // ReadMatrixMarket parses a Matrix Market coordinate stream into a CSR
 // matrix. Pattern matrices get value 1 for every entry; symmetric matrices
 // are expanded to full storage.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	return ReadMatrixMarketLimited(r, nil)
+}
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with a shape bound enforced
+// before any shape-proportional allocation happens.
+func ReadMatrixMarketLimited(r io.Reader, lim *ReadLimits) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	header, err := readNonEmptyLine(br)
 	if err != nil {
@@ -46,21 +82,48 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if err != nil {
 		return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
 	}
-	var rows, cols int
-	var nnz int64
-	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+	// The size line is exactly "rows cols nnz". fmt.Sscan would silently
+	// ignore trailing tokens ("3 3 4 junk" used to parse), so split and
+	// require the exact field count before converting.
+	sf := strings.Fields(sizeLine)
+	if len(sf) != 3 {
+		return nil, fmt.Errorf("matrixmarket: bad size line %q: want exactly \"rows cols nnz\"", sizeLine)
+	}
+	rows, err := strconv.Atoi(sf[0])
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
+	}
+	cols, err := strconv.Atoi(sf[1])
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
+	}
+	nnz, err := strconv.ParseInt(sf[2], 10, 64)
+	if err != nil {
 		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("matrixmarket: negative size %d %d %d", rows, cols, nnz)
 	}
-	// Column indices are stored as int32 throughout this library.
-	const maxDim = 1 << 31
-	if rows > maxDim || cols > maxDim {
+	// Row and column indices are stored as int32 throughout this library;
+	// the largest representable index is math.MaxInt32, so any dimension
+	// beyond that overflows (2^31 itself used to slip through a > 1<<31
+	// comparison).
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
 		return nil, fmt.Errorf("matrixmarket: dimensions %dx%d exceed int32 index space", rows, cols)
 	}
+	if err := lim.check(rows, cols, nnz); err != nil {
+		return nil, fmt.Errorf("matrixmarket: %w", err)
+	}
 
-	coo := &COO{Rows: rows, Cols: cols, Entries: make([]Entry, 0, nnz)}
+	// Cap the Entries preallocation: nnz comes from the (untrusted) size
+	// line, and the loop below appends one parsed entry at a time, so a
+	// truncated stream claiming a huge count fails fast instead of
+	// committing gigabytes up front.
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	coo := &COO{Rows: rows, Cols: cols, Entries: make([]Entry, 0, prealloc)}
 	for k := int64(0); k < nnz; k++ {
 		line, err := readDataLine(br)
 		if err != nil {

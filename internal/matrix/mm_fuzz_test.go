@@ -19,6 +19,10 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		"%%MatrixMarket matrix coordinate real general\n% comment\n\n2 3 0\n",
 		"%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n",
 		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 4 junk\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 1 4\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2147483648 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n1 2147483647 0\n",
 		"garbage",
 		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 NaN\n",
 		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e309\n",

@@ -140,3 +140,51 @@ func TestRandomWithDegree(t *testing.T) {
 		}
 	}
 }
+
+func TestMatrixMarketDimensionBounds(t *testing.T) {
+	// Indices are int32: the largest representable dimension is MaxInt32.
+	// 2^31 used to pass the (> 1<<31) validation despite overflowing the
+	// int32 index space; anything above MaxInt32 must be rejected.
+	reject := []string{
+		"%%MatrixMarket matrix coordinate real general\n2147483648 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n1 2147483648 0\n",
+		"%%MatrixMarket matrix coordinate real general\n4294967296 1 0\n",
+	}
+	for _, src := range reject {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted out-of-range dimensions: %q", src)
+		}
+	}
+	// Exactly MaxInt32 columns is the boundary and must be accepted
+	// (cheap here: a single empty row, so no index-space allocation).
+	ok := "%%MatrixMarket matrix coordinate real general\n1 2147483647 0\n"
+	m, err := ReadMatrixMarket(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("rejected boundary dimensions: %v", err)
+	}
+	if m.Cols != 2147483647 {
+		t.Fatalf("cols = %d, want MaxInt32", m.Cols)
+	}
+}
+
+func TestMatrixMarketStrictSizeLine(t *testing.T) {
+	// fmt.Sscan used to stop after three tokens, silently accepting
+	// trailing junk on the size line. The parser must reject it.
+	reject := []string{
+		"%%MatrixMarket matrix coordinate real general\n3 3 1 junk\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 1 4\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 1.5\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n3 x 1\n1 1 1.0\n",
+	}
+	for _, src := range reject {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted malformed size line: %q", src)
+		}
+	}
+	// A well-formed size line still parses.
+	ok := "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 1.0\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(ok)); err != nil {
+		t.Fatalf("rejected valid size line: %v", err)
+	}
+}

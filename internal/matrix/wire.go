@@ -1,0 +1,220 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary CSR wire format ("SPGB"): the compact transfer encoding used by
+// the multiply server and its clients. Matrix Market is the interchange
+// format of the paper's corpus, but it is text — parsing dominates upload
+// time for anything large. The wire format is the CSR arrays verbatim,
+// little-endian, preceded by a fixed header:
+//
+//	offset  size  field
+//	0       4     magic "SPGB"
+//	4       2     version (uint16, currently 1)
+//	6       2     flags   (uint16; bit 0 = rows sorted)
+//	8       8     rows    (int64, ≤ MaxInt32)
+//	16      8     cols    (int64, ≤ MaxInt32)
+//	24      8     nnz     (int64)
+//	32      ...   rowptr  [rows+1]int64
+//	...     ...   colidx  [nnz]int32
+//	...     ...   val     [nnz]float64
+//
+// The encoding is canonical for a given CSR (no padding, no optional
+// sections), so a content hash over the encoded bytes identifies the matrix
+// — dimensions, structure, values and sortedness — which is exactly what
+// the server's interning store keys on.
+
+// wireMagic identifies a binary CSR stream.
+var wireMagic = [4]byte{'S', 'P', 'G', 'B'}
+
+// WireVersion is the format version written by WriteCSRBinary.
+const WireVersion = 1
+
+const (
+	wireHeaderSize = 32
+	wireFlagSorted = 1 << 0
+	// wireChunk is the element-count granularity of array reads: bounded
+	// so a header claiming a huge nnz on a truncated stream fails at the
+	// first short chunk instead of committing the full allocation.
+	wireChunk = 1 << 16
+)
+
+// WireSize returns the exact encoded size of m in bytes.
+func WireSize(m *CSR) int64 {
+	return wireHeaderSize + int64(len(m.RowPtr))*8 + m.NNZ()*12
+}
+
+// WriteCSRBinary writes m in the binary CSR wire format.
+func WriteCSRBinary(w io.Writer, m *CSR) error {
+	if int64(len(m.RowPtr)) != int64(m.Rows)+1 {
+		return fmt.Errorf("matrix: wire encode: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	var hdr [wireHeaderSize]byte
+	copy(hdr[0:4], wireMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], WireVersion)
+	var flags uint16
+	if m.Sorted {
+		flags |= wireFlagSorted
+	}
+	binary.LittleEndian.PutUint16(hdr[6:8], flags)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(m.Cols))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(m.NNZ()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	buf := make([]byte, wireChunk*8)
+	for lo := 0; lo < len(m.RowPtr); lo += wireChunk {
+		hi := min(lo+wireChunk, len(m.RowPtr))
+		n := 0
+		for _, v := range m.RowPtr[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[n:], uint64(v))
+			n += 8
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(m.ColIdx); lo += wireChunk {
+		hi := min(lo+wireChunk, len(m.ColIdx))
+		n := 0
+		for _, v := range m.ColIdx[lo:hi] {
+			binary.LittleEndian.PutUint32(buf[n:], uint32(v))
+			n += 4
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(m.Val); lo += wireChunk {
+		hi := min(lo+wireChunk, len(m.Val))
+		n := 0
+		for _, v := range m.Val[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(v))
+			n += 8
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSRBinary parses a binary CSR stream and validates the result: the
+// magic, version and dimension bounds up front, then the full CSR
+// structural invariants (monotone row pointers, in-range column indices,
+// sortedness when flagged) once the arrays are in. Array storage is
+// committed chunk by chunk as bytes actually arrive, so a truncated or
+// lying header errors out early instead of allocating what it claims.
+func ReadCSRBinary(r io.Reader) (*CSR, error) {
+	return ReadCSRBinaryLimited(r, nil)
+}
+
+// ReadCSRBinaryLimited is ReadCSRBinary with a shape bound enforced before
+// any shape-proportional allocation happens.
+func ReadCSRBinaryLimited(r io.Reader, lim *ReadLimits) (*CSR, error) {
+	var hdr [wireHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("matrix: wire header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != wireMagic {
+		return nil, fmt.Errorf("matrix: wire: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != WireVersion {
+		return nil, fmt.Errorf("matrix: wire: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:8])
+	rows := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	cols := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	nnz := int64(binary.LittleEndian.Uint64(hdr[24:32]))
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("matrix: wire: negative shape %dx%d nnz=%d", rows, cols, nnz)
+	}
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, fmt.Errorf("matrix: wire: dimensions %dx%d exceed int32 index space", rows, cols)
+	}
+	if err := lim.check(int(rows), int(cols), nnz); err != nil {
+		return nil, fmt.Errorf("matrix: wire: %w", err)
+	}
+
+	m := &CSRG[float64]{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		Sorted: flags&wireFlagSorted != 0,
+	}
+	buf := make([]byte, wireChunk*8)
+	rowPtr, err := readInt64Chunked(r, buf, rows+1, nil)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: wire rowptr: %w", err)
+	}
+	m.RowPtr = rowPtr
+	colIdx, err := readInt32Chunked(r, buf, nnz)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: wire colidx: %w", err)
+	}
+	m.ColIdx = colIdx
+	val, err := readFloat64Chunked(r, buf, nnz)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: wire val: %w", err)
+	}
+	m.Val = val
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("matrix: wire: %w", err)
+	}
+	return m, nil
+}
+
+// readInt64Chunked reads n little-endian int64s, growing dst one chunk at a
+// time so allocation tracks delivered bytes, not the claimed count.
+func readInt64Chunked(r io.Reader, buf []byte, n int64, dst []int64) ([]int64, error) {
+	for int64(len(dst)) < n {
+		want := min(n-int64(len(dst)), wireChunk)
+		b := buf[:want*8]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < want; i++ {
+			dst = append(dst, int64(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	}
+	if dst == nil {
+		dst = []int64{}
+	}
+	return dst, nil
+}
+
+func readInt32Chunked(r io.Reader, buf []byte, n int64) ([]int32, error) {
+	dst := []int32{}
+	for int64(len(dst)) < n {
+		want := min(n-int64(len(dst)), wireChunk)
+		b := buf[:want*4]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < want; i++ {
+			dst = append(dst, int32(binary.LittleEndian.Uint32(b[i*4:])))
+		}
+	}
+	return dst, nil
+}
+
+func readFloat64Chunked(r io.Reader, buf []byte, n int64) ([]float64, error) {
+	dst := []float64{}
+	for int64(len(dst)) < n {
+		want := min(n-int64(len(dst)), wireChunk)
+		b := buf[:want*8]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < want; i++ {
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	}
+	return dst, nil
+}

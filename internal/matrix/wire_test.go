@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*CSR{
+		NewCSR(0, 0),
+		NewCSR(3, 5),
+		Identity(17),
+		Random(23, 31, 0.2, rng),
+		Random(1, 1000, 0.5, rng),
+	}
+	unsorted := Random(16, 16, 0.3, rng).PermuteCols(randPerm32(16, rng))
+	cases = append(cases, unsorted)
+	for _, m := range cases {
+		var buf bytes.Buffer
+		if err := WriteCSRBinary(&buf, m); err != nil {
+			t.Fatalf("%v: write: %v", m, err)
+		}
+		if got, want := int64(buf.Len()), WireSize(m); got != want {
+			t.Fatalf("%v: encoded %d bytes, WireSize says %d", m, got, want)
+		}
+		back, err := ReadCSRBinary(&buf)
+		if err != nil {
+			t.Fatalf("%v: read: %v", m, err)
+		}
+		if back.Sorted != m.Sorted {
+			t.Fatalf("%v: sorted flag flipped to %v", m, back.Sorted)
+		}
+		if !equalStructureAndValues(m, back) {
+			t.Fatalf("%v: round trip changed contents", m)
+		}
+	}
+}
+
+func randPerm32(n int, rng *rand.Rand) []int32 {
+	p := make([]int32, n)
+	for i, v := range rng.Perm(n) {
+		p[i] = int32(v)
+	}
+	return p
+}
+
+func equalStructureAndValues(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWireRejectsCorruptInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Random(10, 10, 0.3, rng)
+	var buf bytes.Buffer
+	if err := WriteCSRBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncation at every interesting boundary.
+	for _, n := range []int{0, 3, wireHeaderSize - 1, wireHeaderSize, wireHeaderSize + 7, len(good) - 1} {
+		if _, err := ReadCSRBinary(bytes.NewReader(good[:n])); err == nil {
+			t.Errorf("accepted input truncated to %d bytes", n)
+		}
+	}
+
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":    corrupt(func(b []byte) { b[0] = 'X' }),
+		"bad version":  corrupt(func(b []byte) { b[4] = 99 }),
+		"huge rows":    corrupt(func(b []byte) { b[8], b[9], b[10], b[11] = 0, 0, 0, 0x80 }), // rows = 2^31
+		"negative nnz": corrupt(func(b []byte) { b[31] = 0x80 }),
+		// First row pointer nonzero breaks the CSR invariant.
+		"bad rowptr": corrupt(func(b []byte) { b[wireHeaderSize] = 1 }),
+		// A column index beyond Cols must be rejected by Validate.
+		"col out of range": corrupt(func(b []byte) {
+			off := wireHeaderSize + (m.Rows+1)*8
+			b[off], b[off+1] = 0xff, 0xff
+		}),
+	}
+	for name, b := range cases {
+		if _, err := ReadCSRBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: accepted corrupt input", name)
+		}
+	}
+
+	// A lying Sorted flag on unsorted data must be rejected.
+	un := m.PermuteCols(randPerm32(10, rng))
+	buf.Reset()
+	if err := WriteCSRBinary(&buf, un); err != nil {
+		t.Fatal(err)
+	}
+	lying := buf.Bytes()
+	lying[6] |= wireFlagSorted
+	if back, err := ReadCSRBinary(bytes.NewReader(lying)); err == nil && !back.IsSortedRows() {
+		t.Error("accepted lying sorted flag on unsorted rows")
+	}
+}
+
+// TestWireHeaderBombFailsFast: a 32-byte header claiming billions of
+// nonzeros over an empty body must fail on the first missing chunk, not
+// allocate the claimed arrays. (The chunked reader caps the commit at one
+// chunk per delivered chunk; run with -test.memprofile to see it.)
+func TestWireHeaderBombFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewCSR(1, 1)
+	if err := WriteCSRBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:wireHeaderSize]
+	// Claim nnz = 2^40 with no payload.
+	b[24], b[25], b[26], b[27], b[28], b[29] = 0, 0, 0, 0, 0, 1
+	if _, err := ReadCSRBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("accepted header bomb")
+	}
+}
+
+func TestWireReadLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Random(20, 30, 0.2, rng)
+	var buf bytes.Buffer
+	if err := WriteCSRBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for name, lim := range map[string]*ReadLimits{
+		"rows": {MaxRows: 19},
+		"cols": {MaxCols: 29},
+		"nnz":  {MaxNNZ: m.NNZ() - 1},
+	} {
+		if _, err := ReadCSRBinaryLimited(bytes.NewReader(good), lim); err == nil {
+			t.Errorf("limit %s not enforced", name)
+		}
+	}
+	if _, err := ReadCSRBinaryLimited(bytes.NewReader(good),
+		&ReadLimits{MaxRows: 20, MaxCols: 30, MaxNNZ: m.NNZ()}); err != nil {
+		t.Fatalf("exact-fit limits rejected: %v", err)
+	}
+
+	// The Matrix Market reader shares the same limit type.
+	mm := "%%MatrixMarket matrix coordinate real general\n5 5 1\n1 1 1.0\n"
+	if _, err := ReadMatrixMarketLimited(strings.NewReader(mm), &ReadLimits{MaxRows: 4}); err == nil {
+		t.Error("matrix market row limit not enforced")
+	}
+	if _, err := ReadMatrixMarketLimited(strings.NewReader(mm), &ReadLimits{MaxRows: 5}); err != nil {
+		t.Errorf("matrix market exact-fit limit rejected: %v", err)
+	}
+}

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // expvarOnce guards the one-time expvar publication of the default registry.
@@ -38,26 +40,15 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// StartDebugServer listens on addr (e.g. "localhost:6060", or "localhost:0"
-// to pick a free port) and serves the debug surface for reg in a background
-// goroutine. A nil reg serves the default registry.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+// RegisterDebugHandlers mounts the debug surface (/metrics, /debug/vars,
+// /debug/pprof, /trace.json) on mux for reg (nil = the default registry).
+// The multiply server reuses this to expose the same endpoints on its API
+// listener; StartDebugServer wraps it in a standalone server for the CLIs.
+func RegisterDebugHandlers(mux *http.ServeMux, reg *Registry) {
 	if reg == nil {
 		reg = defaultRegistry
 	}
 	publishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: debug listener: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprint(w, "spgemm debug surface\n\n/metrics\n/debug/vars\n/debug/pprof/\n/trace.json\n")
-	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -77,6 +68,25 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tr.WriteChromeTrace(w)
 	})
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060", or "localhost:0"
+// to pick a free port) and serves the debug surface for reg in a background
+// goroutine. A nil reg serves the default registry.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "spgemm debug surface\n\n/metrics\n/debug/vars\n/debug/pprof/\n/trace.json\n")
+	})
+	RegisterDebugHandlers(mux, reg)
 	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
@@ -85,5 +95,20 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the address the server is listening on (useful with ":0").
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
+// Close shuts the server down immediately, dropping in-flight requests.
+// Prefer Shutdown at process exit so a scrape racing the exit is not
+// truncated mid-body.
 func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully shuts the server down: the listener closes
+// immediately, in-flight requests (a /metrics scrape, a pprof profile)
+// drain until ctx expires, then remaining connections are closed.
+func (s *DebugServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// ShutdownTimeout is Shutdown with a deadline, shaped for the CLIs'
+// defer-at-exit call sites.
+func (s *DebugServer) ShutdownTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -79,3 +79,48 @@ func TestDebugServer(t *testing.T) {
 		t.Error("/trace.json: empty trace")
 	}
 }
+
+// TestDebugServerGracefulShutdown pins the Shutdown contract the CLIs and
+// the multiply server rely on at exit: a scrape in flight when Shutdown is
+// called completes with its full body instead of being truncated, and new
+// connections are refused.
+func TestDebugServerGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shutdown_test_total", "test counter").Add(1)
+	srv, err := StartDebugServer("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	// Start a scrape, then shut down while it is (plausibly) in flight.
+	type result struct {
+		body string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		ch <- result{body: string(body), err: err}
+	}()
+	if err := srv.ShutdownTimeout(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-ch
+	// The scrape either completed fully (body intact) or never connected
+	// (listener already closed) — partial bodies are the bug.
+	if r.err == nil && !strings.Contains(r.body, "shutdown_test_total 1") {
+		t.Errorf("scrape racing shutdown returned truncated body %q", r.body)
+	}
+
+	// After shutdown the listener is gone.
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/spgemm"
+)
+
+// PlanKey identifies a cached Plan: the content hashes of both operands
+// (which, being hashes of the full wire encoding, fingerprint the exact
+// structure the plan was inspected against) plus the execution options
+// that change what the inspector computes. Interned matrices are
+// immutable, so a key can never silently come to mean a different product;
+// Plan.ExecuteIn still revalidates the structure fingerprints as a second
+// line of defense.
+type PlanKey struct {
+	A, B      string
+	Algorithm spgemm.Algorithm
+	Unsorted  bool
+	Workers   int
+}
+
+// PlanCache is the concurrent LRU cache of inspector results. Cached Plans
+// are read-only after construction (their mutable execution state is
+// supplied per-call via Plan.ExecuteIn), so a single Plan may be handed to
+// any number of concurrent requests; the lock only guards the map and
+// recency list, never execution.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	byKey map[PlanKey]*planEntry
+	lru   *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  PlanKey
+	plan *spgemm.Plan
+	elem *list.Element
+}
+
+// NewPlanCache returns a cache holding at most capacity Plans (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:   capacity,
+		byKey: map[PlanKey]*planEntry{},
+		lru:   list.New(),
+	}
+}
+
+// Get returns the cached Plan for k, bumping its recency.
+func (c *PlanCache) Get(k PlanKey) (*spgemm.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.plan, true
+}
+
+// Add inserts a freshly built Plan, evicting the least-recently-used entry
+// past capacity. Two requests racing a miss may both build and Add the
+// same key; the later Add wins and the loser's Plan is simply garbage —
+// correct either way, and cheaper than holding a lock across an inspector
+// run.
+func (c *PlanCache) Add(k PlanKey, p *spgemm.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[k]; ok {
+		e.plan = p
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &planEntry{key: k, plan: p}
+	e.elem = c.lru.PushFront(e)
+	c.byKey[k] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back().Value.(*planEntry)
+		c.removeLocked(back)
+		mPlanEvictions.Inc()
+	}
+	mPlanEntries.Set(int64(c.lru.Len()))
+}
+
+// Remove drops the entry for k, if cached.
+func (c *PlanCache) Remove(k PlanKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[k]; ok {
+		c.removeLocked(e)
+		mPlanEvictions.Inc()
+		mPlanEntries.Set(int64(c.lru.Len()))
+	}
+}
+
+// InvalidateMatrix drops every Plan that references the given matrix hash
+// as either operand — called when the matrix store evicts it, so dead
+// matrices do not stay pinned by their plans.
+func (c *PlanCache) InvalidateMatrix(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.byKey {
+		if k.A == hash || k.B == hash {
+			c.removeLocked(e)
+			mPlanEvictions.Inc()
+		}
+	}
+	mPlanEntries.Set(int64(c.lru.Len()))
+}
+
+// Len returns the number of cached Plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *PlanCache) removeLocked(e *planEntry) {
+	c.lru.Remove(e.elem)
+	delete(c.byKey, e.key)
+}

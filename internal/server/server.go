@@ -1,0 +1,510 @@
+// Package server turns the SpGEMM library into a long-running multiply
+// service: matrices are uploaded once (Matrix Market text or the binary CSR
+// wire format), interned by content hash, and multiplied by hash reference
+// — so the per-request cost of a repeated product is the numeric phase of a
+// cached Plan, not parsing, inspection, or accumulator allocation.
+//
+// The concurrency design is built from three pieces, each matching a
+// documented non-concurrency contract of the library:
+//
+//   - Store: immutable content-addressed matrices (shared freely).
+//   - ContextPool: spgemm.Contexts are NOT safe for concurrent use, so
+//     they are checked out exclusively per request through a channel
+//     (ownership transfer with a happens-before edge) with bounded-queue
+//     admission control in front — saturation degrades to fast 429s.
+//   - PlanCache: Plans are read-only after inspection; Plan.ExecuteIn
+//     supplies the mutable state per call, so one cached Plan serves any
+//     number of concurrent requests, each through its own checked-out
+//     Context.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/semiring"
+	"repro/internal/spgemm"
+)
+
+// ContentTypeCSRBinary marks a request or response body in the binary CSR
+// wire format (matrix.WriteCSRBinary). Anything else uploaded to
+// /v1/matrices is parsed as Matrix Market text.
+const ContentTypeCSRBinary = "application/x-spgemm-csr"
+
+// Config sizes the server. The zero value of every field selects a
+// reasonable default (see withDefaults).
+type Config struct {
+	// Contexts is the size of the Context checkout pool — the maximum
+	// number of multiplies in flight at once. Default 4.
+	Contexts int
+	// QueueDepth is how many multiply requests may wait for a Context
+	// before admission control starts returning 429. Default 64.
+	QueueDepth int
+	// PlanCacheSize is the maximum number of cached Plans. Default 128.
+	PlanCacheSize int
+	// Workers is the per-multiply worker count (0 = the scheduler
+	// default). With several Contexts in flight the throughput-optimal
+	// setting is small; the default is 1.
+	Workers int
+	// MaxStoreBytes bounds the interned matrix payload; least recently
+	// used matrices (and their Plans) are evicted past it. Default 4 GiB.
+	MaxStoreBytes int64
+	// MaxUploadBytes bounds one upload request body. Default 1 GiB.
+	MaxUploadBytes int64
+	// MaxDim and MaxNNZ bound the shape a single uploaded matrix may
+	// claim, enforced before any shape-proportional allocation — a
+	// 32-byte header must not make the server commit gigabytes. Defaults
+	// 1<<27 and 1<<31.
+	MaxDim int
+	MaxNNZ int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Contexts <= 0 {
+		c.Contexts = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxStoreBytes <= 0 {
+		c.MaxStoreBytes = 4 << 30
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 1 << 30
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 1 << 27
+	}
+	if c.MaxNNZ <= 0 {
+		c.MaxNNZ = 1 << 31
+	}
+	return c
+}
+
+// Server is the HTTP multiply service. Create with New; serve via Handler.
+type Server struct {
+	cfg   Config
+	store *Store
+	plans *PlanCache
+	pool  *ContextPool
+	mux   *http.ServeMux
+}
+
+// New returns a Server sized by cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.plans = NewPlanCache(cfg.PlanCacheSize)
+	s.store = NewStore(cfg.MaxStoreBytes, s.plans.InvalidateMatrix)
+	s.pool = NewContextPool(cfg.Contexts, cfg.QueueDepth)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.handleUpload)
+	mux.HandleFunc("GET /v1/matrices/{hash}", s.handleMatrixInfo)
+	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","contexts":%d,"matrices":%d,"plans":%d}`+"\n",
+			s.pool.Size(), s.store.Len(), s.plans.Len())
+	})
+	// The same observability surface the CLIs expose with -debug-addr:
+	// /metrics (now including the server_* families), /debug/vars,
+	// /debug/pprof, /trace.json.
+	obs.RegisterDebugHandlers(mux, nil)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the matrix intern table (tests and the serve CLI preload).
+func (s *Server) Store() *Store { return s.store }
+
+// MatrixInfo is the JSON metadata of an interned matrix.
+type MatrixInfo struct {
+	Hash     string `json:"hash"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	NNZ      int64  `json:"nnz"`
+	Sorted   bool   `json:"sorted"`
+	Interned bool   `json:"interned,omitempty"` // true when the upload deduplicated
+}
+
+func matrixInfo(hash string, m *matrix.CSR, interned bool) MatrixInfo {
+	return MatrixInfo{Hash: hash, Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ(), Sorted: m.Sorted, Interned: interned}
+}
+
+// MultiplyRequest is the body of POST /v1/multiply.
+type MultiplyRequest struct {
+	// A and B are content hashes of previously uploaded matrices.
+	A string `json:"a"`
+	B string `json:"b"`
+	// Algorithm overrides the kernel ("auto", "hash", "hashvec", "heap",
+	// ...); empty means auto.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Semiring selects the ring: "" or "plus-times" (the default, Plan-
+	// cacheable), "min-plus", "max-times".
+	Semiring string `json:"semiring,omitempty"`
+	// Unsorted requests unsorted output rows (skips the per-row sort).
+	Unsorted bool `json:"unsorted,omitempty"`
+	// Workers overrides the per-multiply worker count (0 = server config).
+	Workers int `json:"workers,omitempty"`
+	// Return selects the response: "meta" (default) returns metadata only,
+	// "store" interns the product and returns its hash, "matrix" streams
+	// the product in the binary CSR wire format.
+	Return string `json:"return,omitempty"`
+}
+
+// MultiplyResponse is the JSON result of a multiply (Return "meta"/"store").
+type MultiplyResponse struct {
+	Rows           int     `json:"rows"`
+	Cols           int     `json:"cols"`
+	NNZ            int64   `json:"nnz"`
+	Algorithm      string  `json:"algorithm"`
+	Semiring       string  `json:"semiring"`
+	PlanCacheHit   bool    `json:"planCacheHit"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	Flop           int64   `json:"flop"`
+	Hash           string  `json:"hash,omitempty"` // set with Return "store"
+}
+
+// jsonError is the uniform error body.
+type jsonError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	mErrors.With(strconv.Itoa(code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(jsonError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleUpload parses, validates and interns one matrix.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	mRequests.With("upload").Inc()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	lim := &matrix.ReadLimits{MaxRows: s.cfg.MaxDim, MaxCols: s.cfg.MaxDim, MaxNNZ: s.cfg.MaxNNZ}
+
+	var m *matrix.CSR
+	var err error
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	if ct == ContentTypeCSRBinary {
+		m, err = matrix.ReadCSRBinaryLimited(body, lim)
+	} else {
+		m, err = matrix.ReadMatrixMarketLimited(body, lim)
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if !errors.As(err, &tooBig) {
+			// A parser may fail on the truncated tail of an over-limit
+			// body before it observes the limit error itself; probing the
+			// reader distinguishes "too big" from "malformed".
+			_, probeErr := body.Read(make([]byte, 1))
+			errors.As(probeErr, &tooBig)
+		}
+		if tooBig != nil {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "parse upload: %v", err)
+		return
+	}
+	hash, existed, err := s.store.Put(m)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "intern: %v", err)
+		return
+	}
+	// Put interns the first copy: respond with the stored matrix, which
+	// is m unless this upload deduplicated.
+	stored, _ := s.store.Get(hash)
+	writeJSON(w, http.StatusOK, matrixInfo(hash, stored, existed))
+}
+
+// handleMatrixInfo returns metadata for one interned matrix.
+func (s *Server) handleMatrixInfo(w http.ResponseWriter, r *http.Request) {
+	mRequests.With("matrix_info").Inc()
+	hash := r.PathValue("hash")
+	m, ok := s.store.Get(hash)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown matrix %q", hash)
+		return
+	}
+	writeJSON(w, http.StatusOK, matrixInfo(hash, m, false))
+}
+
+// handleMultiply is the core endpoint: admission control, Plan cache,
+// checked-out Context, per-request stats.
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	mRequests.With("multiply").Inc()
+	req, ok := s.decodeMultiplyRequest(w, r)
+	if !ok {
+		return
+	}
+	alg, ok := spgemm.ParseAlgorithm(req.Algorithm)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	switch req.Semiring {
+	case "", "plus-times", "min-plus", "max-times":
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown semiring %q (want plus-times, min-plus or max-times)", req.Semiring)
+		return
+	}
+	switch req.Return {
+	case "", "meta", "store", "matrix":
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown return mode %q (want meta, store or matrix)", req.Return)
+		return
+	}
+	if req.Workers < 0 || req.Workers > 4096 {
+		s.writeError(w, http.StatusBadRequest, "workers %d out of range [0,4096]", req.Workers)
+		return
+	}
+	a, ok := s.store.Get(req.A)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown matrix %q (upload it first)", req.A)
+		return
+	}
+	b, ok := s.store.Get(req.B)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown matrix %q (upload it first)", req.B)
+		return
+	}
+	if a.Cols != b.Rows {
+		s.writeError(w, http.StatusBadRequest,
+			"dimension mismatch: %dx%d × %dx%d (inner dimensions %d and %d differ)",
+			a.Rows, a.Cols, b.Rows, b.Cols, a.Cols, b.Rows)
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+
+	// Admission control: check a Context out or shed load.
+	start := time.Now()
+	ctx, err := s.pool.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.writeError(w, http.StatusTooManyRequests,
+				"server saturated: %d multiplies in flight, %d queued", s.pool.Size(), s.cfg.QueueDepth)
+			return
+		}
+		// Client went away while queued; nothing to answer.
+		mErrors.With("499").Inc()
+		return
+	}
+	defer s.pool.Release(ctx)
+
+	stats := &spgemm.ExecStats{}
+	c, planHit, err := s.multiply(ctx, stats, a, b, alg, req, workers)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "multiply: %v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	recordMultiplyMetrics(stats, elapsed, planHit)
+
+	resp := MultiplyResponse{
+		Rows:           c.Rows,
+		Cols:           c.Cols,
+		NNZ:            c.NNZ(),
+		Algorithm:      resolvedAlgorithm(stats, alg),
+		Semiring:       ringName(req.Semiring),
+		PlanCacheHit:   planHit,
+		ElapsedSeconds: elapsed.Seconds(),
+		Flop:           totalFlop(stats),
+	}
+	switch req.Return {
+	case "store":
+		hash, _, err := s.store.Put(c)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "intern product: %v", err)
+			return
+		}
+		resp.Hash = hash
+		writeJSON(w, http.StatusOK, resp)
+	case "matrix":
+		w.Header().Set("Content-Type", ContentTypeCSRBinary)
+		w.Header().Set("X-Spgemm-Algorithm", resp.Algorithm)
+		w.Header().Set("X-Spgemm-Plan-Cache-Hit", strconv.FormatBool(planHit))
+		_ = matrix.WriteCSRBinary(w, c)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// decodeMultiplyRequest strictly parses the JSON body: unknown fields,
+// trailing garbage and non-JSON bodies are all 400s — silently ignoring
+// malformed requests is how wrong answers hide.
+func (s *Server) decodeMultiplyRequest(w http.ResponseWriter, r *http.Request) (MultiplyRequest, bool) {
+	var req MultiplyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return req, false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "trailing data after request body")
+		return req, false
+	}
+	if req.A == "" || req.B == "" {
+		s.writeError(w, http.StatusBadRequest, "both \"a\" and \"b\" matrix hashes are required")
+		return req, false
+	}
+	return req, true
+}
+
+// multiply runs the product through the Plan cache when the request is
+// plan-eligible (plus-times, hash-family algorithm), falling back to a
+// plain Multiply otherwise. The checked-out Context supplies all mutable
+// kernel state either way.
+func (s *Server) multiply(ctx *spgemm.Context, stats *spgemm.ExecStats, a, b *matrix.CSR,
+	alg spgemm.Algorithm, req MultiplyRequest, workers int) (*matrix.CSR, bool, error) {
+
+	opt := &spgemm.Options{
+		Algorithm: alg,
+		Unsorted:  req.Unsorted,
+		Workers:   workers,
+		Context:   ctx,
+		Stats:     stats,
+	}
+	switch req.Semiring {
+	case "min-plus":
+		c, err := spgemm.MultiplyRing(semiring.MinPlusF64{}, a, b, optG(opt))
+		return c, false, err
+	case "max-times":
+		c, err := spgemm.MultiplyRing(semiring.MaxTimesF64{}, a, b, optG(opt))
+		return c, false, err
+	}
+
+	key := PlanKey{A: req.A, B: req.B, Algorithm: alg, Unsorted: req.Unsorted, Workers: workers}
+	if plan, ok := s.plans.Get(key); ok {
+		c, err := plan.ExecuteIn(ctx, stats)
+		if err == nil {
+			mPlanHits.Inc()
+			return c, true, nil
+		}
+		// Interned matrices are immutable, so a stale plan should be
+		// impossible — but if one surfaces, drop it and rebuild below.
+		if !errors.Is(err, spgemm.ErrPlanStale) {
+			return nil, false, err
+		}
+		s.plans.Remove(key)
+	}
+	mPlanMisses.Inc()
+	plan, err := spgemm.NewPlan(a, b, opt)
+	if err != nil {
+		// Not plan-eligible (auto resolved to a non-hash kernel, explicit
+		// heap/merge/... request): one-shot multiply through the Context.
+		c, merr := spgemm.Multiply(a, b, opt)
+		return c, false, merr
+	}
+	s.plans.Add(key, plan)
+	c, err := plan.ExecuteIn(ctx, stats)
+	return c, false, err
+}
+
+// optG converts the float64 Options to the generic form for MultiplyRing
+// with a named ring.
+func optG(o *spgemm.Options) *spgemm.OptionsG[float64] {
+	return &spgemm.OptionsG[float64]{
+		Algorithm: o.Algorithm,
+		Workers:   o.Workers,
+		Unsorted:  o.Unsorted,
+		Stats:     o.Stats,
+		Context:   o.Context,
+	}
+}
+
+func ringName(s string) string {
+	if s == "" {
+		return "plus-times"
+	}
+	return s
+}
+
+// resolvedAlgorithm names the kernel that actually ran: AlgAuto resolves
+// during execution and the choice is recorded in the stats.
+func resolvedAlgorithm(stats *spgemm.ExecStats, requested spgemm.Algorithm) string {
+	if stats != nil {
+		return stats.Algorithm.String()
+	}
+	return requested.String()
+}
+
+func totalFlop(stats *spgemm.ExecStats) int64 {
+	if stats == nil {
+		return 0
+	}
+	var flop int64
+	for _, ws := range stats.Workers {
+		flop += ws.Flop
+	}
+	return flop
+}
+
+// recordMultiplyMetrics folds one request's ExecStats into the server_*
+// families.
+func recordMultiplyMetrics(stats *spgemm.ExecStats, elapsed time.Duration, planHit bool) {
+	mMultiplies.Inc()
+	mMultiplySeconds.Observe(elapsed.Seconds())
+	if stats != nil {
+		mMultiplyFlop.Add(totalFlop(stats))
+		for p := spgemm.Phase(0); p < spgemm.NumPhases; p++ {
+			if d := stats.Phases[p]; d > 0 {
+				mPhaseNanos.With(p.String()).Add(int64(d))
+			}
+		}
+	}
+}
+
+// Serve runs h on ln until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests drain for up to
+// grace, then remaining connections are closed. This is the same
+// drain-don't-truncate exit path the CLIs use for their debug servers.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}

@@ -1,0 +1,582 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/spgemm"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func uploadBinary(t *testing.T, base string, m *matrix.CSR) MatrixInfo {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := matrix.WriteCSRBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/matrices", ContentTypeCSRBinary, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var info MatrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func postMultiply(t *testing.T, base string, req MultiplyRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func decodeMultiply(t *testing.T, body []byte) MultiplyResponse {
+	t.Helper()
+	var mr MultiplyResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("decode multiply response %q: %v", body, err)
+	}
+	return mr
+}
+
+func TestUploadInternAndInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.Random(40, 50, 0.1, rng)
+
+	info := uploadBinary(t, ts.URL, m)
+	if info.Rows != 40 || info.Cols != 50 || info.NNZ != m.NNZ() || info.Interned {
+		t.Fatalf("bad upload info: %+v", info)
+	}
+
+	// Same matrix as Matrix Market text interns to the same hash.
+	var mm bytes.Buffer
+	if err := matrix.WriteMatrixMarket(&mm, m); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", &mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var again MatrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Hash != info.Hash || !again.Interned {
+		t.Fatalf("re-upload did not intern: %+v vs %+v", again, info)
+	}
+
+	// Metadata lookup.
+	resp2, err := http.Get(ts.URL + "/v1/matrices/" + info.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("info: status %d", resp2.StatusCode)
+	}
+
+	// Unknown hash is a 404.
+	resp3, err := http.Get(ts.URL + "/v1/matrices/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown matrix: status %d, want 404", resp3.StatusCode)
+	}
+}
+
+func TestMultiplyAndPlanCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(60, 50, 0.1, rng)
+	b := matrix.Random(50, 70, 0.1, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	hb := uploadBinary(t, ts.URL, b).Hash
+
+	want, err := spgemm.Multiply(a, b, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "hash"})
+	if code != http.StatusOK {
+		t.Fatalf("multiply: status %d: %s", code, body)
+	}
+	first := decodeMultiply(t, body)
+	if first.PlanCacheHit {
+		t.Fatal("first multiply claims a plan cache hit")
+	}
+	if first.NNZ != want.NNZ() || first.Rows != 60 || first.Cols != 70 {
+		t.Fatalf("wrong product shape: %+v", first)
+	}
+
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "hash"})
+	if code != http.StatusOK {
+		t.Fatalf("repeat multiply: status %d: %s", code, body)
+	}
+	second := decodeMultiply(t, body)
+	if !second.PlanCacheHit {
+		t.Fatal("repeat multiply missed the plan cache")
+	}
+	if second.NNZ != first.NNZ {
+		t.Fatalf("repeat product changed: %+v vs %+v", second, first)
+	}
+
+	// The hit is visible on /metrics — the counter the load generator and
+	// CI smoke assert on.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(metrics), "server_plan_cache_hits_total") {
+		t.Fatal("/metrics missing server_plan_cache_hits_total")
+	}
+}
+
+func TestMultiplyReturnMatrixRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(30, 25, 0.15, rng)
+	b := matrix.Random(25, 35, 0.15, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	hb := uploadBinary(t, ts.URL, b).Hash
+
+	req, _ := json.Marshal(MultiplyRequest{A: ha, B: hb, Algorithm: "hash", Return: "matrix"})
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeCSRBinary {
+		t.Fatalf("content type %q", ct)
+	}
+	got, err := matrix.ReadCSRBinary(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spgemm.Multiply(a, b, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != want.NNZ() || got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("streamed product differs: %v vs %v", got, want)
+	}
+	for i := range want.ColIdx {
+		if got.ColIdx[i] != want.ColIdx[i] || got.Val[i] != want.Val[i] {
+			t.Fatalf("streamed product differs at entry %d", i)
+		}
+	}
+}
+
+func TestMultiplyReturnStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.Random(20, 20, 0.2, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: ha, Return: "store"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	mr := decodeMultiply(t, body)
+	if mr.Hash == "" {
+		t.Fatal("return=store produced no hash")
+	}
+	// The product is immediately addressable, e.g. for A·A·A.
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: mr.Hash, B: ha})
+	if code != http.StatusOK {
+		t.Fatalf("chained multiply: status %d: %s", code, body)
+	}
+}
+
+func TestMultiplySemiringOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(5))
+	a := matrix.Random(25, 25, 0.2, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: ha, Semiring: "min-plus"})
+	if code != http.StatusOK {
+		t.Fatalf("min-plus: status %d: %s", code, body)
+	}
+	mr := decodeMultiply(t, body)
+	if mr.Semiring != "min-plus" || mr.PlanCacheHit {
+		t.Fatalf("bad min-plus response: %+v", mr)
+	}
+}
+
+func TestMultiplyErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(6))
+	a := matrix.Random(10, 10, 0.3, rng)
+	tall := matrix.Random(7, 3, 0.5, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	htall := uploadBinary(t, ts.URL, tall).Hash
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown A hash", fmt.Sprintf(`{"a":"beef","b":%q}`, ha), http.StatusNotFound},
+		{"unknown B hash", fmt.Sprintf(`{"a":%q,"b":"beef"}`, ha), http.StatusNotFound},
+		{"dimension mismatch", fmt.Sprintf(`{"a":%q,"b":%q}`, ha, htall), http.StatusBadRequest},
+		{"malformed JSON", `{"a":`, http.StatusBadRequest},
+		{"not JSON", `hello`, http.StatusBadRequest},
+		{"unknown field", fmt.Sprintf(`{"a":%q,"b":%q,"bogus":1}`, ha, ha), http.StatusBadRequest},
+		{"trailing garbage", fmt.Sprintf(`{"a":%q,"b":%q} extra`, ha, ha), http.StatusBadRequest},
+		{"missing hashes", `{}`, http.StatusBadRequest},
+		{"bad algorithm", fmt.Sprintf(`{"a":%q,"b":%q,"algorithm":"quantum"}`, ha, ha), http.StatusBadRequest},
+		{"bad semiring", fmt.Sprintf(`{"a":%q,"b":%q,"semiring":"xor"}`, ha, ha), http.StatusBadRequest},
+		{"bad return", fmt.Sprintf(`{"a":%q,"b":%q,"return":"email"}`, ha, ha), http.StatusBadRequest},
+		{"negative workers", fmt.Sprintf(`{"a":%q,"b":%q,"workers":-1}`, ha, ha), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := post(tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, code, tc.want, body)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Errorf("%s: error body missing error field: %s", tc.name, body)
+		}
+	}
+}
+
+func TestUploadErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxUploadBytes: 256, MaxDim: 64, MaxNNZ: 128})
+
+	// Garbage in both formats.
+	for _, ct := range []string{"text/plain", ContentTypeCSRBinary} {
+		resp, err := http.Post(ts.URL+"/v1/matrices", ct, strings.NewReader("not a matrix"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s garbage: status %d, want 400", ct, resp.StatusCode)
+		}
+	}
+
+	// Over the body-size limit: 413.
+	big := "%%MatrixMarket matrix coordinate real general\n10 10 40\n" + strings.Repeat("1 1 1.0\n", 40)
+	resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: status %d, want 413", resp.StatusCode)
+	}
+
+	// Within the byte limit but over the shape limit: 400 without the
+	// server committing shape-proportional memory.
+	bomb := "%%MatrixMarket matrix coordinate real general\n1000000 1000000 0\n"
+	resp, err = http.Post(ts.URL+"/v1/matrices", "text/plain", strings.NewReader(bomb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("shape bomb: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAdmissionControl429 pins the backpressure contract: with every
+// Context checked out and the queue full, a multiply is rejected
+// immediately with 429 rather than queued indefinitely.
+func TestAdmissionControl429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Contexts: 1, QueueDepth: 1})
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.Random(10, 10, 0.3, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+
+	// Drain the pool: the one Context is now "in flight".
+	ctx, err := s.pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the one queue slot with a request that will block.
+	queued := make(chan struct {
+		code int
+		body []byte
+	}, 1)
+	go func() {
+		code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: ha})
+		queued <- struct {
+			code int
+			body []byte
+		}{code, body}
+	}()
+	waitFor(t, func() bool { return s.pool.waiting.Load() == 1 })
+
+	// Queue full: the next request is shed with 429 and a Retry-After.
+	req, _ := json.Marshal(MultiplyRequest{A: ha, B: ha})
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body429, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated multiply: status %d, want 429: %s", resp.StatusCode, body429)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	// Releasing the Context lets the queued request complete normally.
+	s.pool.Release(ctx)
+	select {
+	case r := <-queued:
+		if r.code != http.StatusOK {
+			t.Fatalf("queued request: status %d: %s", r.code, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued request never completed")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentMultiplies is the -race proof of the checkout-pool
+// ownership discipline: many goroutines hammer a small Context pool with
+// mixed cache-hitting products and every response must be correct.
+func TestConcurrentMultiplies(t *testing.T) {
+	_, ts := newTestServer(t, Config{Contexts: 3, QueueDepth: 256, Workers: 2})
+	rng := rand.New(rand.NewSource(8))
+	a := matrix.Random(80, 60, 0.08, rng)
+	b := matrix.Random(60, 90, 0.08, rng)
+	sq := matrix.Random(60, 60, 0.08, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	hb := uploadBinary(t, ts.URL, b).Hash
+	hsq := uploadBinary(t, ts.URL, sq).Hash
+
+	wantAB, err := spgemm.Multiply(a, b, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSq, err := spgemm.Multiply(sq, sq, &spgemm.Options{Algorithm: spgemm.AlgHashVec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var req MultiplyRequest
+				var wantNNZ int64
+				if (g+i)%2 == 0 {
+					req = MultiplyRequest{A: ha, B: hb, Algorithm: "hash"}
+					wantNNZ = wantAB.NNZ()
+				} else {
+					req = MultiplyRequest{A: hsq, B: hsq, Algorithm: "hashvec"}
+					wantNNZ = wantSq.NNZ()
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var mr MultiplyResponse
+				if err := json.Unmarshal(raw, &mr); err != nil {
+					errs <- err
+					return
+				}
+				if mr.NNZ != wantNNZ {
+					errs <- fmt.Errorf("wrong product nnz %d, want %d", mr.NNZ, wantNNZ)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreEvictionDropsPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Budget fits roughly two of the three matrices.
+	m1 := matrix.Random(40, 40, 0.2, rng)
+	m2 := matrix.Random(40, 40, 0.2, rng)
+	m3 := matrix.Random(40, 40, 0.2, rng)
+	budget := matrix.WireSize(m1) + matrix.WireSize(m2) + matrix.WireSize(m3)/2
+
+	s, ts := newTestServer(t, Config{MaxStoreBytes: budget})
+	h1 := uploadBinary(t, ts.URL, m1).Hash
+	h2 := uploadBinary(t, ts.URL, m2).Hash
+
+	// Build a plan for (m1, m1) so there is something to invalidate.
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: h1, B: h1})
+	if code != http.StatusOK {
+		t.Fatalf("multiply: %d %s", code, body)
+	}
+	if s.plans.Len() != 1 {
+		t.Fatalf("plan cache has %d entries, want 1", s.plans.Len())
+	}
+
+	// Touch m2 so m1 is the LRU victim, then upload m3 to blow the budget.
+	if _, ok := s.store.Get(h2); !ok {
+		t.Fatal("m2 missing")
+	}
+	uploadBinary(t, ts.URL, m3)
+
+	if _, ok := s.store.Get(h1); ok {
+		t.Fatal("m1 should have been evicted")
+	}
+	if s.plans.Len() != 0 {
+		t.Fatalf("plans referencing an evicted matrix survived: %d", s.plans.Len())
+	}
+	// A multiply against the evicted hash is now a 404, not a crash.
+	code, _ = postMultiply(t, ts.URL, MultiplyRequest{A: h1, B: h1})
+	if code != http.StatusNotFound {
+		t.Fatalf("evicted-matrix multiply: status %d, want 404", code)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	cache := NewPlanCache(2)
+	rng := rand.New(rand.NewSource(10))
+	a := matrix.Random(20, 20, 0.2, rng)
+	mkPlan := func() *spgemm.Plan {
+		p, err := spgemm.NewPlan(a, a, &spgemm.Options{Algorithm: spgemm.AlgHash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	k1 := PlanKey{A: "1", B: "1", Workers: 1}
+	k2 := PlanKey{A: "2", B: "2", Workers: 1}
+	k3 := PlanKey{A: "3", B: "3", Workers: 1}
+	cache.Add(k1, mkPlan())
+	cache.Add(k2, mkPlan())
+	if _, ok := cache.Get(k1); !ok { // bump k1: k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	cache.Add(k3, mkPlan())
+	if _, ok := cache.Get(k2); ok {
+		t.Fatal("k2 should have been evicted (LRU)")
+	}
+	if _, ok := cache.Get(k1); !ok {
+		t.Fatal("k1 evicted despite recent use")
+	}
+	if _, ok := cache.Get(k3); !ok {
+		t.Fatal("k3 missing")
+	}
+}
+
+// TestServeGracefulShutdown exercises the Serve helper the CLI uses: cancel
+// the context, and Serve returns after draining without truncating.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, ln, s.Handler(), 2*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

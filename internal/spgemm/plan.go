@@ -33,8 +33,13 @@ var ErrPlanStale = errors.New("spgemm: plan is stale (input structure changed or
 // as a value or re-instantiate per ring type; the reuse-heavy iterative
 // callers plans serve are the float64 solvers.)
 //
-// A Plan is NOT safe for concurrent use, and shares its Context: a plan and
-// other Multiply calls using the same Context must not run concurrently.
+// A Plan's cached inspector results (offsets, bounds, flop counts, output
+// row pointers) are read-only after NewPlan; the mutable execution state
+// lives in a Context. Execute is therefore NOT safe for concurrent use —
+// it runs on the plan's own Context — but ExecuteIn with distinct Contexts
+// is: concurrent ExecuteIn calls on one shared Plan are exactly how the
+// multiply server executes cache-hit products from its Context checkout
+// pool. Invalidate must not race in-flight Executes.
 type Plan struct {
 	a, b     *matrix.CSR
 	alg      Algorithm
@@ -178,6 +183,16 @@ func (p *Plan) Invalidate() { p.valid = false }
 // structure is revalidated by fingerprint; ErrPlanStale means the plan (and
 // its cached symbolic result) no longer applies.
 func (p *Plan) Execute() (*matrix.CSR, error) {
+	return p.ExecuteIn(p.ctx, p.stats)
+}
+
+// ExecuteIn is Execute with caller-supplied mutable state: the numeric
+// phase draws its accumulators and scratch from ctx (nil means a fresh
+// transient context) and reports into stats (nil disables stats). The plan
+// itself is only read, so concurrent ExecuteIn calls on the same Plan are
+// safe as long as each uses a distinct Context — the contract the multiply
+// server's plan cache relies on.
+func (p *Plan) ExecuteIn(ctx *Context, stats *ExecStats) (*matrix.CSR, error) {
 	if !p.valid {
 		mPlanStale.Inc()
 		return nil, ErrPlanStale
@@ -187,11 +202,13 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 		return nil, ErrPlanStale
 	}
 	a, b := p.a, p.b
-	ctx := p.ctx
+	if ctx == nil {
+		ctx = NewContext()
+	}
 	ctx.ensureWorkers(p.workers)
-	pt := startPhases(p.stats, p.workers)
-	if p.stats != nil {
-		p.stats.Algorithm = p.alg
+	pt := startPhases(stats, p.workers)
+	if stats != nil {
+		stats.Algorithm = p.alg
 	}
 
 	outPtr := make([]int64, len(p.rowPtr))
@@ -273,8 +290,8 @@ func (p *Plan) Execute() (*matrix.CSR, error) {
 	pt.tick(PhaseNumeric)
 	pt.finish()
 	mPlanExecs.Inc()
-	if p.stats != nil {
-		p.ctx.accumulate(p.stats)
+	if stats != nil {
+		ctx.accumulate(stats)
 	}
 	return c, nil
 }

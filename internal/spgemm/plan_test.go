@@ -3,6 +3,7 @@ package spgemm
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/matrix"
@@ -153,6 +154,86 @@ func TestPlanSharedContextInterleaved(t *testing.T) {
 		}
 		if !csrEqual(got, want) {
 			t.Fatalf("round %d: interleaved plan result differs", round)
+		}
+	}
+}
+
+func TestPlanExecuteInMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := matrix.Random(90, 80, 0.07, rng)
+	b := matrix.Random(80, 70, 0.07, rng)
+	plan, err := NewPlan(a, b, &Options{Algorithm: AlgHash, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nil context is a fresh transient one; a caller context is reused.
+	got, err := plan.ExecuteIn(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(got, want) {
+		t.Fatal("ExecuteIn(nil, nil) differs from Execute")
+	}
+	ctx := NewContext()
+	stats := &ExecStats{}
+	got, err = plan.ExecuteIn(ctx, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(got, want) {
+		t.Fatal("ExecuteIn(ctx, stats) differs from Execute")
+	}
+	if stats.Algorithm != AlgHash || stats.Total <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	if ctx.CumulativeCalls() != 1 {
+		t.Fatalf("stats accumulated into the wrong context: %d calls", ctx.CumulativeCalls())
+	}
+}
+
+// TestPlanConcurrentExecuteIn pins the contract the multiply server's plan
+// cache relies on: one shared Plan, concurrently executed through distinct
+// Contexts, is race-free (run under -race) and every result is identical.
+func TestPlanConcurrentExecuteIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := matrix.Random(150, 130, 0.05, rng)
+	b := matrix.Random(130, 140, 0.05, rng)
+	plan, err := NewPlan(a, b, &Options{Algorithm: AlgHashVec, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	results := make([]*matrix.CSR, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := NewContext()
+			for round := 0; round < 4; round++ {
+				results[g], errs[g] = plan.ExecuteIn(ctx, &ExecStats{})
+				if errs[g] != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !csrEqual(results[g], want) {
+			t.Fatalf("goroutine %d produced a different product", g)
 		}
 	}
 }

@@ -113,6 +113,21 @@ func (a Algorithm) String() string {
 	return "unknown"
 }
 
+// ParseAlgorithm is the inverse of Algorithm.String: it resolves the names
+// the CLIs and the multiply server accept ("auto", "hash", "hashvec", ...).
+// The empty string parses as AlgAuto.
+func ParseAlgorithm(name string) (Algorithm, bool) {
+	if name == "" {
+		return AlgAuto, true
+	}
+	for alg := AlgAuto; alg <= AlgESC; alg++ {
+		if alg.String() == name {
+			return alg, true
+		}
+	}
+	return AlgAuto, false
+}
+
 // HeapVariant selects the scheduling/memory-management combination for
 // AlgHeap, reproducing the five curves of the paper's Figure 9.
 type HeapVariant int
