@@ -32,6 +32,7 @@ var algNames = map[string]spgemm.Algorithm{
 	"ikj":           spgemm.AlgIKJ,
 	"blockedspa":    spgemm.AlgBlockedSPA,
 	"esc":           spgemm.AlgESC,
+	"tiled":         spgemm.AlgTiled,
 }
 
 func main() {

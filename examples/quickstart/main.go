@@ -36,6 +36,7 @@ func main() {
 	for _, alg := range []spgemm.Algorithm{
 		spgemm.AlgHash, spgemm.AlgHashVec, spgemm.AlgHeap, spgemm.AlgSPA,
 		spgemm.AlgMKL, spgemm.AlgMKLInspector, spgemm.AlgKokkos, spgemm.AlgMerge,
+		spgemm.AlgTiled,
 	} {
 		fmt.Printf("%-14s %12s %12s\n", alg, run(a, alg, false), run(a, alg, true))
 	}

@@ -127,3 +127,34 @@ func (s *SPAG[V]) ExtractSorted(cols []int32, vals []V) int {
 	}
 	return n
 }
+
+// ExtractUnsortedBias is ExtractUnsorted with bias added to every emitted
+// column id — the tile-local → global column translation of the tiled
+// kernel's stitch pass, fused into the extraction so no temp copy exists.
+//
+//spgemm:hotpath
+func (s *SPAG[V]) ExtractUnsortedBias(cols []int32, vals []V, bias int32) int {
+	for i, c := range s.idx {
+		cols[i] = c + bias
+		vals[i] = s.vals[c]
+	}
+	return len(s.idx)
+}
+
+// ExtractSortedBias is ExtractSorted with bias added to every emitted column
+// id. Because a tile covers a contiguous column range, sorting the local ids
+// and biasing afterwards yields globally sorted output for the tile's slice
+// of the row.
+//
+//spgemm:hotpath
+func (s *SPAG[V]) ExtractSortedBias(cols []int32, vals []V, bias int32) int {
+	n := len(s.idx)
+	copy(cols, s.idx)
+	c := cols[:n]
+	slices.Sort(c)
+	for i, col := range c {
+		vals[i] = s.vals[col]
+		cols[i] = col + bias
+	}
+	return n
+}

@@ -43,7 +43,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	reg := Registry()
-	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps", "reuse"}
+	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps", "reuse", "skewed"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}
@@ -73,8 +73,21 @@ func TestReuseSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Experiment != "reuse" || s.Scale != 8 || len(s.Results) != 6 {
+	// 6 reuse rows (2 algs × 3 variants) + 4 skewed G500 rows.
+	if s.Experiment != "reuse" || s.Scale != 8 || len(s.Results) != 10 {
 		t.Fatalf("unexpected snapshot: %+v", s)
+	}
+	var skewedRows int
+	for _, r := range s.Results {
+		if r.Variant == "g500-s8" {
+			skewedRows++
+		}
+		if r.Alg == "auto" && r.Resolved == "" {
+			t.Fatalf("auto row missing resolved algorithm: %+v", r)
+		}
+	}
+	if skewedRows != 4 {
+		t.Fatalf("want 4 skewed rows, got %d", skewedRows)
 	}
 	for _, r := range s.Results {
 		if r.NsPerOp <= 0 || r.MFLOPS <= 0 {

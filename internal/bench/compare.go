@@ -128,5 +128,55 @@ func CompareSnapshots(base *Snapshot, timeTol float64, w io.Writer) ([]string, e
 		}
 	}
 	t.write(w, false)
+	regressions = append(regressions, tiledWinGate(cur.Results, w)...)
 	return regressions, nil
+}
+
+// tiledWinGate enforces the tiled kernel's headline claim on THIS run's
+// skewed G500 rows (variant "g500-s<scale>"): the tiled kernel must be
+// strictly faster than every other explicit algorithm measured on that
+// workload, and the auto recipe must have resolved to it. Asserting on the
+// fresh measurement (not the baseline delta) keeps the gate meaningful on
+// hosts other than the one that recorded the snapshot. The gate only arms
+// at scale >= 16 — the acceptance regime, where the 65,536-plus-column
+// output splits into multiple analytic tiles and hub rows really overflow;
+// at smaller scales every row fits one tile, tiling degenerates to the
+// hash path, and the recipe correctly keeps picking hash. Absent qualifying
+// rows the gate is moot.
+func tiledWinGate(rows []reuseVariant, w io.Writer) []string {
+	var tiled, auto *reuseVariant
+	var best *reuseVariant // fastest explicit non-tiled algorithm
+	for i := range rows {
+		r := &rows[i]
+		var scale int
+		if n, _ := fmt.Sscanf(r.Variant, "g500-s%d", &scale); n != 1 || scale < 16 {
+			continue
+		}
+		switch r.Alg {
+		case "tiled":
+			tiled = r
+		case "auto":
+			auto = r
+		default:
+			if best == nil || r.NsPerOp < best.NsPerOp {
+				best = r
+			}
+		}
+	}
+	if tiled == nil || best == nil {
+		return nil
+	}
+	var out []string
+	fmt.Fprintf(w, "skewed win gate (%s): tiled %.2f ms/iter vs best other (%s) %.2f ms/iter\n",
+		tiled.Variant, float64(tiled.NsPerOp)/1e6, best.Alg, float64(best.NsPerOp)/1e6)
+	if tiled.NsPerOp >= best.NsPerOp {
+		out = append(out, fmt.Sprintf(
+			"%s: tiled %.2f ms/iter does not beat %s %.2f ms/iter on the skewed preset",
+			tiled.Variant, float64(tiled.NsPerOp)/1e6, best.Alg, float64(best.NsPerOp)/1e6))
+	}
+	if auto != nil && auto.Resolved != "tiled" {
+		out = append(out, fmt.Sprintf(
+			"%s: auto resolved to %q, want tiled on the skewed preset", auto.Variant, auto.Resolved))
+	}
+	return out
 }

@@ -40,6 +40,9 @@ type reuseVariant struct {
 	MFLOPS  float64 `json:"mflops"`
 	Allocs  uint64  `json:"allocs_per_op"`
 	Bytes   uint64  `json:"bytes_per_op"`
+	// Resolved records the algorithm AlgAuto dispatched to (empty for
+	// explicit algorithms). The skewed-preset gate asserts on it.
+	Resolved string `json:"resolved,omitempty"`
 }
 
 // timedAllocs runs f iters times and returns per-iteration wall time, heap
@@ -90,7 +93,7 @@ func measureReuse(cfg Config) (scale int, flop int64, out []reuseVariant, err er
 		if err != nil {
 			return
 		}
-		out = append(out, reuseVariant{alg.String(), "oneshot", d.Nanoseconds(), mflops(flop, d), allocs, bytes})
+		out = append(out, reuseVariant{alg.String(), "oneshot", d.Nanoseconds(), mflops(flop, d), allocs, bytes, ""})
 
 		// Context: reusable state, on a dedicated persistent pool.
 		ctx := spgemm.NewContext()
@@ -109,7 +112,7 @@ func measureReuse(cfg Config) (scale int, flop int64, out []reuseVariant, err er
 		if err != nil {
 			return
 		}
-		out = append(out, reuseVariant{alg.String(), "context", d.Nanoseconds(), mflops(flop, d), allocs, bytes})
+		out = append(out, reuseVariant{alg.String(), "context", d.Nanoseconds(), mflops(flop, d), allocs, bytes, ""})
 
 		// Plan: symbolic phase cached, numeric-only re-execution.
 		pctx := spgemm.NewContext()
@@ -133,7 +136,7 @@ func measureReuse(cfg Config) (scale int, flop int64, out []reuseVariant, err er
 		if err != nil {
 			return
 		}
-		out = append(out, reuseVariant{alg.String(), "plan", d.Nanoseconds(), mflops(flop, d), allocs, bytes})
+		out = append(out, reuseVariant{alg.String(), "plan", d.Nanoseconds(), mflops(flop, d), allocs, bytes, ""})
 	}
 	return
 }

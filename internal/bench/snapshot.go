@@ -40,12 +40,19 @@ func presetName(p Preset) string {
 	}
 }
 
-// ReuseSnapshot runs the reuse experiment and packages the results.
+// ReuseSnapshot runs the reuse experiment plus the skewed G500 experiment
+// and packages the results. The skewed rows (variant "g500-s<scale>") carry
+// the tiled-vs-best comparison the -compare win gate enforces.
 func ReuseSnapshot(cfg Config) (*Snapshot, error) {
 	scale, flop, rows, err := measureReuse(cfg)
 	if err != nil {
 		return nil, err
 	}
+	_, _, skewedRows, err := measureSkewed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, skewedRows...)
 	return &Snapshot{
 		Schema:     1,
 		Experiment: "reuse",

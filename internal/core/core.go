@@ -72,6 +72,7 @@ const (
 	AlgIKJ          = spgemm.AlgIKJ
 	AlgBlockedSPA   = spgemm.AlgBlockedSPA
 	AlgESC          = spgemm.AlgESC
+	AlgTiled        = spgemm.AlgTiled
 )
 
 // Re-exported use cases.

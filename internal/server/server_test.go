@@ -580,3 +580,86 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("server still accepting connections after shutdown")
 	}
 }
+
+// TestMultiplyTiledOverrideAndPlanKeyIsolation: "tiled" is accepted as an
+// algorithm override, produces the same product as "hash" (the tiled kernel
+// is bit-compatible), is plannable (second call hits the plan cache), and
+// its cached plan does NOT collide with the hash plan for the same operand
+// pair — PlanKey includes the algorithm, so switching algorithms on the
+// same matrices must miss the cache and recompute, not replay the other
+// kernel's plan.
+func TestMultiplyTiledOverrideAndPlanKeyIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(9))
+	a := matrix.Random(60, 50, 0.12, rng)
+	b := matrix.Random(50, 70, 0.12, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	hb := uploadBinary(t, ts.URL, b).Hash
+
+	want, err := spgemm.Multiply(a, b, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// tiled: first call misses, second hits.
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "tiled"})
+	if code != http.StatusOK {
+		t.Fatalf("tiled multiply: status %d: %s", code, body)
+	}
+	first := decodeMultiply(t, body)
+	if first.PlanCacheHit {
+		t.Fatal("first tiled multiply claims a plan cache hit")
+	}
+	if first.NNZ != want.NNZ() || first.Rows != want.Rows || first.Cols != want.Cols {
+		t.Fatalf("tiled product shape: %+v, want %dx%d/%d", first, want.Rows, want.Cols, want.NNZ())
+	}
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "tiled"})
+	if code != http.StatusOK {
+		t.Fatalf("repeat tiled multiply: status %d: %s", code, body)
+	}
+	if second := decodeMultiply(t, body); !second.PlanCacheHit {
+		t.Fatal("repeat tiled multiply missed the plan cache")
+	}
+
+	// hash on the SAME operands: a different PlanKey, so the first call
+	// must miss (no collision with the cached tiled plan) and still agree.
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "hash"})
+	if code != http.StatusOK {
+		t.Fatalf("hash multiply: status %d: %s", code, body)
+	}
+	hashFirst := decodeMultiply(t, body)
+	if hashFirst.PlanCacheHit {
+		t.Fatal("hash multiply hit the tiled plan: PlanKey collision across algorithms")
+	}
+	if hashFirst.NNZ != want.NNZ() {
+		t.Fatalf("hash product nnz %d, want %d", hashFirst.NNZ, want.NNZ())
+	}
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "hash"})
+	if code != http.StatusOK {
+		t.Fatalf("repeat hash multiply: status %d: %s", code, body)
+	}
+	if hashSecond := decodeMultiply(t, body); !hashSecond.PlanCacheHit {
+		t.Fatal("repeat hash multiply missed its own plan")
+	}
+
+	// Full-matrix round trip through the tiled path: entry-for-entry equal
+	// to the hash kernel's product.
+	req, _ := json.Marshal(MultiplyRequest{A: ha, B: hb, Algorithm: "tiled", Return: "matrix"})
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tiled matrix return: status %d", resp.StatusCode)
+	}
+	got, err := matrix.ReadCSRBinary(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.ColIdx {
+		if got.ColIdx[i] != want.ColIdx[i] || got.Val[i] != want.Val[i] {
+			t.Fatalf("tiled product differs from hash at entry %d", i)
+		}
+	}
+}

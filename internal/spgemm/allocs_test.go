@@ -139,10 +139,13 @@ func TestContextReuseSteadyAllocs(t *testing.T) {
 		t.Skip("tracing enabled")
 	}
 	rng := rand.New(rand.NewSource(7))
-	a := gen.ER(200, 8, rng)
-	for _, alg := range []Algorithm{AlgHash, AlgHashVec, AlgHeap} {
+	a := gen.ER(8, 8, rng) // 256×256, ~8 nnz/row: real per-row numeric work
+	for _, alg := range []Algorithm{AlgHash, AlgHashVec, AlgHeap, AlgTiled} {
 		t.Run(alg.String(), func(t *testing.T) {
-			opt := &Options{Algorithm: alg, Workers: 1, Context: NewContext()}
+			// Forced tiny tiles so AlgTiled's split + heavy-unit + stitch
+			// machinery runs every call (ignored by the other algorithms).
+			opt := &Options{Algorithm: alg, Workers: 1, Context: NewContext(),
+				TileCols: 64, TileHeavyFlop: 16}
 			run := func() {
 				if _, err := Multiply(a, a, opt); err != nil {
 					t.Fatal(err)

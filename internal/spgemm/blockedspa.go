@@ -30,7 +30,13 @@ const defaultSPABlock = 32768
 func blockedSPAMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V], cfg blockedSPAConfig) (*matrix.CSRG[V], error) {
 	blockCols := cfg.blockCols
 	if blockCols <= 0 {
-		blockCols = defaultSPABlock
+		blockCols = opt.TileCols
+	}
+	if blockCols <= 0 {
+		// Analytic cache-derived width (tilegeom.go); falls back to the
+		// legacy defaultSPABlock constant when no cache parameters are
+		// installed.
+		blockCols = tileColsFor[V]()
 	}
 	nBlocks := (b.Cols + blockCols - 1) / blockCols
 	if nBlocks < 1 {

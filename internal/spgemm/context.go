@@ -42,6 +42,7 @@ type ContextG[V semiring.Value] struct {
 	hash    []*accum.HashTableG[V]
 	hashVec []*accum.HashVecTableG[V]
 	heaps   []*accum.MergeHeapG[V]
+	spa     []*accum.SPAG[V]
 	scratch *mempool.Pool
 
 	// Per-worker value scratch (the V-typed counterpart of the index buffers
@@ -55,6 +56,24 @@ type ContextG[V semiring.Value] struct {
 	rowNnz  []int64
 	offsets []int
 	ps      []int64
+
+	// Tiled-execution state (AlgTiled): the light-row weight copy, the flat
+	// column-split of B (nTiles row-pointer blocks plus tile-local column
+	// ids and gathered values), the heavy (row, tile) unit bookkeeping, and
+	// a second offsets/prefix-sum pair so unit partitioning never aliases
+	// the row partition's buffers.
+	lightFlop  []int64
+	tileRowPtr []int64
+	tileCur    []int64
+	tileIdx    []int32
+	tileVal    []V
+	unitRow    []int32
+	unitTile   []int32
+	unitFlop   []int64
+	unitNnz    []int64
+	unitOff    []int64
+	uoffsets   []int
+	ups        []int64
 
 	// Cumulative stats across stats-enabled calls through this context
 	// (see CumulativeStats).
@@ -184,6 +203,11 @@ func (c *ContextG[V]) ensureWorkers(n int) {
 		copy(grown, c.heaps)
 		c.heaps = grown
 	}
+	if n > len(c.spa) {
+		grown := make([]*accum.SPAG[V], n)
+		copy(grown, c.spa)
+		c.spa = grown
+	}
 	if n > len(c.valA) {
 		grown := make([][]V, n)
 		copy(grown, c.valA)
@@ -281,4 +305,88 @@ func (c *ContextG[V]) valScratchB(w, n int) []V {
 		c.valB[w] = make([]V, n)
 	}
 	return c.valB[w][:n]
+}
+
+// spaTable returns worker w's dense accumulator covering ncols columns,
+// reset for a fresh row: cached when large enough, re-reserved when the
+// column space grew, allocated on first use. ensureWorkers(>w) must have
+// been called.
+func (c *ContextG[V]) spaTable(w, ncols int) *accum.SPAG[V] {
+	s := c.spa[w]
+	if s == nil {
+		mCtxAlloc.Inc()
+		s = accum.NewSPAG[V](ncols)
+		c.spa[w] = s
+		return s
+	}
+	mCtxReuse.Inc()
+	s.Reserve(ncols)
+	s.Reset()
+	return s
+}
+
+// ensureI64 grows an int64 buffer to length n, reusing capacity.
+func ensureI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// ensureI32 grows an int32 buffer to length n, reusing capacity.
+func ensureI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// lightFlopBuf returns the reusable weight array the tiled kernel zeroes
+// heavy rows out of (contents undefined).
+func (c *ContextG[V]) lightFlopBuf(n int) []int64 {
+	c.lightFlop = ensureI64(c.lightFlop, n)
+	return c.lightFlop
+}
+
+// unitBufs returns the (row, tile) unit bookkeeping arrays for n units
+// (contents undefined).
+func (c *ContextG[V]) unitBufs(n int) (row, tile []int32, flop, nnz, off []int64) {
+	c.unitRow = ensureI32(c.unitRow, n)
+	c.unitTile = ensureI32(c.unitTile, n)
+	c.unitFlop = ensureI64(c.unitFlop, n)
+	c.unitNnz = ensureI64(c.unitNnz, n)
+	c.unitOff = ensureI64(c.unitOff, n)
+	return c.unitRow, c.unitTile, c.unitFlop, c.unitNnz, c.unitOff
+}
+
+// tileValBuf returns the reusable tile-value gather buffer of length n
+// (contents undefined) — the Plan execute path refreshes B's split values
+// into it on every call.
+func (c *ContextG[V]) tileValBuf(n int) []V {
+	if cap(c.tileVal) < n {
+		c.tileVal = make([]V, n)
+	}
+	return c.tileVal[:n]
+}
+
+// partitionUnits flop-balances the heavy (row, tile) units over workers into
+// the context's secondary offsets/prefix-sum buffers (the primary pair holds
+// the light-row partition for the same call).
+func (c *ContextG[V]) partitionUnits(unitFlop []int64, parts, workers int) []int {
+	if n := len(unitFlop); cap(c.ups) < n+1 {
+		c.ups = make([]int64, n+1)
+	}
+	c.uoffsets = c.pool().BalancedPartitionInto(unitFlop, parts, workers, c.uoffsets, c.ups)
+	return c.uoffsets
+}
+
+// balancedUnits is the fused partition+dispatch entry for unit-grain
+// scheduling: it flop-balances weights and runs body once per worker with
+// its unit range, via sched.Pool.BalancedForNamed, reusing the secondary
+// partition buffers.
+func (c *ContextG[V]) balancedUnits(name string, weights []int64, workers int, body func(worker, lo, hi int)) {
+	if n := len(weights); cap(c.ups) < n+1 {
+		c.ups = make([]int64, n+1)
+	}
+	c.uoffsets = c.pool().BalancedForNamed(name, weights, workers, c.uoffsets, c.ups, body)
 }

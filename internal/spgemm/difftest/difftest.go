@@ -54,6 +54,20 @@ var Algorithms = []spgemm.Algorithm{
 	spgemm.AlgIKJ,
 	spgemm.AlgBlockedSPA,
 	spgemm.AlgESC,
+	spgemm.AlgTiled,
+}
+
+// tinyTiles returns geometry overrides that force the tiled kernel's heavy
+// (row, tile) path at suite scale: an 8-column tile with a heavy threshold
+// of one flop routes essentially every non-empty row through column tiling.
+// The analytic width (tens of thousands of columns) never triggers it on the
+// small differential inputs, so without the override the suite would only
+// cover the light path.
+func tinyTiles(alg spgemm.Algorithm) (tileCols int, heavyFlop int64) {
+	if alg == spgemm.AlgTiled {
+		return 8, 1
+	}
+	return 0, 0
 }
 
 // Case is one input pair of the differential suite.
@@ -215,6 +229,16 @@ func Check(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
 	if err := Equivalent(got, want); err != nil {
 		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
 	}
+	if tc, hf := tinyTiles(alg); tc > 0 {
+		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, TileCols: tc, TileHeavyFlop: hf}
+		forced, err := spgemm.Multiply(c.A, c.B, fopt)
+		if err != nil {
+			return fmt.Errorf("%s/%v tiny-tiles unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+		}
+		if err := Equivalent(forced, want); err != nil {
+			return fmt.Errorf("%s/%v tiny-tiles unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
+		}
+	}
 	return nil
 }
 
@@ -276,6 +300,26 @@ func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx 
 			}
 		}
 	}
+	if tc, hf := tinyTiles(alg); tc > 0 {
+		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: ctx, TileCols: tc, TileHeavyFlop: hf}
+		forced, err := spgemm.Multiply(c.A, c.B, fopt)
+		if err != nil {
+			return fmt.Errorf("%s/%v ctx tiny-tiles: %w", c.Name, alg, err)
+		}
+		if err := Equivalent(forced, want); err != nil {
+			return fmt.Errorf("%s/%v ctx tiny-tiles: %w", c.Name, alg, err)
+		}
+		if !unsorted {
+			oneShot := &spgemm.Options{Algorithm: alg, Workers: workers, TileCols: tc, TileHeavyFlop: hf}
+			fresh, err := spgemm.Multiply(c.A, c.B, oneShot)
+			if err != nil {
+				return fmt.Errorf("%s/%v tiny-tiles one-shot: %w", c.Name, alg, err)
+			}
+			if err := identical(forced, fresh); err != nil {
+				return fmt.Errorf("%s/%v ctx tiny-tiles result not bit-identical to one-shot: %w", c.Name, alg, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -286,6 +330,10 @@ func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx 
 // plan.
 func CheckPlan(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
 	opt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: spgemm.NewContext()}
+	// For the tiled algorithm, force tiny tiles so the plan's cached split
+	// structure, unit bookkeeping and per-execute value re-gather are all
+	// exercised (the analytic geometry would make every suite row light).
+	opt.TileCols, opt.TileHeavyFlop = tinyTiles(alg)
 	plan, err := spgemm.NewPlan(c.A, c.B, opt)
 	if err != nil {
 		return fmt.Errorf("%s/%v plan: %w", c.Name, alg, err)

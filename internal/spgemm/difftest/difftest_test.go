@@ -172,10 +172,12 @@ func TestDifferentialContextReuse(t *testing.T) {
 
 // TestDifferentialPlanReuse runs the plan-reuse soundness check (repeated
 // bit-identical executions, value perturbation, structural-staleness
-// detection) for both plannable algorithms across the suite.
+// detection) for every plannable algorithm across the suite. The tiled
+// algorithm runs under forced tiny tiles (see CheckPlan), so its cached
+// split structure and per-execute value re-gather are covered too.
 func TestDifferentialPlanReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
-	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec} {
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec, spgemm.AlgTiled} {
 		for _, c := range Cases(rng) {
 			for _, unsorted := range []bool{false, true} {
 				for _, workers := range []int{1, 4} {

@@ -33,9 +33,9 @@ var (
 
 // multiplyCounter caches the per-algorithm child of spgemm_multiplies_total
 // so recording a call is a single atomic add.
-var multiplyCounter = func() [AlgESC + 1]*obs.Counter {
-	var t [AlgESC + 1]*obs.Counter
-	for a := Algorithm(0); a <= AlgESC; a++ {
+var multiplyCounter = func() [algLast + 1]*obs.Counter {
+	var t [algLast + 1]*obs.Counter
+	for a := Algorithm(0); a <= algLast; a++ {
 		t[a] = mMultiplies.With(a.String())
 	}
 	return t

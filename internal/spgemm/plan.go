@@ -56,6 +56,28 @@ type Plan struct {
 	flopRow []int64
 	rowPtr  []int64
 	valid   bool
+
+	// Tiled-plan state (alg == AlgTiled): the cached tile geometry and
+	// column-split structure of B plus the heavy (row, tile) unit
+	// bookkeeping. Values are NOT cached — perm maps each split entry back
+	// to its originating B entry, and every execution re-gathers B's current
+	// values through it into the Context's buffer, which keeps executions
+	// bit-identical to Multiply after value updates and keeps concurrent
+	// ExecuteIn calls (distinct Contexts) safe on one shared Plan.
+	tileCols   int
+	nTiles     int
+	heavyFlop  int64
+	nHeavy     int
+	lightFlop  []int64 // flopRow with heavy rows zeroed (aliases flopRow when none)
+	tileRowPtr []int64
+	tileIdx    []int32
+	perm       []int64
+	unitRow    []int32
+	unitTile   []int32
+	unitFlop   []int64
+	unitNnz    []int64
+	unitOff    []int64
+	uoffsets   []int
 }
 
 // NewPlan runs the inspector: flop counts, balanced partition and symbolic
@@ -79,8 +101,8 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	if alg == AlgAuto {
 		alg = Recommend(a, b, !opt.Unsorted, opt.UseCase)
 	}
-	if alg != AlgHash && alg != AlgHashVec {
-		return nil, fmt.Errorf("spgemm: plans support hash and hashvec, not %v", alg)
+	if alg != AlgHash && alg != AlgHashVec && alg != AlgTiled {
+		return nil, fmt.Errorf("spgemm: plans support hash, hashvec and tiled, not %v", alg)
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -110,6 +132,12 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	}
 	if opt.Stats != nil {
 		opt.Stats.Algorithm = alg
+	}
+	if alg == AlgTiled {
+		p.buildTiled(opt, ctx)
+		p.valid = true
+		mPlanBuilds.Inc()
+		return p, nil
 	}
 
 	pt := startPhases(opt.Stats, workers)
@@ -200,6 +228,9 @@ func (p *Plan) ExecuteIn(ctx *Context, stats *ExecStats) (*matrix.CSR, error) {
 	if p.a.StructureChecksum() != p.fpA || p.b.StructureChecksum() != p.fpB {
 		mPlanStale.Inc()
 		return nil, ErrPlanStale
+	}
+	if p.alg == AlgTiled {
+		return p.executeTiled(ctx, stats)
 	}
 	a, b := p.a, p.b
 	if ctx == nil {

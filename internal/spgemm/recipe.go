@@ -77,8 +77,15 @@ func recommendTable4[V semiring.Value](a, b *matrix.CSRG[V], sorted bool, uc Use
 		return AlgHash
 	default: // UseSquare
 		if skewed {
-			// Table 4(b) synthetic skewed columns.
+			// Table 4(b) synthetic skewed columns. The dense+skewed cell is
+			// where heavy rows overflow a cache-resident accumulator — the
+			// hash kernel's pain case — so when the heavy-row detector fires
+			// the post-paper tiled mode takes over; otherwise the paper's
+			// Hash pick stands.
 			if ef > 8 {
+				if HasHeavyRows(a, b) {
+					return AlgTiled
+				}
 				return AlgHash
 			}
 			if sorted {
@@ -95,6 +102,36 @@ func recommendTable4[V semiring.Value](a, b *matrix.CSRG[V], sorted bool, uc Use
 		}
 		return AlgHash
 	}
+}
+
+// MaxRowFlop returns the largest per-row flop count of a·b — the row-skew
+// signal the heavy-row detector and the recipe use to spot accumulator
+// overflow. One O(nnz(A)) scan, structure-only, no allocations.
+func MaxRowFlop[V semiring.Value](a, b *matrix.CSRG[V]) int64 {
+	var max int64
+	for i := 0; i < a.Rows; i++ {
+		var f int64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			f += b.RowPtr[k+1] - b.RowPtr[k]
+		}
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// HasHeavyRows reports whether some output row's accumulator bound exceeds
+// the analytic cache-resident tile width — the regime where AlgTiled's
+// column split beats the single-pass hash path. Deterministic and
+// structure-only, so AlgAuto stays reproducible across Context reuse.
+func HasHeavyRows[V semiring.Value](a, b *matrix.CSRG[V]) bool {
+	tc := tileColsFor[V]()
+	if b.Cols <= tc {
+		return false
+	}
+	return capBound(MaxRowFlop(a, b), b.Cols) > int64(tc)
 }
 
 // EstimateCompressionRatio estimates flop/nnz(C) by running the symbolic

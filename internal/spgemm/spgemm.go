@@ -80,6 +80,18 @@ const (
 	// products, sort, and merge. GPU-oriented; a sort-cost lower-bound
 	// baseline on CPUs.
 	AlgESC
+	// AlgTiled is the cache-conscious tiled execution mode (DBCSR/SpArch
+	// direction): B is split into column tiles sized from the installed
+	// cache parameters, rows whose accumulator bound overflows one tile are
+	// decomposed into (row, tile) units processed by dense cache-resident
+	// SPAs and flop-balanced across workers, while light rows keep the
+	// single-pass hash path. Tiles ascend in column space, so output rows
+	// are stitched sorted with no merge pass. Accepts any input order.
+	AlgTiled
+
+	// algLast is the highest defined Algorithm value; keep in sync when
+	// adding algorithms (ParseAlgorithm and the metrics cache iterate to it).
+	algLast = AlgTiled
 )
 
 // String returns the name used in benchmark tables.
@@ -109,6 +121,8 @@ func (a Algorithm) String() string {
 		return "blockedspa"
 	case AlgESC:
 		return "esc"
+	case AlgTiled:
+		return "tiled"
 	}
 	return "unknown"
 }
@@ -120,7 +134,7 @@ func ParseAlgorithm(name string) (Algorithm, bool) {
 	if name == "" {
 		return AlgAuto, true
 	}
-	for alg := AlgAuto; alg <= AlgESC; alg++ {
+	for alg := AlgAuto; alg <= algLast; alg++ {
 		if alg.String() == name {
 			return alg, true
 		}
@@ -205,6 +219,14 @@ type Options struct {
 	// matrix is allocated. nil preserves one-shot behavior. A Context must
 	// not be shared by concurrent Multiply calls.
 	Context *Context
+	// TileCols overrides the column-tile width used by AlgTiled (and the
+	// block width of AlgBlockedSPA). 0 means the analytic width derived
+	// from the installed cache parameters (see TileColsForElem).
+	TileCols int
+	// TileHeavyFlop overrides AlgTiled's heavy-row threshold: rows whose
+	// accumulator bound exceeds it are routed through column tiling. 0
+	// means the tile width itself.
+	TileHeavyFlop int64
 }
 
 // OptionsG configures MultiplyRing over value type V. Field semantics match
@@ -223,6 +245,10 @@ type OptionsG[V semiring.Value] struct {
 	Stats   *ExecStats
 	// Context must be a ContextG over the same V as the inputs.
 	Context *ContextG[V]
+	// TileCols and TileHeavyFlop mirror the Options fields: tile-geometry
+	// overrides for AlgTiled and AlgBlockedSPA; zero means analytic.
+	TileCols      int
+	TileHeavyFlop int64
 }
 
 func (o *OptionsG[V]) workers() int {
@@ -248,6 +274,9 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 		UseCase:     opt.UseCase,
 		Stats:       opt.Stats,
 		Context:     opt.Context,
+
+		TileCols:      opt.TileCols,
+		TileHeavyFlop: opt.TileHeavyFlop,
 	}
 	if opt.Semiring != nil {
 		return MultiplyRing(semiring.Func{S: opt.Semiring}, a, b, g)
@@ -318,6 +347,8 @@ func dispatch[V semiring.Value, R semiring.Ring[V]](ring R, alg Algorithm, a, b 
 		return blockedSPAMultiply(ring, a, b, opt, blockedSPAConfig{})
 	case AlgESC:
 		return escMultiply(ring, a, b, opt)
+	case AlgTiled:
+		return tiledMultiply(ring, a, b, opt)
 	}
 	return nil, fmt.Errorf("spgemm: unknown algorithm %d", alg)
 }
@@ -345,7 +376,7 @@ func Flop[V, W semiring.Value](a *matrix.CSRG[V], b *matrix.CSRG[W]) (total int6
 // (the paper's Table 1 "Sortedness" column).
 func SupportsUnsorted(a Algorithm) bool {
 	switch a {
-	case AlgHash, AlgHashVec, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgIKJ, AlgBlockedSPA:
+	case AlgHash, AlgHashVec, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgIKJ, AlgBlockedSPA, AlgTiled:
 		return true
 	}
 	return false

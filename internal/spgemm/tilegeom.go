@@ -1,0 +1,186 @@
+package spgemm
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/semiring"
+)
+
+// Tile geometry: how wide a column tile (and the dense accumulator that
+// sweeps it) may be while staying cache-resident. The width used to be the
+// magic constant defaultSPABlock; it is now derived from the cache
+// parameters the memmodel package installs at init from its fitted memory
+// tier, with the constant kept only as the fallback for binaries that never
+// link memmodel.
+//
+// The derivation is the working-set argument of Patwary et al. (ISC 2015)
+// and DBCSR: a dense accumulator over w columns costs w value slots plus a
+// w-entry generation-stamp array plus (worst case) a w-entry index list, and
+// it must share the L2 with the streamed rows of B, so only about half the
+// cache is budgeted to it. The floor comes from the tier's latency-bandwidth
+// product: tiles narrower than that turn B-row stanza reads latency-bound,
+// which is the regime Figure 5 of the paper shows bandwidth collapsing in.
+
+// CacheParams describes the cache level the tiled kernels size their
+// accumulators for. Installed once at init by memmodel (see
+// memmodel.InstallCacheParams); the zero value means "nothing installed" and
+// makes every width query fall back to the legacy constant.
+type CacheParams struct {
+	// L2Bytes is the per-core L2 capacity the accumulator must fit into.
+	L2Bytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// MinTileCols is the narrowest tile worth creating: below it, per-tile
+	// B-row stanzas are too short to amortize memory latency.
+	MinTileCols int
+	// TierFitted records whether these parameters came from a fitted
+	// memmodel.Tier (true) or a hardcoded default.
+	TierFitted bool
+	// Source names where the parameters came from, for reports.
+	Source string
+}
+
+var (
+	cacheParamsMu sync.RWMutex
+	cacheParams   CacheParams
+	haveParams    bool
+)
+
+// SetCacheParams installs the cache parameters the tile-width derivation
+// uses. Called by memmodel at init; tests may install synthetic geometries.
+// Parameters with a non-positive L2 size are rejected (the previous
+// installation, if any, stays in effect).
+func SetCacheParams(p CacheParams) {
+	if p.L2Bytes <= 0 {
+		return
+	}
+	if p.LineBytes <= 0 {
+		p.LineBytes = 64
+	}
+	if p.MinTileCols <= 0 {
+		p.MinTileCols = 1024
+	}
+	cacheParamsMu.Lock()
+	cacheParams = p
+	haveParams = true
+	cacheParamsMu.Unlock()
+}
+
+// CurrentCacheParams returns the installed cache parameters and whether any
+// have been installed.
+func CurrentCacheParams() (CacheParams, bool) {
+	cacheParamsMu.RLock()
+	defer cacheParamsMu.RUnlock()
+	return cacheParams, haveParams
+}
+
+// TileColsForElem returns the analytic column-tile width for a dense
+// accumulator with elemBytes-wide values: the largest power of two whose
+// value+stamp+index working set fits half the installed L2, clamped below by
+// the latency-amortization floor. With no parameters installed it returns
+// the legacy defaultSPABlock constant (which the analytic rule reproduces
+// exactly for float64 on a 1 MiB KNL-tile L2 slice).
+func TileColsForElem(elemBytes int) int {
+	p, ok := CurrentCacheParams()
+	if !ok {
+		return defaultSPABlock
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	// Value slot + uint32 generation stamp + int32 index-list entry.
+	perCol := elemBytes + 8
+	budget := p.L2Bytes / 2
+	w := floorPow2(budget / perCol)
+	if w < p.MinTileCols {
+		w = p.MinTileCols
+	}
+	return w
+}
+
+// tileColsFor is TileColsForElem for a concrete value type.
+func tileColsFor[V semiring.Value]() int {
+	var zero V
+	return TileColsForElem(int(unsafe.Sizeof(zero)))
+}
+
+// tileGeometry resolves the effective tile width and heavy-row flop
+// threshold for one call: explicit Options overrides win, otherwise the
+// analytic width. The default threshold equals the tile width — a row whose
+// accumulator bound exceeds one cache-resident tile is exactly a row the
+// single-pass hash path cannot keep in cache.
+func (o *OptionsG[V]) tileGeometry() (tileCols int, heavyFlop int64) {
+	tileCols = o.TileCols
+	if tileCols <= 0 {
+		tileCols = tileColsFor[V]()
+	}
+	if tileCols < 1 {
+		tileCols = 1
+	}
+	heavyFlop = o.TileHeavyFlop
+	if heavyFlop <= 0 {
+		heavyFlop = int64(tileCols)
+	}
+	return tileCols, heavyFlop
+}
+
+// RecommendTileCols refines the analytic tile width with the observability
+// signals of a previous run on the same workload (the ExecStats collision
+// factor and per-worker flop imbalance): a collision factor beyond 2 means
+// the hash tables were degrading, and an imbalance beyond 1.5 means there
+// were too few schedulable units — both argue for narrower tiles (more rows
+// diverted to the cache-resident path, more (row, tile) units to balance).
+// The width never drops below the installed MinTileCols floor. A nil stats
+// returns the analytic width unchanged.
+func RecommendTileCols(st *ExecStats, elemBytes int) int {
+	w := TileColsForElem(elemBytes)
+	if st == nil {
+		return w
+	}
+	shrink := 0
+	if st.CollisionFactor() > 2 {
+		shrink++
+	}
+	if flopImbalance(st) > 1.5 {
+		shrink++
+	}
+	w >>= shrink
+	floor := 1024
+	if p, ok := CurrentCacheParams(); ok {
+		floor = p.MinTileCols
+	}
+	if w < floor {
+		w = floor
+	}
+	return w
+}
+
+// flopImbalance is max per-worker flop over mean — the load-balance signal
+// already collected by every kernel's worker stats.
+func flopImbalance(st *ExecStats) float64 {
+	if st == nil || len(st.Workers) == 0 {
+		return 1
+	}
+	var total, max int64
+	for i := range st.Workers {
+		f := st.Workers[i].Flop
+		total += f
+		if f > max {
+			max = f
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(st.Workers)) / float64(total)
+}
+
+// floorPow2 returns the largest power of two not exceeding n (minimum 1).
+func floorPow2(n int) int {
+	w := 1
+	for w<<1 <= n && w<<1 > 0 {
+		w <<= 1
+	}
+	return w
+}
