@@ -34,16 +34,29 @@ import (
 )
 
 type levelResult struct {
-	Concurrency int     `json:"concurrency"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	Rejected    int     `json:"rejected"` // 429 responses (shed load, not errors)
-	ReqPerSec   float64 `json:"reqPerSec"`
-	P50Ms       float64 `json:"p50Ms"`
-	P90Ms       float64 `json:"p90Ms"`
-	P99Ms       float64 `json:"p99Ms"`
-	MaxMs       float64 `json:"maxMs"`
-	PlanHits    int     `json:"planHits"`
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	// Error-class breakdown: saturation shows up as Rejected (shed load by
+	// design), a client bug as Client4xx, a server bug as Server5xx, and an
+	// unreachable/overwhelmed server as Transport. Errors is their sum
+	// excluding Rejected — the "something is actually wrong" count.
+	Errors    int     `json:"errors"`
+	Rejected  int     `json:"rejected"` // 429 responses (shed load, not errors)
+	Client4xx int     `json:"client4xx"`
+	Server5xx int     `json:"server5xx"`
+	Transport int     `json:"transport"`
+	ReqPerSec float64 `json:"reqPerSec"`
+	P50Ms     float64 `json:"p50Ms"`
+	P90Ms     float64 `json:"p90Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	MaxMs     float64 `json:"maxMs"`
+	// QueueP*Ms are the server-reported admission waits (queueSeconds in the
+	// multiply response): how much of the client-observed latency was spent
+	// waiting for a Context rather than multiplying.
+	QueueP50Ms float64 `json:"queueP50Ms"`
+	QueueP90Ms float64 `json:"queueP90Ms"`
+	QueueP99Ms float64 `json:"queueP99Ms"`
+	PlanHits   int     `json:"planHits"`
 }
 
 type snapshot struct {
@@ -111,9 +124,13 @@ func main() {
 	for _, c := range levels {
 		res := runLevel(*url, hashes, *alg, *n, c)
 		snap.Levels = append(snap.Levels, res)
-		fmt.Printf("c=%-3d  %8.1f req/s  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  errors %d  rejected %d  planHits %d\n",
+		fmt.Printf("c=%-3d  %8.1f req/s  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  queue p50/p99 %6.2f/%6.2fms  rejected %d  planHits %d\n",
 			res.Concurrency, res.ReqPerSec, res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs,
-			res.Errors, res.Rejected, res.PlanHits)
+			res.QueueP50Ms, res.QueueP99Ms, res.Rejected, res.PlanHits)
+		if res.Errors > 0 {
+			fmt.Printf("       errors %d (4xx %d, 5xx %d, transport %d)\n",
+				res.Errors, res.Client4xx, res.Server5xx, res.Transport)
+		}
 		if res.Errors > 0 {
 			defer os.Exit(1)
 		}
@@ -133,8 +150,9 @@ func main() {
 
 func runLevel(url string, hashes [][2]string, alg string, n, c int) levelResult {
 	lat := make([]time.Duration, n)
+	queue := make([]float64, n) // server-reported queueSeconds, -1 = no response
 	var next atomic.Int64
-	var errs, rejected, planHits atomic.Int64
+	var rejected, client4xx, server5xx, transport, planHits atomic.Int64
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	start := time.Now()
@@ -148,13 +166,14 @@ func runLevel(url string, hashes [][2]string, alg string, n, c int) levelResult 
 				if i >= n {
 					return
 				}
+				queue[i] = -1
 				pair := hashes[i%len(hashes)]
 				body, _ := json.Marshal(server.MultiplyRequest{A: pair[0], B: pair[1], Algorithm: alg})
 				t0 := time.Now()
 				resp, err := client.Post(url+"/v1/multiply", "application/json", bytes.NewReader(body))
 				lat[i] = time.Since(t0)
 				if err != nil {
-					errs.Add(1)
+					transport.Add(1)
 					continue
 				}
 				raw, _ := io.ReadAll(resp.Body)
@@ -162,13 +181,18 @@ func runLevel(url string, hashes [][2]string, alg string, n, c int) levelResult 
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					var mr server.MultiplyResponse
-					if json.Unmarshal(raw, &mr) == nil && mr.PlanCacheHit {
-						planHits.Add(1)
+					if json.Unmarshal(raw, &mr) == nil {
+						if mr.PlanCacheHit {
+							planHits.Add(1)
+						}
+						queue[i] = mr.QueueSeconds
 					}
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rejected.Add(1)
+				case resp.StatusCode >= 500:
+					server5xx.Add(1)
 				default:
-					errs.Add(1)
+					client4xx.Add(1)
 				}
 			}
 		}()
@@ -181,16 +205,36 @@ func runLevel(url string, hashes [][2]string, alg string, n, c int) levelResult 
 		i := int(p * float64(n-1))
 		return float64(lat[i]) / float64(time.Millisecond)
 	}
+	// Queue-wait percentiles over answered requests only.
+	waits := queue[:0:0]
+	for _, s := range queue {
+		if s >= 0 {
+			waits = append(waits, s)
+		}
+	}
+	sort.Float64s(waits)
+	qw := func(p float64) float64 {
+		if len(waits) == 0 {
+			return 0
+		}
+		return waits[int(p*float64(len(waits)-1))] * 1e3
+	}
 	return levelResult{
 		Concurrency: c,
 		Requests:    n,
-		Errors:      int(errs.Load()),
+		Errors:      int(client4xx.Load() + server5xx.Load() + transport.Load()),
 		Rejected:    int(rejected.Load()),
+		Client4xx:   int(client4xx.Load()),
+		Server5xx:   int(server5xx.Load()),
+		Transport:   int(transport.Load()),
 		ReqPerSec:   float64(n) / elapsed.Seconds(),
 		P50Ms:       q(0.50),
 		P90Ms:       q(0.90),
 		P99Ms:       q(0.99),
 		MaxMs:       float64(lat[n-1]) / float64(time.Millisecond),
+		QueueP50Ms:  qw(0.50),
+		QueueP90Ms:  qw(0.90),
+		QueueP99Ms:  qw(0.99),
 		PlanHits:    int(planHits.Load()),
 	}
 }

@@ -6,14 +6,18 @@
 // Usage:
 //
 //	spgemm-serve -addr :8080 -contexts 8 -queue 128
+//	spgemm-serve -addr :8080 -slow-threshold 250ms -baseline BENCH_spgemm.json
 //
 // Endpoints:
 //
-//	POST /v1/matrices        upload (Matrix Market text or binary CSR)
-//	GET  /v1/matrices/{hash} metadata for an interned matrix
-//	POST /v1/multiply        multiply two interned matrices by hash
-//	GET  /healthz            liveness
-//	GET  /metrics            Prometheus text exposition (server_* series)
+//	POST /v1/matrices          upload (Matrix Market text or binary CSR)
+//	GET  /v1/matrices/{hash}   metadata for an interned matrix
+//	POST /v1/multiply          multiply two interned matrices by hash
+//	GET  /healthz              liveness (503 while the perf sentry is degraded)
+//	GET  /metrics              Prometheus text exposition (server_* series)
+//	GET  /debug/requests       recent + slow request traces (JSON)
+//	GET  /debug/requests/{id}  one request as Chrome trace JSON (Perfetto)
+//	GET  /debug/loglevel       read or switch the structured log level
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -41,10 +46,42 @@ func main() {
 		maxDim     = flag.Int("max-dim", 0, "largest accepted matrix dimension (0 = default)")
 		maxNNZ     = flag.Int64("max-nnz", 0, "largest accepted nonzero count (0 = default)")
 		grace      = flag.Duration("grace", 5*time.Second, "shutdown drain timeout")
+
+		logLevel = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off (runtime-switchable at /debug/loglevel)")
+
+		reqRing  = flag.Int("request-ring", 256, "request traces retained at /debug/requests (0 disables request tracing)")
+		slowThr  = flag.Duration("slow-threshold", 0, "latency marking a request slow (retained, logged, optionally profiled; 0 disables)")
+		slowRing = flag.Int("slow-ring", 0, "slow-request ring capacity (0 = default)")
+		slowProf = flag.Duration("slow-profile", 0, "CPU profile window captured when a slow request lands (0 disables; served at /debug/requests/profile)")
+
+		baseline      = flag.String("baseline", "", "BENCH_spgemm.json to baseline the perf sentry against (empty disables the sentry)")
+		sentryRatio   = flag.Float64("sentry-ratio", 0, "tolerated live-vs-baseline slowdown before degrading (0 = default)")
+		sentryEvery   = flag.Duration("sentry-interval", 0, "perf sentry check cadence (0 = default)")
+		sentrySustain = flag.Int("sentry-sustain", 0, "consecutive failing checks before /healthz degrades (0 = default)")
+		sentryMinObs  = flag.Int64("sentry-min-samples", 0, "per-algorithm observations before the sentry judges it (0 = default)")
+
+		tracePath = flag.String("trace", "", "write the process Chrome trace (worker-lane phases) to this path on shutdown")
+		drainPath = flag.String("drain", "", "dump the request rings as JSON to this path on shutdown (\"-\" = stderr)")
 	)
 	flag.Parse()
 
-	s := server.New(server.Config{
+	// Structured logging: JSON lines on stderr, level switchable at runtime
+	// via /debug/loglevel. "off" keeps the zero-cost disabled handler.
+	if *logLevel != "off" {
+		lvl, err := obs.ParseLogLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-serve: %v\n", err)
+			os.Exit(2)
+		}
+		obs.SetLogger(obs.ConfigureLogger(os.Stderr, lvl))
+	}
+	log := obs.Logger()
+
+	if *tracePath != "" {
+		obs.SetActive(obs.NewTracer())
+	}
+
+	cfg := server.Config{
 		Contexts:       *contexts,
 		QueueDepth:     *queue,
 		PlanCacheSize:  *planCache,
@@ -53,7 +90,29 @@ func main() {
 		MaxUploadBytes: *uploadMax,
 		MaxDim:         *maxDim,
 		MaxNNZ:         *maxNNZ,
-	})
+
+		RequestRing:    *reqRing,
+		SlowThreshold:  *slowThr,
+		SlowRing:       *slowRing,
+		SlowProfileDur: *slowProf,
+
+		SentryRatio:      *sentryRatio,
+		SentryInterval:   *sentryEvery,
+		SentrySustain:    *sentrySustain,
+		SentryMinSamples: *sentryMinObs,
+	}
+	if *baseline != "" {
+		base, err := server.LoadSentryBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.SentryBaseline = base
+		log.Info("perf sentry armed", "baseline", *baseline, "algorithms", len(base))
+	}
+
+	s := server.New(cfg)
+	defer s.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -65,8 +124,58 @@ func main() {
 	defer stop()
 
 	fmt.Fprintf(os.Stderr, "spgemm-serve: listening on http://%s\n", ln.Addr())
-	if err := server.Serve(ctx, ln, s.Handler(), *grace); err != nil {
+	log.Info("serving", "addr", ln.Addr().String(),
+		"requestRing", *reqRing, "slowThreshold", (*slowThr).String(), "logLevel", obs.LogLevel().String())
+
+	err = server.Serve(ctx, ln, s.Handler(), *grace)
+
+	// Shutdown order: in-flight requests have drained (server.Serve), so the
+	// rings and tracer are quiescent — flush them before the process exits.
+	flushObservability(s, *tracePath, *drainPath)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "spgemm-serve: %v\n", err)
 		os.Exit(1)
+	}
+	log.Info("shutdown complete")
+}
+
+// flushObservability exports what the process learned before it exits: the
+// request rings (the tail of request history) and the process tracer's
+// worker-lane spans. Losing either on SIGTERM is losing the evidence of
+// whatever made someone send the SIGTERM.
+func flushObservability(s *server.Server, tracePath, drainPath string) {
+	log := obs.Logger()
+	if drainPath != "" {
+		out := os.Stderr
+		if drainPath != "-" {
+			f, err := os.Create(drainPath)
+			if err != nil {
+				log.Error("drain requests", "err", err)
+				out = nil
+			} else {
+				defer f.Close()
+				out = f
+			}
+		}
+		if out != nil {
+			n := s.DrainRequests(func(b []byte) { _, _ = out.Write(b) })
+			log.Info("drained request rings", "traces", n, "to", drainPath)
+		}
+	}
+	if tracePath != "" {
+		if tr := obs.Active(); tr != nil {
+			obs.SetActive(nil)
+			f, err := os.Create(tracePath)
+			if err != nil {
+				log.Error("write trace", "err", err)
+				return
+			}
+			defer f.Close()
+			if err := tr.WriteChromeTrace(f); err != nil {
+				log.Error("write trace", "err", err)
+				return
+			}
+			log.Info("flushed process trace", "to", tracePath)
+		}
 	}
 }

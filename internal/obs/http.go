@@ -59,6 +59,7 @@ func RegisterDebugHandlers(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/loglevel", handleLogLevel)
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		tr := Active()
 		if tr == nil {

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLoggerDisabledByDefaultAndZeroAlloc(t *testing.T) {
+	SetLogger(nil) // the process default: disabled
+	l := Logger()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("default logger claims to be enabled")
+	}
+	// The disabled guard is the zero-cost contract: no allocations on the
+	// would-be log path when logging is off.
+	allocs := testing.AllocsPerRun(100, func() {
+		if l.Enabled(context.Background(), slog.LevelInfo) {
+			l.Info("never", "k", 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled log guard allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func TestConfigureLoggerJSONAndRuntimeLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := ConfigureLogger(&buf, slog.LevelInfo)
+	defer SetLogger(nil)
+
+	l.Debug("hidden")
+	l.Info("visible", "alg", "hash", "reqID", "r-1")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v: %s", err, buf.String())
+	}
+	if line["msg"] != "visible" || line["alg"] != "hash" || line["reqID"] != "r-1" {
+		t.Fatalf("bad log line: %v", line)
+	}
+
+	// Runtime level switch: debug becomes visible without reinstalling.
+	SetLogLevel(slog.LevelDebug)
+	buf.Reset()
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("debug line suppressed after SetLogLevel(debug)")
+	}
+}
+
+func TestLogLevelEndpoint(t *testing.T) {
+	var buf bytes.Buffer
+	ConfigureLogger(&buf, slog.LevelInfo)
+	defer SetLogger(nil)
+
+	// GET reports the current level.
+	rr := httptest.NewRecorder()
+	handleLogLevel(rr, httptest.NewRequest("GET", "/debug/loglevel", nil))
+	if got := strings.TrimSpace(rr.Body.String()); got != "info" {
+		t.Fatalf("GET loglevel = %q, want info", got)
+	}
+
+	// PUT switches the live level.
+	rr = httptest.NewRecorder()
+	handleLogLevel(rr, httptest.NewRequest("PUT", "/debug/loglevel", strings.NewReader("debug")))
+	if rr.Code != 200 || LogLevel() != slog.LevelDebug {
+		t.Fatalf("PUT debug: code %d level %v", rr.Code, LogLevel())
+	}
+
+	// Query form works too; bad levels are 400 and leave the level alone.
+	rr = httptest.NewRecorder()
+	handleLogLevel(rr, httptest.NewRequest("POST", "/debug/loglevel?level=warn", nil))
+	if rr.Code != 200 || LogLevel() != slog.LevelWarn {
+		t.Fatalf("POST warn: code %d level %v", rr.Code, LogLevel())
+	}
+	rr = httptest.NewRecorder()
+	handleLogLevel(rr, httptest.NewRequest("PUT", "/debug/loglevel", strings.NewReader("loud")))
+	if rr.Code != 400 || LogLevel() != slog.LevelWarn {
+		t.Fatalf("PUT bad level: code %d level %v", rr.Code, LogLevel())
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, " error ": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted garbage")
+	}
+}

@@ -138,6 +138,21 @@ func (v *CounterVec) With(value string) *Counter {
 	return v.fam.child(value).(*Counter)
 }
 
+// HistogramVec is a histogram family with one label dimension — the shape of
+// server_request_seconds{alg="hash"}: one latency distribution per algorithm
+// instead of one process-wide blur. All children share the family's bucket
+// bounds. As with CounterVec, With does a locked map lookup; callers on hot
+// paths cache the child (see the server's per-algorithm child array).
+type HistogramVec struct {
+	fam *family
+}
+
+// With returns the histogram for the given label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.fam.child(value).(*Histogram)
+}
+
 // Registry is an ordered set of metric families. The zero value is not
 // usable; use NewRegistry. Registration is typically done in package var
 // blocks via the Default registry; lookups at record time are pointer
@@ -204,6 +219,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.register(name, help, "", histogramKind, buckets).child("").(*Histogram)
 }
 
+// HistogramVec registers (or fetches) a histogram family with one label.
+// Every child shares the same bucket upper bounds.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, label, histogramKind, buckets)}
+}
+
 // NewCounter registers an unlabeled counter in the default registry.
 func NewCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
 
@@ -218,6 +239,12 @@ func NewGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, hel
 // NewHistogram registers an unlabeled histogram in the default registry.
 func NewHistogram(name, help string, buckets []float64) *Histogram {
 	return defaultRegistry.Histogram(name, help, buckets)
+}
+
+// NewHistogramVec registers a labeled histogram family in the default
+// registry.
+func NewHistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return defaultRegistry.HistogramVec(name, help, label, buckets)
 }
 
 // labelPair renders the {label="value"} suffix, empty for unlabeled children.
@@ -253,15 +280,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(w, "%s%s %d\n", f.name, labelPair(f.label, value), m.(*Gauge).Value())
 			case histogramKind:
 				h := m.(*Histogram)
+				// Labelled histogram children carry the family label inside
+				// the bucket braces alongside le, per the Prometheus format:
+				// name_bucket{alg="hash",le="1"}.
+				pre := ""
+				if f.label != "" && value != "" {
+					pre = fmt.Sprintf("%s=%q,", f.label, value)
+				}
 				var cum int64
 				for i, ub := range h.upper {
 					cum += h.buckets[i].Load()
-					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(ub), cum)
+					fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", f.name, pre, formatFloat(ub), cum)
 				}
 				cum += h.buckets[len(h.upper)].Load()
-				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
-				fmt.Fprintf(w, "%s_sum %v\n", f.name, h.Sum())
-				fmt.Fprintf(w, "%s_count %d\n", f.name, h.Count())
+				fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, pre, cum)
+				fmt.Fprintf(w, "%s_sum%s %v\n", f.name, labelPair(f.label, value), h.Sum())
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPair(f.label, value), h.Count())
 			}
 		}
 	}

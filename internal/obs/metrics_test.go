@@ -49,6 +49,38 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_req_seconds", "latency by alg", "alg", []float64{0.1, 1})
+	v.With("hash").Observe(0.05)
+	v.With("hash").Observe(0.5)
+	v.With("heap").Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_req_seconds histogram",
+		`test_req_seconds_bucket{alg="hash",le="0.1"} 1`,
+		`test_req_seconds_bucket{alg="hash",le="1"} 2`,
+		`test_req_seconds_bucket{alg="hash",le="+Inf"} 2`,
+		`test_req_seconds_sum{alg="hash"} 0.55`,
+		`test_req_seconds_count{alg="hash"} 2`,
+		`test_req_seconds_bucket{alg="heap",le="+Inf"} 1`,
+		`test_req_seconds_count{alg="heap"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Children share identity: the same label value returns the same child.
+	if v.With("hash") != v.With("hash") {
+		t.Error("HistogramVec.With returned distinct children for one label")
+	}
+}
+
 func TestRegistrySnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "a").Add(7)

@@ -122,6 +122,7 @@ type chromeEvent struct {
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"` // complete ("X") events only
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`

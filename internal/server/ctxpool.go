@@ -60,18 +60,27 @@ func (p *ContextPool) Size() int { return p.size }
 // gives up first (client disconnect). Every successful Acquire must be
 // paired with Release.
 func (p *ContextPool) Acquire(ctx context.Context) (*spgemm.Context, error) {
+	c, _, err := p.AcquireTraced(ctx)
+	return c, err
+}
+
+// AcquireTraced is Acquire plus the queueing fact the request trace wants:
+// queued reports whether the fast path missed and the request actually
+// waited in the admission queue (as opposed to checking a free Context out
+// immediately).
+func (p *ContextPool) AcquireTraced(ctx context.Context) (c *spgemm.Context, queued bool, err error) {
 	// Fast path: a Context is free right now.
 	select {
 	case c := <-p.contexts:
 		mInflight.Add(1)
-		return c, nil
+		return c, false, nil
 	default:
 	}
 	// Admission check before joining the queue.
 	if p.waiting.Add(1) > p.maxQueue {
 		p.waiting.Add(-1)
 		mRejected.Inc()
-		return nil, ErrSaturated
+		return nil, true, ErrSaturated
 	}
 	mQueueDepth.Set(p.waiting.Load())
 	defer func() {
@@ -81,9 +90,9 @@ func (p *ContextPool) Acquire(ctx context.Context) (*spgemm.Context, error) {
 	select {
 	case c := <-p.contexts:
 		mInflight.Add(1)
-		return c, nil
+		return c, true, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, true, ctx.Err()
 	}
 }
 

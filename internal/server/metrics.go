@@ -1,6 +1,9 @@
 package server
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/spgemm"
+)
 
 // Server metrics, registered in the default obs registry so they appear on
 // the same /metrics endpoint as the kernel-level spgemm_*, sched_* and
@@ -35,6 +38,25 @@ var (
 	mPlanEntries = obs.NewGauge("server_plan_cache_entries",
 		"Plans currently cached")
 
+	// Request-level families (PR 8). server_request_seconds splits latency
+	// by the *resolved* algorithm (after AlgAuto dispatch), which is what
+	// makes a per-kernel regression visible on a dashboard at all;
+	// server_queue_wait_seconds splits the admission wait by outcome so
+	// saturation (long "acquired" waits, growing "rejected") is
+	// distinguishable from slow kernels.
+	mRequestSeconds = obs.NewHistogramVec("server_request_seconds",
+		"end-to-end multiply latency in seconds, by resolved algorithm", "alg",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+	mQueueWait = obs.NewHistogramVec("server_queue_wait_seconds",
+		"context checkout wait in seconds, by outcome", "outcome",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
+	mSlowRequests = obs.NewCounter("server_slow_requests_total",
+		"multiply requests over the slow-request threshold")
+	mSentryDegraded = obs.NewGauge("server_sentry_degraded",
+		"1 while the perf sentry holds /healthz degraded, else 0")
+	mSentryTransitions = obs.NewCounter("server_sentry_transitions_total",
+		"perf sentry health transitions (ok->degraded and back)")
+
 	mUploads = obs.NewCounter("server_matrix_uploads_total",
 		"matrix upload requests accepted")
 	mDedup = obs.NewCounter("server_matrix_dedup_total",
@@ -46,3 +68,29 @@ var (
 	mStoreEvictions = obs.NewCounter("server_matrix_store_evictions_total",
 		"matrices evicted from the store (LRU byte budget)")
 )
+
+// requestSecondsByAlg caches the per-algorithm child of server_request_seconds
+// so recording a request is one alloc-free Observe, never a locked map lookup
+// — the same discipline as spgemm's multiplyCounter.
+var requestSecondsByAlg = func() [spgemm.NumAlgorithms]*obs.Histogram {
+	var t [spgemm.NumAlgorithms]*obs.Histogram
+	for a := spgemm.Algorithm(0); int(a) < len(t); a++ {
+		t[a] = mRequestSeconds.With(a.String())
+	}
+	return t
+}()
+
+// Cached server_queue_wait_seconds children, one per admission outcome.
+var (
+	mQueueWaitAcquired = mQueueWait.With("acquired")
+	mQueueWaitRejected = mQueueWait.With("rejected")
+	mQueueWaitCanceled = mQueueWait.With("canceled")
+)
+
+// observeRequestSeconds records one request's end-to-end latency under its
+// resolved algorithm.
+func observeRequestSeconds(alg spgemm.Algorithm, seconds float64) {
+	if int(alg) < len(requestSecondsByAlg) {
+		requestSecondsByAlg[alg].Observe(seconds)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -67,6 +68,33 @@ type Config struct {
 	// 1<<27 and 1<<31.
 	MaxDim int
 	MaxNNZ int64
+
+	// RequestRing enables request-level tracing: the last RequestRing
+	// multiply requests are retained with full span timelines at
+	// /debug/requests. 0 (the default) disables request tracing entirely;
+	// the disabled path adds zero allocations to the multiply hot path
+	// (TestRequestObsDisabledZeroAllocs).
+	RequestRing int
+	// SlowThreshold marks a request slow: slow requests are retained in a
+	// separate ring (surviving recent-ring turnover), logged at warn, and
+	// optionally CPU-profiled. 0 disables the slow capturer.
+	SlowThreshold time.Duration
+	// SlowRing is the slow-request ring capacity (default 32).
+	SlowRing int
+	// SlowProfileDur, when > 0, captures one CPU profile of this duration
+	// when a slow request lands (at most one capture in flight; the last
+	// profile is served at /debug/requests/profile).
+	SlowProfileDur time.Duration
+
+	// SentryBaseline enables the perf sentry: algorithm name → expected
+	// flop/s (see LoadSentryBaseline). Empty disables the sentry.
+	SentryBaseline map[string]float64
+	// SentryRatio / SentryInterval / SentrySustain / SentryMinSamples tune
+	// the sentry; zero values take SentryConfig defaults.
+	SentryRatio      float64
+	SentryInterval   time.Duration
+	SentrySustain    int
+	SentryMinSamples int64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,11 +127,13 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP multiply service. Create with New; serve via Handler.
 type Server struct {
-	cfg   Config
-	store *Store
-	plans *PlanCache
-	pool  *ContextPool
-	mux   *http.ServeMux
+	cfg    Config
+	store  *Store
+	plans  *PlanCache
+	pool   *ContextPool
+	reqobs *requestObs // nil = request tracing disabled
+	sentry *Sentry     // nil = perf sentry disabled
+	mux    *http.ServeMux
 }
 
 // New returns a Server sized by cfg.
@@ -113,22 +143,40 @@ func New(cfg Config) *Server {
 	s.plans = NewPlanCache(cfg.PlanCacheSize)
 	s.store = NewStore(cfg.MaxStoreBytes, s.plans.InvalidateMatrix)
 	s.pool = NewContextPool(cfg.Contexts, cfg.QueueDepth)
+	s.reqobs = newRequestObs(cfg)
+	if len(cfg.SentryBaseline) > 0 {
+		s.sentry = NewSentry(SentryConfig{
+			Baseline:   cfg.SentryBaseline,
+			Ratio:      cfg.SentryRatio,
+			Interval:   cfg.SentryInterval,
+			Sustain:    cfg.SentrySustain,
+			MinSamples: cfg.SentryMinSamples,
+		})
+		s.sentry.Start()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/matrices", s.handleUpload)
 	mux.HandleFunc("GET /v1/matrices/{hash}", s.handleMatrixInfo)
 	mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","contexts":%d,"matrices":%d,"plans":%d}`+"\n",
-			s.pool.Size(), s.store.Len(), s.plans.Len())
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/requests", s.reqobs.handleRequests)
+	mux.HandleFunc("GET /debug/requests/profile", s.reqobs.handleSlowProfile)
+	mux.HandleFunc("GET /debug/requests/{id}", s.reqobs.handleRequestTrace)
 	// The same observability surface the CLIs expose with -debug-addr:
 	// /metrics (now including the server_* families), /debug/vars,
-	// /debug/pprof, /trace.json.
+	// /debug/pprof, /debug/loglevel, /trace.json.
 	obs.RegisterDebugHandlers(mux, nil)
 	s.mux = mux
 	return s
+}
+
+// Close stops the server's background machinery (the perf sentry). It does
+// not touch in-flight HTTP requests — Serve's drain does that.
+func (s *Server) Close() {
+	if s.sentry != nil {
+		s.sentry.Stop()
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -136,6 +184,34 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Store exposes the matrix intern table (tests and the serve CLI preload).
 func (s *Server) Store() *Store { return s.store }
+
+// Sentry exposes the perf sentry, nil when disabled (tests and /healthz).
+func (s *Server) Sentry() *Sentry { return s.sentry }
+
+// handleHealthz reports liveness — and, when the perf sentry holds the
+// process degraded, says so with 503 and the failing algorithms, so load
+// balancers rotate traffic away from a machine that has stopped performing.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type healthz struct {
+		Status   string      `json:"status"`
+		Contexts int         `json:"contexts"`
+		Matrices int         `json:"matrices"`
+		Plans    int         `json:"plans"`
+		Degraded []AlgHealth `json:"degraded,omitempty"`
+		Since    string      `json:"degradedSince,omitempty"`
+	}
+	body := healthz{Status: "ok", Contexts: s.pool.Size(), Matrices: s.store.Len(), Plans: s.plans.Len()}
+	code := http.StatusOK
+	if s.sentry != nil {
+		if degraded, failing, since := s.sentry.State(); degraded {
+			body.Status = "degraded"
+			body.Degraded = failing
+			body.Since = since.UTC().Format(time.RFC3339)
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, body)
+}
 
 // MatrixInfo is the JSON metadata of an interned matrix.
 type MatrixInfo struct {
@@ -181,8 +257,15 @@ type MultiplyResponse struct {
 	Semiring       string  `json:"semiring"`
 	PlanCacheHit   bool    `json:"planCacheHit"`
 	ElapsedSeconds float64 `json:"elapsedSeconds"`
-	Flop           int64   `json:"flop"`
-	Hash           string  `json:"hash,omitempty"` // set with Return "store"
+	// QueueSeconds is how long the request waited for a Context before the
+	// kernel could start — the server-side admission wait the load
+	// generator folds into its queue-wait percentiles.
+	QueueSeconds float64 `json:"queueSeconds"`
+	Flop         int64   `json:"flop"`
+	Hash         string  `json:"hash,omitempty"` // set with Return "store"
+	// RequestID links the response to its /debug/requests entry and log
+	// lines; empty when request tracing is disabled.
+	RequestID string `json:"requestID,omitempty"`
 }
 
 // jsonError is the uniform error body.
@@ -262,47 +345,74 @@ func (s *Server) handleMatrixInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, matrixInfo(hash, m, false))
 }
 
+// traceID returns the request ID of a trace, or "" when tracing is off.
+func traceID(t *obs.RequestTrace) string {
+	if t == nil {
+		return ""
+	}
+	return t.ID
+}
+
 // handleMultiply is the core endpoint: admission control, Plan cache,
-// checked-out Context, per-request stats.
+// checked-out Context, per-request stats — and, when request tracing is on,
+// the end-to-end span timeline linking queue wait → Context checkout →
+// plan-cache lookup → kernel phases for /debug/requests.
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	mRequests.With("multiply").Inc()
-	req, ok := s.decodeMultiplyRequest(w, r)
+	rt := s.reqobs.begin()
+
+	// fail answers an error, closes the trace, and emits the error log — the
+	// single exit for every non-2xx outcome of this handler.
+	fail := func(code int, format string, args ...any) {
+		s.writeError(w, code, format, args...)
+		log := obs.Logger()
+		if rt != nil || log.Enabled(r.Context(), slog.LevelWarn) {
+			msg := fmt.Sprintf(format, args...)
+			if rt != nil {
+				rt.Err = msg
+				s.reqobs.finish(rt, code)
+			}
+			log.Warn("multiply failed", "reqID", traceID(rt), "status", code, "err", msg)
+		}
+	}
+
+	req, ok := s.decodeMultiplyRequestTraced(w, r, rt)
 	if !ok {
 		return
 	}
 	alg, ok := spgemm.ParseAlgorithm(req.Algorithm)
 	if !ok {
-		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		fail(http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
 		return
 	}
 	switch req.Semiring {
 	case "", "plus-times", "min-plus", "max-times":
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown semiring %q (want plus-times, min-plus or max-times)", req.Semiring)
+		fail(http.StatusBadRequest, "unknown semiring %q (want plus-times, min-plus or max-times)", req.Semiring)
 		return
 	}
 	switch req.Return {
 	case "", "meta", "store", "matrix":
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown return mode %q (want meta, store or matrix)", req.Return)
+		fail(http.StatusBadRequest, "unknown return mode %q (want meta, store or matrix)", req.Return)
 		return
 	}
 	if req.Workers < 0 || req.Workers > 4096 {
-		s.writeError(w, http.StatusBadRequest, "workers %d out of range [0,4096]", req.Workers)
+		fail(http.StatusBadRequest, "workers %d out of range [0,4096]", req.Workers)
 		return
 	}
 	a, ok := s.store.Get(req.A)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown matrix %q (upload it first)", req.A)
+		fail(http.StatusNotFound, "unknown matrix %q (upload it first)", req.A)
 		return
 	}
 	b, ok := s.store.Get(req.B)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown matrix %q (upload it first)", req.B)
+		fail(http.StatusNotFound, "unknown matrix %q (upload it first)", req.B)
 		return
 	}
 	if a.Cols != b.Rows {
-		s.writeError(w, http.StatusBadRequest,
+		fail(http.StatusBadRequest,
 			"dimension mismatch: %dx%d × %dx%d (inner dimensions %d and %d differ)",
 			a.Rows, a.Cols, b.Rows, b.Cols, a.Cols, b.Rows)
 		return
@@ -311,30 +421,63 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
+	if rt != nil {
+		rt.SetAttr("a", req.A)
+		rt.SetAttr("b", req.B)
+		rt.SetAttr("alg", alg.String())
+		rt.SetAttr("semiring", ringName(req.Semiring))
+		rt.SetAttr("workers", workers)
+	}
 
-	// Admission control: check a Context out or shed load.
+	// Admission control: check a Context out or shed load. The wait is
+	// observed per outcome (acquired/rejected/canceled), and on the trace it
+	// is "queue.wait" when the request actually queued, "ctx.checkout" when
+	// a Context was free immediately.
 	start := time.Now()
-	ctx, err := s.pool.Acquire(r.Context())
+	ctx, queued, err := s.pool.AcquireTraced(r.Context())
+	queueWait := time.Since(start)
 	if err != nil {
 		if errors.Is(err, ErrSaturated) {
-			s.writeError(w, http.StatusTooManyRequests,
+			mQueueWaitRejected.Observe(queueWait.Seconds())
+			fail(http.StatusTooManyRequests,
 				"server saturated: %d multiplies in flight, %d queued", s.pool.Size(), s.cfg.QueueDepth)
 			return
 		}
 		// Client went away while queued; nothing to answer.
+		mQueueWaitCanceled.Observe(queueWait.Seconds())
 		mErrors.With("499").Inc()
+		if rt != nil {
+			rt.Err = "client canceled while queued"
+			rt.Span("queue.wait", start, start.Add(queueWait))
+			s.reqobs.finish(rt, 499)
+		}
 		return
 	}
 	defer s.pool.Release(ctx)
+	mQueueWaitAcquired.Observe(queueWait.Seconds())
+	if rt != nil {
+		name := "ctx.checkout"
+		if queued {
+			name = "queue.wait"
+		}
+		rt.Span(name, start, start.Add(queueWait))
+		rt.SetAttr("queued", queued)
+	}
 
 	stats := &spgemm.ExecStats{}
-	c, planHit, err := s.multiply(ctx, stats, a, b, alg, req, workers)
+	c, planHit, err := s.multiply(ctx, stats, a, b, alg, req, workers, rt)
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "multiply: %v", err)
+		fail(http.StatusUnprocessableEntity, "multiply: %v", err)
 		return
 	}
 	elapsed := time.Since(start)
 	recordMultiplyMetrics(stats, elapsed, planHit)
+	if stats != nil {
+		observeRequestSeconds(stats.Algorithm, elapsed.Seconds())
+		if s.sentry != nil {
+			s.sentry.Observe(stats.Algorithm.String(), totalFlop(stats), stats.Total)
+		}
+	}
 
 	resp := MultiplyResponse{
 		Rows:           c.Rows,
@@ -344,13 +487,18 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		Semiring:       ringName(req.Semiring),
 		PlanCacheHit:   planHit,
 		ElapsedSeconds: elapsed.Seconds(),
+		QueueSeconds:   queueWait.Seconds(),
 		Flop:           totalFlop(stats),
+		RequestID:      traceID(rt),
+	}
+	if rt != nil {
+		w.Header().Set("X-Request-Id", rt.ID)
 	}
 	switch req.Return {
 	case "store":
 		hash, _, err := s.store.Put(c)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, "intern product: %v", err)
+			fail(http.StatusInternalServerError, "intern product: %v", err)
 			return
 		}
 		resp.Hash = hash
@@ -362,6 +510,30 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		_ = matrix.WriteCSRBinary(w, c)
 	default:
 		writeJSON(w, http.StatusOK, resp)
+	}
+
+	// Close the trace (response serialization included) and write the
+	// access-log line. The Enabled guard keeps attribute construction off
+	// the path when logging is quiet.
+	if rt != nil {
+		rt.SetAttr("algResolved", resp.Algorithm)
+		rt.SetAttr("planHit", planHit)
+		rt.SetAttr("flop", resp.Flop)
+		rt.SetAttr("nnz", resp.NNZ)
+		if stats != nil {
+			if cf := stats.CollisionFactor(); cf > 0 {
+				rt.SetAttr("collisionFactor", cf)
+			}
+		}
+		s.reqobs.finish(rt, http.StatusOK)
+	}
+	if log := obs.Logger(); log.Enabled(r.Context(), slog.LevelInfo) {
+		log.Info("multiply",
+			"reqID", traceID(rt), "status", http.StatusOK,
+			"a", req.A, "b", req.B,
+			"alg", resp.Algorithm, "planHit", planHit,
+			"ms", float64(elapsed)/1e6, "queueMs", float64(queueWait)/1e6,
+			"flop", resp.Flop, "nnz", resp.NNZ)
 	}
 }
 
@@ -387,12 +559,35 @@ func (s *Server) decodeMultiplyRequest(w http.ResponseWriter, r *http.Request) (
 	return req, true
 }
 
+// decodeMultiplyRequestTraced is decodeMultiplyRequest plus trace closure on
+// the failure path (decodeMultiplyRequest writes its own 400 body).
+func (s *Server) decodeMultiplyRequestTraced(w http.ResponseWriter, r *http.Request, rt *obs.RequestTrace) (MultiplyRequest, bool) {
+	req, ok := s.decodeMultiplyRequest(w, r)
+	if !ok && rt != nil {
+		rt.Err = "malformed request body"
+		s.reqobs.finish(rt, http.StatusBadRequest)
+	}
+	return req, ok
+}
+
+// kernelClock reads the wall clock only when a trace wants it — paired with
+// stampKernel, it brackets the kernel call without costing the disabled path
+// a clock read.
+func kernelClock(rt *obs.RequestTrace) time.Time {
+	if rt == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 // multiply runs the product through the Plan cache when the request is
 // plan-eligible (plus-times, hash-family algorithm), falling back to a
 // plain Multiply otherwise. The checked-out Context supplies all mutable
-// kernel state either way.
+// kernel state either way. A non-nil rt receives the plan-cache and kernel
+// spans; kernel phase sub-spans are reconstructed from stats after the call
+// (ExecuteIn resets stats, so Total covers exactly the bracketed kernel).
 func (s *Server) multiply(ctx *spgemm.Context, stats *spgemm.ExecStats, a, b *matrix.CSR,
-	alg spgemm.Algorithm, req MultiplyRequest, workers int) (*matrix.CSR, bool, error) {
+	alg spgemm.Algorithm, req MultiplyRequest, workers int, rt *obs.RequestTrace) (*matrix.CSR, bool, error) {
 
 	opt := &spgemm.Options{
 		Algorithm: alg,
@@ -403,17 +598,33 @@ func (s *Server) multiply(ctx *spgemm.Context, stats *spgemm.ExecStats, a, b *ma
 	}
 	switch req.Semiring {
 	case "min-plus":
+		kt := kernelClock(rt)
 		c, err := spgemm.MultiplyRing(semiring.MinPlusF64{}, a, b, optG(opt))
+		if err == nil {
+			stampKernel(rt, kt, stats)
+		}
 		return c, false, err
 	case "max-times":
+		kt := kernelClock(rt)
 		c, err := spgemm.MultiplyRing(semiring.MaxTimesF64{}, a, b, optG(opt))
+		if err == nil {
+			stampKernel(rt, kt, stats)
+		}
 		return c, false, err
 	}
 
 	key := PlanKey{A: req.A, B: req.B, Algorithm: alg, Unsorted: req.Unsorted, Workers: workers}
-	if plan, ok := s.plans.Get(key); ok {
+	lt := kernelClock(rt)
+	plan, hit := s.plans.Get(key)
+	if rt != nil {
+		rt.Span("plan.lookup", lt, time.Now())
+		rt.SetAttr("planHit", hit)
+	}
+	if hit {
+		kt := kernelClock(rt)
 		c, err := plan.ExecuteIn(ctx, stats)
 		if err == nil {
+			stampKernel(rt, kt, stats)
 			mPlanHits.Inc()
 			return c, true, nil
 		}
@@ -425,15 +636,27 @@ func (s *Server) multiply(ctx *spgemm.Context, stats *spgemm.ExecStats, a, b *ma
 		s.plans.Remove(key)
 	}
 	mPlanMisses.Inc()
+	bt := kernelClock(rt)
 	plan, err := spgemm.NewPlan(a, b, opt)
 	if err != nil {
 		// Not plan-eligible (auto resolved to a non-hash kernel, explicit
 		// heap/merge/... request): one-shot multiply through the Context.
+		kt := kernelClock(rt)
 		c, merr := spgemm.Multiply(a, b, opt)
+		if merr == nil {
+			stampKernel(rt, kt, stats)
+		}
 		return c, false, merr
 	}
+	if rt != nil {
+		rt.Span("plan.build", bt, time.Now())
+	}
 	s.plans.Add(key, plan)
+	kt := kernelClock(rt)
 	c, err := plan.ExecuteIn(ctx, stats)
+	if err == nil {
+		stampKernel(rt, kt, stats)
+	}
 	return c, false, err
 }
 

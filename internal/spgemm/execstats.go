@@ -134,6 +134,37 @@ func (s *ExecStats) PhaseSum() time.Duration {
 	return t
 }
 
+// PhaseSpan is one executed phase as an interval relative to the kernel
+// start: the request-trace form of ExecStats.Phases. Phases that did not run
+// (zero duration) are omitted.
+type PhaseSpan struct {
+	Phase  Phase
+	Offset time.Duration // from kernel start
+	Dur    time.Duration
+}
+
+// PhaseSpans lays the per-phase durations back-to-back from the kernel start
+// and returns them as intervals. Phase times are measured back-to-back by
+// phaseTimer inside the window Total stamps (see PhaseSum), so the
+// reconstruction is exact up to clock granularity: span k starts where span
+// k-1 ended, and the last span ends at PhaseSum() <= Total. This is how a
+// per-request trace gets kernel sub-spans without threading a tracer through
+// every kernel: the server appends these intervals, offset by the kernel's
+// start within the request, to the request's timeline.
+func (s *ExecStats) PhaseSpans() []PhaseSpan {
+	out := make([]PhaseSpan, 0, NumPhases)
+	var off time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		d := s.Phases[p]
+		if d == 0 {
+			continue
+		}
+		out = append(out, PhaseSpan{Phase: p, Offset: off, Dur: d})
+		off += d
+	}
+	return out
+}
+
 // Add folds another call's stats into s: phase times, Total and per-worker
 // counters all accumulate (Workers grows to the larger worker count), and
 // Algorithm takes o's value. Iterative workloads use this — via the automatic

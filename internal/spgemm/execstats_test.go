@@ -43,6 +43,54 @@ func TestExecStatsPhaseSumMatchesTotal(t *testing.T) {
 	}
 }
 
+// TestExecStatsPhaseSpans pins the interval reconstruction the multiply
+// server's request traces are built from: spans are back-to-back, in phase
+// order, cover exactly PhaseSum(), and stay inside the Total window.
+func TestExecStatsPhaseSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.ER(10, 8, rng)
+	for _, alg := range statsAlgorithms {
+		var st ExecStats
+		if _, err := Multiply(g, g, &Options{Algorithm: alg, Stats: &st}); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		spans := st.PhaseSpans()
+		if len(spans) == 0 {
+			t.Fatalf("%v: no phase spans", alg)
+		}
+		var end, sum int64
+		last := Phase(-1)
+		for _, sp := range spans {
+			if sp.Phase <= last {
+				t.Errorf("%v: spans out of phase order: %v after %v", alg, sp.Phase, last)
+			}
+			last = sp.Phase
+			if int64(sp.Offset) != end {
+				t.Errorf("%v: span %v starts at %v, want back-to-back at %v", alg, sp.Phase, sp.Offset, end)
+			}
+			if sp.Dur <= 0 {
+				t.Errorf("%v: span %v has non-positive duration %v", alg, sp.Phase, sp.Dur)
+			}
+			end = int64(sp.Offset + sp.Dur)
+			sum += int64(sp.Dur)
+		}
+		if sum != int64(st.PhaseSum()) {
+			t.Errorf("%v: span sum %v != PhaseSum %v", alg, sum, st.PhaseSum())
+		}
+	}
+
+	// Synthetic check with gaps: phases the kernel never ran are skipped but
+	// offsets still accumulate only executed time.
+	var st ExecStats
+	st.Phases[PhaseSymbolic] = 3
+	st.Phases[PhaseNumeric] = 5
+	spans := st.PhaseSpans()
+	if len(spans) != 2 || spans[0].Phase != PhaseSymbolic || spans[0].Offset != 0 ||
+		spans[1].Phase != PhaseNumeric || spans[1].Offset != 3 || spans[1].Dur != 5 {
+		t.Fatalf("synthetic spans wrong: %+v", spans)
+	}
+}
+
 // TestExecStatsCounters checks the per-worker counters against ground truth:
 // rows and flop are exact, and each accumulator family reports its own
 // operation counts.

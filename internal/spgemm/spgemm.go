@@ -92,6 +92,11 @@ const (
 	// algLast is the highest defined Algorithm value; keep in sync when
 	// adding algorithms (ParseAlgorithm and the metrics cache iterate to it).
 	algLast = AlgTiled
+
+	// NumAlgorithms is the number of defined Algorithm values — the size of
+	// any per-algorithm lookup table (the server's cached histogram children,
+	// the package's own cached counters).
+	NumAlgorithms = int(algLast) + 1
 )
 
 // String returns the name used in benchmark tables.
