@@ -9,6 +9,17 @@
 //	                                  escape-budget mode: diff the compiler's
 //	                                  -m escape report for the hot packages
 //	                                  against lint/escape_allowlist.txt
+//	spgemm-lint -mode=inline [-update]
+//	                                  inline budget: diff the compiler's -m=2
+//	                                  inlining/devirtualization decisions for
+//	                                  //spgemm:hotpath functions and ring
+//	                                  methods against lint/inline_allowlist.txt,
+//	                                  and require the devirtualized ring fast
+//	                                  path's call sites to inline
+//	spgemm-lint -mode=bce [-update]
+//	                                  bounds-check budget: diff the residual
+//	                                  -d=ssa/check_bce findings in hotpath
+//	                                  functions against lint/bce_allowlist.txt
 //
 // Diagnostics print as file:line:col: [analyzer] message, followed by the
 // analyzer's fix hint. Any diagnostic makes the exit status nonzero, which
@@ -33,6 +44,9 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/compilerfb"
+	"repro/internal/analysis/passes/chanown"
+	"repro/internal/analysis/passes/deferhot"
 	"repro/internal/analysis/passes/hotalloc"
 	"repro/internal/analysis/passes/parcapture"
 	"repro/internal/analysis/passes/poolpair"
@@ -42,8 +56,10 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
+	deferhot.Analyzer,
 	spanpair.Analyzer,
 	poolpair.Analyzer,
+	chanown.Analyzer,
 	parcapture.Analyzer,
 	statsnil.Analyzer,
 }
@@ -81,8 +97,8 @@ func main() {
 		os.Exit(runVetUnit(os.Args[1]))
 	}
 
-	mode := flag.String("mode", "lint", "lint (analyze packages) or escapes (escape-budget diff)")
-	update := flag.Bool("update", false, "with -mode=escapes: rewrite the allowlist instead of diffing")
+	mode := flag.String("mode", "lint", "lint (analyze packages), escapes (escape-budget diff), inline (inlining/devirtualization budget), or bce (bounds-check budget)")
+	update := flag.Bool("update", false, "with -mode=escapes/inline/bce: rewrite the allowlist instead of diffing")
 	flag.Parse()
 
 	switch *mode {
@@ -94,6 +110,10 @@ func main() {
 		os.Exit(runLint(patterns))
 	case "escapes":
 		os.Exit(runEscapes(*update))
+	case "inline":
+		os.Exit(runInline(*update))
+	case "bce":
+		os.Exit(runBCE(*update))
 	default:
 		fmt.Fprintf(os.Stderr, "spgemm-lint: unknown -mode=%s\n", *mode)
 		os.Exit(2)
@@ -356,6 +376,10 @@ func collectEscapes(root string) (map[string]bool, error) {
 
 // normalizeEscapeLine turns "dir/file.go:12:6: x escapes to heap" into
 // "dir/file.go: x escapes to heap"; non-escape diagnostics are dropped.
+// Package qualifiers inside the message are stripped: the compiler reports
+// the same escape as "&HashTableG[...]{}" when compiling accum and as
+// "&accum.HashTableG[...]{}" when re-reporting it from an inlined body in a
+// dependent package, and without normalization the allowlist carries both.
 func normalizeEscapeLine(line string) (string, bool) {
 	line = strings.TrimSpace(line)
 	if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
@@ -367,11 +391,180 @@ func normalizeEscapeLine(line string) (string, bool) {
 		return "", false
 	}
 	file := parts[0]
-	msg := strings.TrimSpace(parts[3])
+	msg := compilerfb.StripQualifiers(strings.TrimSpace(parts[3]))
 	if !strings.HasSuffix(file, ".go") {
 		return "", false
 	}
 	return file + ": " + msg, true
+}
+
+// ---------------------------------------------------------------------------
+// Inline/devirtualization budget mode
+// ---------------------------------------------------------------------------
+
+// hotDirs are the module-relative package directories whose
+// //spgemm:hotpath functions the inline and BCE budgets cover.
+var hotDirs = []string{
+	"internal/accum",
+	"internal/mempool",
+	"internal/sched",
+	"internal/spgemm",
+}
+
+// inlinePkgs extends the hot packages with semiring: the ring methods are
+// what the kernels need inlined, so their own inlinability is gated too.
+var inlinePkgs = append(append([]string{}, escapePkgs...), "repro/internal/semiring")
+
+const (
+	inlineAllowlistPath = "lint/inline_allowlist.txt"
+	bceAllowlistPath    = "lint/bce_allowlist.txt"
+	semiringDir         = "internal/semiring"
+)
+
+// requiredInlines are the gate's hard guarantees: the hand-devirtualized
+// float64 plus-times fast path (internal/spgemm/ringfast.go) writes its ring
+// operations as method calls on a concrete semiring.PlusTimesF64 precisely
+// so the compiler reports them as inlined; if these lines disappear the fast
+// path has regressed to indirect dictionary calls and no allowlist can
+// excuse it.
+var requiredInlines = []compilerfb.RequiredInline{
+	{File: "internal/spgemm/ringfast.go", Callee: "PlusTimesF64.Mul"},
+	{File: "internal/spgemm/ringfast.go", Callee: "PlusTimesF64.Add"},
+}
+
+// runInline diffs the compiler's -m=2 inline/devirtualization decisions
+// against the checked-in allowlist: any //spgemm:hotpath function reported
+// "cannot inline", and any semiring Add/Mul/Zero method reported "cannot
+// inline", must be allowlisted; the ring fast path's inlining-call witnesses
+// must be present unconditionally.
+func runInline(update bool) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	ix, err := compilerfb.ScanHotFuncs(root, hotDirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	out, err := compilerfb.CompilerOutput(root, inlinePkgs, "-m=2")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	rep := compilerfb.BuildInlineReport(compilerfb.ParseInlineOutput(out), ix, semiringDir, requiredInlines)
+	// The required-inline contract is checked before any allowlist logic:
+	// -update must not be able to bless its loss.
+	if len(rep.MissingRequired) > 0 {
+		for _, m := range rep.MissingRequired {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: REQUIRED INLINE MISSING: %s\n", m)
+		}
+		return 1
+	}
+	return diffBudget(budgetGate{
+		name:     "inline",
+		listPath: inlineAllowlistPath,
+		regen:    "go run ./cmd/spgemm-lint -mode=inline -update",
+		header: []string{
+			"Inlining budget for //spgemm:hotpath functions and semiring ring methods.",
+			"One normalized -m=2 decision per line: \"file.go: cannot inline Func: reason\".",
+			"Regenerate with: go run ./cmd/spgemm-lint -mode=inline -update",
+			"CI fails when a hotpath function or ring method stops inlining and is not listed here.",
+		},
+		newMsg: "function stopped inlining",
+	}, root, rep.Violations, update)
+}
+
+// runBCE diffs the residual bounds checks that -d=ssa/check_bce reports
+// inside //spgemm:hotpath functions against the checked-in allowlist.
+// Entries budget counts per (function, check kind), not positions, so moving
+// code doesn't churn the list but a new residual check fails the gate.
+func runBCE(update bool) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	ix, err := compilerfb.ScanHotFuncs(root, hotDirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	out, err := compilerfb.CompilerOutput(root, escapePkgs, "-d=ssa/check_bce")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	entries := compilerfb.BuildBCEReport(compilerfb.ParseBCEOutput(out), ix)
+	return diffBudget(budgetGate{
+		name:     "bce",
+		listPath: bceAllowlistPath,
+		regen:    "go run ./cmd/spgemm-lint -mode=bce -update",
+		header: []string{
+			"Bounds-check budget for //spgemm:hotpath functions.",
+			"One entry per (function, check kind) with the count of distinct positions:",
+			"\"file.go: Func: IsInBounds xN\". The listed checks are the ones the prove",
+			"pass cannot eliminate (data-dependent indices); new ones need a re-slicing",
+			"hint or a justified -update.",
+			"Regenerate with: go run ./cmd/spgemm-lint -mode=bce -update",
+		},
+		newMsg: "new residual bounds check in hotpath function",
+	}, root, entries, update)
+}
+
+// budgetGate describes one compiler-feedback allowlist gate for diffBudget.
+type budgetGate struct {
+	name     string
+	listPath string
+	regen    string
+	header   []string
+	newMsg   string
+}
+
+// diffBudget is the shared allowlist workflow of the inline and BCE gates:
+// -update rewrites the list (pinned to the current toolchain); otherwise the
+// observed entries are diffed against it, with a toolchain mismatch failing
+// loudly since both gates parse version-sensitive compiler output.
+func diffBudget(g budgetGate, root string, got map[string]bool, update bool) int {
+	tc, err := compilerfb.Toolchain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 2
+	}
+	listFile := filepath.Join(root, g.listPath)
+	if update {
+		if err := compilerfb.WriteAllowlist(listFile, g.header, tc, got); err != nil {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+			return 2
+		}
+		fmt.Printf("spgemm-lint: wrote %d %s entries to %s (toolchain %s)\n", len(got), g.name, g.listPath, tc)
+		return 0
+	}
+	al, err := compilerfb.ReadAllowlist(listFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v (run with -mode=%s -update to create it)\n", err, g.name)
+		return 2
+	}
+	if err := compilerfb.CheckToolchain(al, tc, g.listPath, g.regen); err != nil {
+		fmt.Fprintf(os.Stderr, "spgemm-lint: %v\n", err)
+		return 1
+	}
+	added, removed := compilerfb.Diff(got, al.Entries)
+	for _, e := range removed {
+		fmt.Printf("spgemm-lint: %s entry no longer present (prune from %s): %s\n", g.name, g.listPath, e)
+	}
+	if len(added) > 0 {
+		for _, e := range added {
+			fmt.Fprintf(os.Stderr, "spgemm-lint: %s: %s\n", strings.ToUpper(g.newMsg), e)
+		}
+		fmt.Fprintf(os.Stderr,
+			"spgemm-lint: %d new %s violation(s); fix the hot function or, if unavoidable, re-run with %s and justify in the PR\n",
+			len(added), g.name, g.regen)
+		return 1
+	}
+	fmt.Printf("spgemm-lint: %s budget OK (%d allowlisted, %d observed, toolchain %s)\n", g.name, len(al.Entries), len(got), tc)
+	return 0
 }
 
 func readAllowlist(path string) (map[string]bool, error) {

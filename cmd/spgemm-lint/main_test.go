@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The vet smoke tests drive runVetUnit in-process with hand-built unit
+// configs, exactly as `go vet -vettool=spgemm-lint` would: a JSON .cfg names
+// the unit's files and the vetx facts output, the tool exits 0/2 for
+// clean/diagnosed units, and the vetx file must exist afterwards in every
+// case (its absence makes the go command treat the run as a tool crash).
+
+// writeVetUnit lays out a one-file package plus its .cfg in a temp dir and
+// returns the cfg path and the vetx path the unit must produce.
+func writeVetUnit(t *testing.T, src string, mutate func(*vetConfig)) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:         "unitpkg",
+		Dir:        dir,
+		ImportPath: "example.test/unitpkg",
+		GoFiles:    []string{goFile},
+		VetxOutput: vetxPath,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+// captureStderr runs f with os.Stderr redirected to a file and returns what
+// was written (runVetUnit prints diagnostics straight to stderr, per the vet
+// protocol).
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = tmp
+	defer func() {
+		os.Stderr = old
+		tmp.Close()
+	}()
+	f()
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunVetUnitReportsHotpathDefer(t *testing.T) {
+	const src = `package unitpkg
+
+//spgemm:hotpath
+func drain(xs []int32) (n int) {
+	defer cleanup()
+	for range xs {
+		n++
+	}
+	return n
+}
+
+func cleanup() {}
+`
+	cfgPath, vetxPath := writeVetUnit(t, src, nil)
+	var code int
+	out := captureStderr(t, func() { code = runVetUnit(cfgPath) })
+	if code != 2 {
+		t.Fatalf("runVetUnit = %d, want 2 (diagnostics reported); stderr:\n%s", code, out)
+	}
+	if !strings.Contains(out, "deferhot") || !strings.Contains(out, "defer in hotpath function") {
+		t.Errorf("stderr missing deferhot diagnostic:\n%s", out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestRunVetUnitCleanPackage(t *testing.T) {
+	const src = `package unitpkg
+
+//spgemm:hotpath
+func scatter(dst, idx []int32) {
+	for i, s := range idx {
+		dst[i] = s
+	}
+}
+`
+	cfgPath, vetxPath := writeVetUnit(t, src, nil)
+	var code int
+	out := captureStderr(t, func() { code = runVetUnit(cfgPath) })
+	if code != 0 {
+		t.Fatalf("runVetUnit = %d, want 0; stderr:\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("clean unit produced output:\n%s", out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestRunVetUnitVetxOnlySkipsAnalysis(t *testing.T) {
+	// Dependency units are loaded for facts only; the tool must write the
+	// vetx file and stop without even parsing the (here: broken) sources.
+	cfgPath, vetxPath := writeVetUnit(t, "package unitpkg\nfunc {", func(cfg *vetConfig) {
+		cfg.VetxOnly = true
+	})
+	var code int
+	out := captureStderr(t, func() { code = runVetUnit(cfgPath) })
+	if code != 0 {
+		t.Fatalf("runVetUnit = %d, want 0 for VetxOnly unit; stderr:\n%s", code, out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestRunVetUnitSucceedOnTypecheckFailure(t *testing.T) {
+	// With the go command's SucceedOnTypecheckFailure set (e.g. under
+	// `go vet -e=false`), unparseable units exit 0 instead of failing the
+	// build a second time.
+	cfgPath, _ := writeVetUnit(t, "package unitpkg\nfunc {", func(cfg *vetConfig) {
+		cfg.SucceedOnTypecheckFailure = true
+	})
+	var code int
+	captureStderr(t, func() { code = runVetUnit(cfgPath) })
+	if code != 0 {
+		t.Fatalf("runVetUnit = %d, want 0 with SucceedOnTypecheckFailure", code)
+	}
+}
+
+func TestRunVetUnitBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	captureStderr(t, func() { code = runVetUnit(cfgPath) })
+	if code != 1 {
+		t.Fatalf("runVetUnit = %d, want 1 for malformed config", code)
+	}
+}

@@ -98,8 +98,16 @@ func (h *HashTableG[V]) Reserve(bound int64) {
 //
 //spgemm:hotpath
 func (h *HashTableG[V]) Reset() {
+	// Deriving the mask from len(keys) lets the prove pass see
+	// s&mask < len(keys) and drop the bounds check in the loop
+	// (spgemm-lint -mode=bce budgets the residuals).
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return
+	}
 	for _, s := range h.used {
-		h.keys[s] = emptyKey
+		keys[int(s)&mask] = emptyKey
 	}
 	h.used = h.used[:0]
 }
@@ -130,20 +138,31 @@ func (h *HashTableG[V]) slot(key int32) uint32 {
 //spgemm:hotpath
 func (h *HashTableG[V]) InsertSymbolic(key int32) bool {
 	h.lookups++
-	s := h.slot(key)
+	// Probe with an int cursor masked by len(keys)-1 so every keys[s] in
+	// the loop is provably in bounds (no IsInBounds per probe step).
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return false
+	}
+	// The mask is applied at each index use (not on the loop cursor): the
+	// prove pass bounds j = s&mask directly, but loses the bound through
+	// the loop-carried phi of a pre-masked cursor.
+	s := int(uint32(key) * hashConst)
 	for {
-		k := h.keys[s]
+		j := s & mask
+		k := keys[j]
 		if k == key {
 			return false
 		}
 		if k == emptyKey {
-			h.keys[s] = key
-			h.used = append(h.used, int32(s))
+			keys[j] = key
+			h.used = append(h.used, int32(j))
 			h.maybeGrow()
 			return true
 		}
 		h.probes++
-		s = (s + 1) & h.mask
+		s++
 	}
 }
 
@@ -156,27 +175,50 @@ func (h *HashTableG[V]) InsertSymbolic(key int32) bool {
 //spgemm:hotpath
 func (h *HashTableG[V]) Upsert(key int32) (*V, bool) {
 	h.lookups++
-	s := h.slot(key)
+	// Same masked-index shape as InsertSymbolic; vals is re-sliced to
+	// len(keys) so vals[j] shares the proof (one slice check at entry
+	// replaces an IsInBounds per probe step). The grow path lives in its
+	// own method so keys/mask/vals stay loop-invariant — reassigning them
+	// in the loop makes them phis and defeats the prove pass.
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return nil, false
+	}
+	vals := h.vals[:len(keys)]
+	s := int(uint32(key) * hashConst)
 	for {
-		k := h.keys[s]
+		j := s & mask
+		k := keys[j]
 		if k == key {
-			return &h.vals[s], false
+			return &vals[j], false
 		}
 		if k == emptyKey {
-			if h.grow && (len(h.used)+1)*4 >= len(h.keys)*3 {
-				// Grow before inserting so the returned pointer aims at
-				// the post-rehash storage.
-				h.growRehash()
-				s = h.slot(key)
-				continue
+			if h.grow && (len(h.used)+1)*4 >= len(keys)*3 {
+				return h.upsertGrow(key)
 			}
-			h.keys[s] = key
-			h.used = append(h.used, int32(s))
-			return &h.vals[s], true
+			keys[j] = key
+			h.used = append(h.used, int32(j))
+			return &vals[j], true
 		}
+		h.probes++
+		s++
+	}
+}
+
+// upsertGrow is Upsert's cold path: rehash into a doubled table, then insert
+// key (known absent — the caller only gets here after probing to an empty
+// slot) so the returned pointer aims at the post-rehash storage.
+func (h *HashTableG[V]) upsertGrow(key int32) (*V, bool) {
+	h.growRehash()
+	s := h.slot(key)
+	for h.keys[s] != emptyKey {
 		h.probes++
 		s = (s + 1) & h.mask
 	}
+	h.keys[s] = key
+	h.used = append(h.used, int32(s))
+	return &h.vals[s], true
 }
 
 // Lookup returns the value stored for key and whether it is present.
@@ -234,11 +276,24 @@ func (h *HashTableG[V]) growRehash() {
 //
 //spgemm:hotpath
 func (h *HashTableG[V]) ExtractUnsorted(cols []int32, vals []V) int {
-	for i, s := range h.used {
-		cols[i] = h.keys[s]
-		vals[i] = h.vals[s]
+	used := h.used
+	n := len(used)
+	// Reslicing the destinations to n and masking the slot index trades
+	// four per-entry bounds checks for two slice checks at entry.
+	cols = cols[:n]
+	vals = vals[:n]
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return 0
 	}
-	return len(h.used)
+	tvals := h.vals[:len(keys)]
+	for i, s := range used {
+		j := int(s) & mask
+		cols[i] = keys[j]
+		vals[i] = tvals[j]
+	}
+	return n
 }
 
 // ExtractSorted writes the (key, value) pairs in increasing key order — the
@@ -257,12 +312,18 @@ func (h *HashTableG[V]) ExtractSorted(cols []int32, vals []V) int {
 //
 //spgemm:hotpath
 func (h *HashTableG[V]) ExtractKeysSorted(cols []int32) int {
-	for i, s := range h.used {
-		cols[i] = h.keys[s]
+	used := h.used
+	n := len(used)
+	cols = cols[:n]
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return 0
 	}
-	n := len(h.used)
-	c := cols[:n]
-	slices.Sort(c)
+	for i, s := range used {
+		cols[i] = keys[int(s)&mask]
+	}
+	slices.Sort(cols)
 	return n
 }
 

@@ -87,8 +87,15 @@ func (h *HashVecTableG[V]) Reserve(bound int64) {
 //
 //spgemm:hotpath
 func (h *HashVecTableG[V]) Reset() {
+	// Mask the slot index by len(keys)-1 (capacity is a power of two) so
+	// the store is provably in bounds; see the BCE notes in hash.go.
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return
+	}
 	for _, s := range h.used {
-		h.keys[s] = emptyKey
+		keys[int(s)&mask] = emptyKey
 	}
 	h.used = h.used[:0]
 }
@@ -186,11 +193,22 @@ func (h *HashVecTableG[V]) Lookup(key int32) (V, bool) {
 //
 //spgemm:hotpath
 func (h *HashVecTableG[V]) ExtractUnsorted(cols []int32, vals []V) int {
-	for i, s := range h.used {
-		cols[i] = h.keys[s]
-		vals[i] = h.vals[s]
+	used := h.used
+	n := len(used)
+	cols = cols[:n]
+	vals = vals[:n]
+	keys := h.keys
+	mask := len(keys) - 1
+	if mask < 0 {
+		return 0
 	}
-	return len(h.used)
+	tvals := h.vals[:len(keys)]
+	for i, s := range used {
+		j := int(s) & mask
+		cols[i] = keys[j]
+		vals[i] = tvals[j]
+	}
+	return n
 }
 
 // ExtractSorted writes entries in increasing key order; returns the count.

@@ -107,11 +107,18 @@ func (s *SPAG[V]) Lookup(col int32) (V, bool) {
 //
 //spgemm:hotpath
 func (s *SPAG[V]) ExtractUnsorted(cols []int32, vals []V) int {
-	for i, c := range s.idx {
+	idx := s.idx
+	n := len(idx)
+	// Reslicing the destinations to n drops the per-entry bounds checks on
+	// cols/vals; s.vals[c] stays checked (c is a caller-supplied column id
+	// with no compile-time bound) and is budgeted by the BCE gate.
+	cols = cols[:n]
+	vals = vals[:n]
+	for i, c := range idx {
 		cols[i] = c
 		vals[i] = s.vals[c]
 	}
-	return len(s.idx)
+	return n
 }
 
 // ExtractSorted writes the pairs in increasing column order.
@@ -119,10 +126,11 @@ func (s *SPAG[V]) ExtractUnsorted(cols []int32, vals []V) int {
 //spgemm:hotpath
 func (s *SPAG[V]) ExtractSorted(cols []int32, vals []V) int {
 	n := len(s.idx)
+	cols = cols[:n]
+	vals = vals[:n]
 	copy(cols, s.idx)
-	c := cols[:n]
-	slices.Sort(c)
-	for i, col := range c {
+	slices.Sort(cols)
+	for i, col := range cols {
 		vals[i] = s.vals[col]
 	}
 	return n
@@ -134,11 +142,15 @@ func (s *SPAG[V]) ExtractSorted(cols []int32, vals []V) int {
 //
 //spgemm:hotpath
 func (s *SPAG[V]) ExtractUnsortedBias(cols []int32, vals []V, bias int32) int {
-	for i, c := range s.idx {
+	idx := s.idx
+	n := len(idx)
+	cols = cols[:n]
+	vals = vals[:n]
+	for i, c := range idx {
 		cols[i] = c + bias
 		vals[i] = s.vals[c]
 	}
-	return len(s.idx)
+	return n
 }
 
 // ExtractSortedBias is ExtractSorted with bias added to every emitted column
@@ -149,10 +161,11 @@ func (s *SPAG[V]) ExtractUnsortedBias(cols []int32, vals []V, bias int32) int {
 //spgemm:hotpath
 func (s *SPAG[V]) ExtractSortedBias(cols []int32, vals []V, bias int32) int {
 	n := len(s.idx)
+	cols = cols[:n]
+	vals = vals[:n]
 	copy(cols, s.idx)
-	c := cols[:n]
-	slices.Sort(c)
-	for i, col := range c {
+	slices.Sort(cols)
+	for i, col := range cols {
 		vals[i] = s.vals[col]
 		cols[i] = col + bias
 	}

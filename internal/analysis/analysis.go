@@ -8,10 +8,12 @@
 // loader (loader.go) and an analysistest-style want-comment harness
 // (analysistest/) — on the standard library's go/ast, go/parser and go/types.
 //
-// The five analyzers under passes/ encode the repository's performance
-// contracts (see DESIGN.md "Static analysis"): hotalloc, spanpair, poolpair,
-// parcapture and statsnil. cmd/spgemm-lint drives them standalone or as a
-// `go vet -vettool`.
+// The seven analyzers under passes/ encode the repository's performance and
+// concurrency contracts (see DESIGN.md "Static analysis"): hotalloc,
+// deferhot, spanpair, poolpair, chanown, parcapture and statsnil.
+// cmd/spgemm-lint drives them standalone or as a `go vet -vettool`, and its
+// escapes/inline/bce modes add the compiler-feedback budget gates
+// (internal/analysis/compilerfb).
 package analysis
 
 import (

@@ -1,0 +1,262 @@
+package compilerfb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func readCorpus(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read corpus: %v", err)
+	}
+	return string(data)
+}
+
+func scanFixture(t *testing.T) *HotIndex {
+	t.Helper()
+	ix, err := ScanHotFuncs("testdata", []string{"hotpkg"})
+	if err != nil {
+		t.Fatalf("ScanHotFuncs: %v", err)
+	}
+	return ix
+}
+
+func TestScanHotFuncs(t *testing.T) {
+	ix := scanFixture(t)
+	fns := ix.Funcs()
+	if len(fns) != 2 {
+		t.Fatalf("want 2 hotpath functions, got %v", fns)
+	}
+	if fns[0].Name != "table.Upsert" || fns[0].File != "hotpkg/hot.go" {
+		t.Errorf("first func = %+v, want table.Upsert in hotpkg/hot.go", fns[0])
+	}
+	if fns[1].Name != "scatter" {
+		t.Errorf("second func = %+v, want scatter", fns[1])
+	}
+	// Line extents drive Enclosing: a line inside Upsert's body attributes
+	// to it, setup's body attributes to nothing.
+	if hf, ok := ix.Enclosing("hotpkg/hot.go", fns[0].StartLine+1); !ok || hf.Name != "table.Upsert" {
+		t.Errorf("Enclosing(body of Upsert) = %v, %v", hf, ok)
+	}
+	if _, ok := ix.Enclosing("hotpkg/hot.go", 38); ok {
+		t.Error("Enclosing(setup body) matched a hotpath function")
+	}
+	if _, ok := ix.Enclosing("other.go", fns[0].StartLine); ok {
+		t.Error("Enclosing matched in a file with no hotpath functions")
+	}
+}
+
+func TestMatchHot(t *testing.T) {
+	ix := scanFixture(t)
+	for _, raw := range []string{
+		"(*table).Upsert",
+		"(*table[go.shape.int32]).Upsert",
+		"hotpkg.(*table[go.shape.int32]).Upsert",
+		"scatter",
+		"scatter[go.shape.int32]",
+		"hotpkg.scatter",
+	} {
+		if _, ok := ix.MatchHot("hotpkg/hot.go", raw); !ok {
+			t.Errorf("MatchHot(%q) = false, want true", raw)
+		}
+	}
+	for _, raw := range []string{"setup", "hotpkg.setup", "Upsert.table"} {
+		if _, ok := ix.MatchHot("hotpkg/hot.go", raw); ok {
+			t.Errorf("MatchHot(%q) = true, want false", raw)
+		}
+	}
+}
+
+func TestCanonicalFuncName(t *testing.T) {
+	cases := []struct{ raw, want string }{
+		{"sortPairs[go.shape.float64]", "sortPairs"},
+		{"(*HashTableG[go.shape.float64]).Upsert", "HashTableG.Upsert"},
+		{"accum.(*SPAG[go.shape.float64]).Upsert", "SPAG.Upsert"},
+		{"(*repro/internal/accum.HashTableG[go.shape.float64]).Reset", "HashTableG.Reset"},
+		{"semiring.PlusTimesF64.Mul", "semiring.PlusTimesF64.Mul"},
+		{"plain", "plain"},
+		{"repro/internal/spgemm.hashRowNumericF64", "spgemm.hashRowNumericF64"},
+	}
+	for _, c := range cases {
+		if got := CanonicalFuncName(c.raw); got != c.want {
+			t.Errorf("CanonicalFuncName(%q) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestStripQualifiers(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"accum.HashTableG", "HashTableG"},
+		{"go.shape.float64", "float64"},
+		{"semiring.PlusTimesF64.Mul", "PlusTimesF64.Mul"},
+		{"make([]float64, nnz) escapes to heap", "make([]float64, nnz) escapes to heap"},
+		{"&CSRG[float64]{...} escapes to heap", "&CSRG[float64]{...} escapes to heap"},
+		{"accum.(*HashTableG).Upsert", "(*HashTableG).Upsert"},
+	}
+	for _, c := range cases {
+		if got := StripQualifiers(c.in); got != c.want {
+			t.Errorf("StripQualifiers(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseInlineOutputGolden(t *testing.T) {
+	lines := ParseInlineOutput(readCorpus(t, "inline_m2.txt"))
+	// The corpus holds 13 lines; the parser must keep exactly the decision
+	// lines with a file position and a well-formed message.
+	want := []InlineLine{
+		{File: "hotpkg/hot.go", Line: 15, Col: 6, Kind: CannotInline, Func: "(*table[go.shape.int32]).Upsert", Detail: "function too complex: cost 178 exceeds budget 80"},
+		{File: "hotpkg/hot.go", Line: 29, Col: 6, Kind: CannotInline, Func: "hotpkg.scatter[go.shape.int32]", Detail: "unhandled op: RANGE"},
+		{File: "hotpkg/hot.go", Line: 37, Col: 6, Kind: CannotInline, Func: "setup", Detail: "function too complex: cost 90 exceeds budget 80"},
+		{File: "hotpkg/hot.go", Line: 18, Col: 10, Kind: CanInline, Func: "(*table).get", Detail: "4"},
+		{File: "hotpkg/hot.go", Line: 19, Col: 20, Kind: InliningCall, Func: "semiring.PlusTimesF64.Mul"},
+		{File: "hotpkg/hot.go", Line: 20, Col: 21, Kind: InliningCall, Func: "PlusTimesF64.Add"},
+		{File: "hotpkg/hot.go", Line: 19, Col: 20, Kind: Devirtualized, Func: "r.Mul", Detail: "PlusTimesF64"},
+		{File: "fakering/ring.go", Line: 10, Col: 6, Kind: CannotInline, Func: "MaxTimesF64.Add", Detail: "function too complex: cost 90 exceeds budget 80"},
+		{File: "fakering/ring.go", Line: 11, Col: 6, Kind: CannotInline, Func: "fakering.helper", Detail: "function too complex: cost 99 exceeds budget 80"},
+		{File: "/usr/local/go/src/slices/sort.go", Line: 16, Col: 6, Kind: CannotInline, Func: "slices.Sort[[]int32,int32]", Detail: "function too complex: cost 81 exceeds budget 80"},
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("ParseInlineOutput mismatch:\n got %+v\nwant %+v", lines, want)
+	}
+}
+
+func TestBuildInlineReport(t *testing.T) {
+	ix := scanFixture(t)
+	lines := ParseInlineOutput(readCorpus(t, "inline_m2.txt"))
+	required := []RequiredInline{
+		{File: "hotpkg/hot.go", Callee: "PlusTimesF64.Mul"}, // witnessed, package-qualified in corpus
+		{File: "hotpkg/hot.go", Callee: "PlusTimesF64.Add"}, // witnessed, unqualified in corpus
+	}
+	rep := BuildInlineReport(lines, ix, "fakering", required)
+	wantViolations := map[string]bool{
+		// Hotpath functions, canonicalized and with the reason truncated at
+		// its first clause; the un-annotated setup and the stdlib line are
+		// absent.
+		"hotpkg/hot.go: cannot inline table.Upsert: function too complex": true,
+		"hotpkg/hot.go: cannot inline scatter: unhandled op":              true,
+		// The ring method in the semiring dir; fakering.helper is not a
+		// ring method and must not appear.
+		"fakering/ring.go: cannot inline MaxTimesF64.Add: function too complex": true,
+	}
+	if !reflect.DeepEqual(rep.Violations, wantViolations) {
+		t.Errorf("Violations:\n got %v\nwant %v", rep.Violations, wantViolations)
+	}
+	if len(rep.MissingRequired) != 0 {
+		t.Errorf("MissingRequired = %v, want none", rep.MissingRequired)
+	}
+	if len(rep.RingFailures) != 1 || !strings.Contains(rep.RingFailures[0], "MaxTimesF64.Add") {
+		t.Errorf("RingFailures = %v, want the MaxTimesF64.Add entry", rep.RingFailures)
+	}
+}
+
+func TestBuildInlineReportMissingRequired(t *testing.T) {
+	// Negative scenario: the corpus has no inlining-call witness for Zero,
+	// and none at all in a different file — both must surface as fatal.
+	ix := scanFixture(t)
+	lines := ParseInlineOutput(readCorpus(t, "inline_m2.txt"))
+	required := []RequiredInline{
+		{File: "hotpkg/hot.go", Callee: "PlusTimesF64.Zero"},
+		{File: "hotpkg/other.go", Callee: "PlusTimesF64.Mul"},
+	}
+	rep := BuildInlineReport(lines, ix, "fakering", required)
+	if len(rep.MissingRequired) != 2 {
+		t.Fatalf("MissingRequired = %v, want 2 entries", rep.MissingRequired)
+	}
+	if !strings.Contains(rep.MissingRequired[0], "PlusTimesF64.Zero") {
+		t.Errorf("first missing entry = %q, want mention of PlusTimesF64.Zero", rep.MissingRequired[0])
+	}
+}
+
+func TestParseBCEOutputGolden(t *testing.T) {
+	lines := ParseBCEOutput(readCorpus(t, "check_bce.txt"))
+	want := []BCELine{
+		{File: "hotpkg/hot.go", Line: 18, Col: 10, Kind: "IsInBounds"}, // duplicate position collapsed
+		{File: "hotpkg/hot.go", Line: 22, Col: 13, Kind: "IsInBounds"},
+		{File: "hotpkg/hot.go", Line: 31, Col: 7, Kind: "IsInBounds"},
+		{File: "hotpkg/hot.go", Line: 30, Col: 12, Kind: "IsSliceInBounds"},
+		{File: "hotpkg/hot.go", Line: 38, Col: 9, Kind: "IsInBounds"},
+		{File: "/usr/local/go/src/slices/zsortordered.go", Line: 12, Col: 6, Kind: "IsInBounds"},
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("ParseBCEOutput mismatch:\n got %+v\nwant %+v", lines, want)
+	}
+}
+
+func TestBuildBCEReport(t *testing.T) {
+	ix := scanFixture(t)
+	entries := BuildBCEReport(ParseBCEOutput(readCorpus(t, "check_bce.txt")), ix)
+	want := map[string]bool{
+		// Two distinct positions in Upsert fold to x2; the duplicated
+		// position counts once. scatter gets one entry per check kind.
+		// setup's line 38 and the stdlib file are not budgeted.
+		"hotpkg/hot.go: table.Upsert: IsInBounds x2": true,
+		"hotpkg/hot.go: scatter: IsInBounds x1":      true,
+		"hotpkg/hot.go: scatter: IsSliceInBounds x1": true,
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Errorf("BuildBCEReport:\n got %v\nwant %v", entries, want)
+	}
+	sum := FormatBCESummary(ParseBCEOutput(readCorpus(t, "check_bce.txt")), ix)
+	if !strings.Contains(sum, "table.Upsert: IsInBounds x2") {
+		t.Errorf("FormatBCESummary = %q, want Upsert line", sum)
+	}
+}
+
+func TestAllowlistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.txt")
+	entries := map[string]bool{
+		"b.go: cannot inline B: recursive":            true,
+		"a.go: cannot inline A: function too complex": true,
+	}
+	if err := WriteAllowlist(path, []string{"Header line."}, "go1.24", entries); err != nil {
+		t.Fatalf("WriteAllowlist: %v", err)
+	}
+	al, err := ReadAllowlist(path)
+	if err != nil {
+		t.Fatalf("ReadAllowlist: %v", err)
+	}
+	if al.Toolchain != "go1.24" {
+		t.Errorf("Toolchain = %q, want go1.24", al.Toolchain)
+	}
+	if !reflect.DeepEqual(al.Entries, entries) {
+		t.Errorf("Entries = %v, want %v", al.Entries, entries)
+	}
+	// Entries are written sorted so the file diffs cleanly.
+	data, _ := os.ReadFile(path)
+	aIdx := strings.Index(string(data), "a.go:")
+	bIdx := strings.Index(string(data), "b.go:")
+	if aIdx < 0 || bIdx < 0 || aIdx > bIdx {
+		t.Errorf("allowlist not sorted:\n%s", data)
+	}
+
+	got := map[string]bool{
+		"a.go: cannot inline A: function too complex": true,
+		"c.go: cannot inline C: function too complex": true,
+	}
+	added, removed := Diff(got, al.Entries)
+	if !reflect.DeepEqual(added, []string{"c.go: cannot inline C: function too complex"}) {
+		t.Errorf("added = %v", added)
+	}
+	if !reflect.DeepEqual(removed, []string{"b.go: cannot inline B: recursive"}) {
+		t.Errorf("removed = %v", removed)
+	}
+
+	if err := CheckToolchain(al, "go1.24", path, "regen"); err != nil {
+		t.Errorf("CheckToolchain same version: %v", err)
+	}
+	if err := CheckToolchain(al, "go1.31", path, "go run ./cmd/spgemm-lint -mode=inline -update"); err == nil {
+		t.Error("CheckToolchain accepted a toolchain mismatch")
+	} else if !strings.Contains(err.Error(), "go1.31") || !strings.Contains(err.Error(), "-update") {
+		t.Errorf("CheckToolchain error %q lacks version or regen hint", err)
+	}
+	// An unpinned list (legacy) passes any toolchain.
+	if err := CheckToolchain(&Allowlist{Entries: map[string]bool{}}, "go1.31", path, "regen"); err != nil {
+		t.Errorf("CheckToolchain unpinned: %v", err)
+	}
+}

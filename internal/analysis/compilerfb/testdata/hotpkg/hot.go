@@ -1,0 +1,39 @@
+// Package hotpkg is the fixture corpus for the compiler-feedback gate
+// tests: ScanHotFuncs indexes the annotated functions below, and the pinned
+// diagnostics in ../inline_m2.txt and ../check_bce.txt reference these line
+// numbers — keep them stable (append only).
+package hotpkg
+
+type table struct {
+	keys []int32
+	mask int
+}
+
+// Upsert is a hotpath method fixture (lines 15-24).
+//
+//spgemm:hotpath
+func (t *table) Upsert(key int32) int32 {
+	s := int(key) & t.mask
+	for {
+		k := t.keys[s]
+		if k == key || k == -1 {
+			return k
+		}
+		s = (s + 1) & t.mask
+	}
+}
+
+// scatter is a hotpath plain-function fixture (lines 29-33).
+//
+//spgemm:hotpath
+func scatter(dst []int32, idx []int32) {
+	for i, s := range idx {
+		dst[i] = s
+	}
+}
+
+// setup is intentionally un-annotated: diagnostics attributed to it must not
+// be budgeted (lines 37-39).
+func setup(n int) []int32 {
+	return make([]int32, n)
+}

@@ -1,0 +1,562 @@
+// Package chanown checks the server ContextPool's channel
+// ownership-transfer contract. An spgemm.Context is not safe for concurrent
+// use; the pool keeps it safe by construction — a Context lives either in
+// the pool's channel or in exactly one holder — and that construction only
+// holds if every checkout is returned. For each
+//
+//	c, err := pool.Acquire(ctx)
+//	c, queued, err := pool.AcquireTraced(ctx)
+//
+// the analyzer requires pool.Release(c) (deferred or explicit) on every
+// control-flow path where the checkout succeeded. Two outs are recognized:
+//
+//   - error paths: inside `if err != nil { ... }` the checkout failed and
+//     nothing is held, so early returns there are clean;
+//   - explicit ownership transfer: a Context that is returned, stored,
+//     sent on a channel, or passed to a function other than Release has a
+//     new owner, and the analyzer goes silent (the transfer is the pattern
+//     — the pool's channel send IS the happens-before edge; what the pass
+//     forbids is the silent drop, where a *Context leaks out of the pool's
+//     accounting forever and the pool shrinks by one).
+//
+// Like poolpair, the walk is path-sensitive: branch arms run on copies of
+// the live set and join by union, so a Release on one arm does not excuse
+// the other.
+package chanown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the chanown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanown",
+	Doc:  "ContextPool checkouts must be Released or explicitly transferred on every path",
+	Hint: "put `defer pool.Release(c)` right after the err check, or hand the Context to a new owner explicitly (return/store/send it)",
+	Run:  run,
+}
+
+// poolType is the named type whose Acquire/AcquireTraced/Release methods
+// form the checkout contract.
+const poolType = "ContextPool"
+
+// acquireMethods maps acquire method names to their result arity (the
+// checked-out Context is always result 0, the error always last).
+var acquireMethods = map[string]int{
+	"Acquire":       2, // (*spgemm.Context, error)
+	"AcquireTraced": 3, // (*spgemm.Context, bool, error)
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// resource is one tracked Context checkout.
+type resource struct {
+	obj     types.Object // the Context variable
+	errObj  types.Object // the paired error variable (may be nil)
+	name    string
+	kind    string // printed acquire expression, for messages
+	pool    string // pool expression, for the hint in messages
+	escaped bool
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	resources map[types.Object]*resource
+	errOf     map[types.Object]*resource // error object → its checkout
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:      pass,
+		resources: make(map[types.Object]*resource),
+		errOf:     make(map[types.Object]*resource),
+	}
+	c.collect(fd.Body)
+	if len(c.resources) == 0 {
+		return
+	}
+	c.markEscapes(fd.Body)
+	live := make(map[types.Object]bool)
+	if c.walkStmts(fd.Body.List, live) {
+		c.reportLive(fd.Body.Rbrace, live)
+	}
+}
+
+// acquireCall returns the acquire call's method name if the call is
+// pool.Acquire/pool.AcquireTraced on a ContextPool-typed receiver. When type
+// information cannot resolve the receiver the call is NOT treated as a
+// checkout — mempool.Acquire and friends share the bare name, and a false
+// positive here would fire on every hot-path checkout poolpair already
+// owns.
+func (c *checker) acquireCall(call *ast.CallExpr) (string, bool) {
+	name := analysis.CalleeName(call)
+	if _, ok := acquireMethods[name]; !ok {
+		return "", false
+	}
+	if analysis.ReceiverTypeName(c.pass.TypesInfo, call) != poolType {
+		return "", false
+	}
+	return name, true
+}
+
+// releaseCall reports whether the call is pool.Release(x) on a ContextPool.
+func (c *checker) releaseCall(call *ast.CallExpr) bool {
+	if analysis.CalleeName(call) != "Release" || len(call.Args) != 1 {
+		return false
+	}
+	return analysis.ReceiverTypeName(c.pass.TypesInfo, call) == poolType
+}
+
+// poolExpr renders the receiver of an acquire call for messages ("s.pool").
+func poolExpr(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return analysis.ExprString(sel.X)
+	}
+	return "pool"
+}
+
+// collect finds `c, [queued,] err := pool.Acquire*(ctx)` checkouts and
+// flags checkouts whose Context result is discarded.
+func (c *checker) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Tuple form only: one call on the RHS, 2 or 3 results.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := c.acquireCall(call)
+			if !ok || len(n.Lhs) != acquireMethods[name] {
+				return true
+			}
+			ctxID, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if ctxID.Name == "_" {
+				c.pass.Reportf(call.Pos(),
+					"%s result discarded: the checked-out Context can never be returned to the pool",
+					analysis.ExprString(call.Fun))
+				return true
+			}
+			obj := c.objectOf(ctxID)
+			if obj == nil {
+				return true
+			}
+			res := &resource{
+				obj:  obj,
+				name: ctxID.Name,
+				kind: analysis.ExprString(call.Fun),
+				pool: poolExpr(call),
+			}
+			if errID, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && errID.Name != "_" {
+				if errObj := c.objectOf(errID); errObj != nil {
+					res.errObj = errObj
+					c.errOf[errObj] = res
+				}
+			}
+			c.resources[obj] = res
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if _, isAcq := c.acquireCall(call); isAcq {
+					c.pass.Reportf(call.Pos(),
+						"%s result discarded: the checked-out Context can never be returned to the pool",
+						analysis.ExprString(call.Fun))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// objectOf resolves an identifier to its object (definition or use).
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	info := c.pass.TypesInfo
+	if info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// markEscapes marks Contexts whose variable leaves the function's hands —
+// returned, stored, sent, or passed to a call other than Release — as
+// ownership transfers. Transfer is legal and silent; the analyzer only
+// polices paths that drop the Context on the floor.
+func (c *checker) markEscapes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				c.escapeIdentsIn(r)
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if _, ok := r.(*ast.CallExpr); ok {
+					continue
+				}
+				c.escapeIdentsIn(r)
+			}
+		case *ast.CallExpr:
+			isRelease := c.releaseCall(n)
+			for _, arg := range n.Args {
+				res := c.resourceFor(arg)
+				if res == nil {
+					c.escapeIdentsIn(arg)
+					continue
+				}
+				if !isRelease {
+					res.escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				c.escapeIdentsIn(e)
+			}
+		case *ast.SendStmt:
+			c.escapeIdentsIn(n.Value)
+		}
+		return true
+	})
+}
+
+// resourceFor returns the tracked checkout named directly by e, if any.
+func (c *checker) resourceFor(e ast.Expr) *resource {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.objectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return c.resources[obj]
+}
+
+// escapeIdentsIn marks tracked Contexts used as values inside e as escaped.
+// Method calls and field selections on the Context use it in place and are
+// not transfers.
+func (c *checker) escapeIdentsIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if res := c.resourceFor(e); res != nil {
+			res.escaped = true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := e.X.(*ast.Ident); !ok {
+			c.escapeIdentsIn(e.X)
+		}
+	case *ast.ParenExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.StarExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.UnaryExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.BinaryExpr:
+		c.escapeIdentsIn(e.X)
+		c.escapeIdentsIn(e.Y)
+	case *ast.IndexExpr:
+		c.escapeIdentsIn(e.X)
+		c.escapeIdentsIn(e.Index)
+	case *ast.SliceExpr:
+		c.escapeIdentsIn(e.X)
+	case *ast.KeyValueExpr:
+		c.escapeIdentsIn(e.Value)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			c.escapeIdentsIn(a)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.escapeIdentsIn(el)
+		}
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if res := c.resourceFor(id); res != nil {
+					res.escaped = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// releaseTarget returns the checkout a call releases, or nil.
+func (c *checker) releaseTarget(call *ast.CallExpr) *resource {
+	if !c.releaseCall(call) {
+		return nil
+	}
+	return c.resourceFor(call.Args[0])
+}
+
+// errGuard inspects an if condition for `err != nil` / `err == nil` over a
+// tracked checkout's error. It returns the checkout and whether the
+// NIL-error (checkout succeeded) case is the THEN branch.
+func (c *checker) errGuard(cond ast.Expr) (*resource, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	errSide := be.X
+	other := be.Y
+	if isNilIdent(other) {
+		// err OP nil
+	} else if isNilIdent(errSide) {
+		errSide, other = other, errSide
+	} else {
+		return nil, false
+	}
+	_ = other
+	id, ok := errSide.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := c.objectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	res := c.errOf[obj]
+	if res == nil {
+		return nil, false
+	}
+	// err == nil: THEN is the success branch. err != nil: ELSE is.
+	return res, be.Op == token.EQL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// walkStmts walks a statement list updating the live set; it reports whether
+// control can fall past the end of the list.
+func (c *checker) walkStmts(stmts []ast.Stmt, live map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !c.walkStmt(s, live) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyLive(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// join unions branch results into dst: a Context live on any surviving
+// branch stays live.
+func join(dst map[types.Object]bool, branches ...map[types.Object]bool) {
+	for _, b := range branches {
+		for k, v := range b {
+			if v {
+				dst[k] = true
+			}
+		}
+	}
+}
+
+// walkStmt processes one statement; it returns false when control cannot
+// continue past it on the current path.
+func (c *checker) walkStmt(s ast.Stmt, live map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.scanCalls(s, live)
+		if len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if _, isAcq := c.acquireCall(call); isAcq && len(s.Lhs) >= 1 {
+					if id, ok := s.Lhs[0].(*ast.Ident); ok {
+						if obj := c.objectOf(id); obj != nil {
+							if res := c.resources[obj]; res != nil && !res.escaped {
+								live[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	case *ast.DeferStmt:
+		c.deferRelease(s.Call, live)
+		return true
+	case *ast.ReturnStmt:
+		c.reportLive(s.Pos(), live)
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, live)
+		}
+		thenLive := copyLive(live)
+		elseLive := copyLive(live)
+		if res, successIsThen := c.errGuard(s.Cond); res != nil {
+			// On the failed-checkout branch nothing is held.
+			if successIsThen {
+				elseLive[res.obj] = false
+			} else {
+				thenLive[res.obj] = false
+			}
+		}
+		thenFalls := c.walkStmts(s.Body.List, thenLive)
+		elseFalls := true
+		if s.Else != nil {
+			elseFalls = c.walkStmt(s.Else, elseLive)
+		}
+		for k := range live {
+			delete(live, k)
+		}
+		if thenFalls {
+			join(live, thenLive)
+		}
+		if elseFalls {
+			join(live, elseLive)
+		}
+		return thenFalls || elseFalls
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, live)
+	case *ast.ForStmt:
+		bodyLive := copyLive(live)
+		c.walkStmts(s.Body.List, bodyLive)
+		join(live, bodyLive)
+		return true
+	case *ast.RangeStmt:
+		bodyLive := copyLive(live)
+		c.walkStmts(s.Body.List, bodyLive)
+		join(live, bodyLive)
+		return true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		hasDefault := false
+		anyFalls := false
+		var surviving []map[types.Object]bool
+		for _, cc := range body.List {
+			var stmts []ast.Stmt
+			switch cl := cc.(type) {
+			case *ast.CaseClause:
+				stmts = cl.Body
+				if cl.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				stmts = cl.Body
+				if cl.Comm == nil {
+					hasDefault = true
+				}
+			}
+			caseLive := copyLive(live)
+			if c.walkStmts(stmts, caseLive) {
+				anyFalls = true
+				surviving = append(surviving, caseLive)
+			}
+		}
+		if hasDefault {
+			for k := range live {
+				delete(live, k)
+			}
+			join(live, surviving...)
+			return anyFalls
+		}
+		join(live, surviving...)
+		return true
+	case *ast.BranchStmt:
+		return false
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, live)
+	default:
+		if s != nil {
+			c.scanCalls(s, live)
+		}
+		return true
+	}
+}
+
+// scanCalls clears liveness for any Release calls nested in the statement.
+func (c *checker) scanCalls(s ast.Stmt, live map[types.Object]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if res := c.releaseTarget(call); res != nil {
+				live[res.obj] = false
+			}
+		}
+		return true
+	})
+}
+
+// deferRelease handles `defer pool.Release(c)` and defers of closures whose
+// bodies contain the Release; deferred releases cover every exit path
+// including panics.
+func (c *checker) deferRelease(call *ast.CallExpr, live map[types.Object]bool) {
+	if res := c.releaseTarget(call); res != nil {
+		live[res.obj] = false
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if res := c.releaseTarget(inner); res != nil {
+					live[res.obj] = false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportLive reports every still-held checkout at an exit point.
+func (c *checker) reportLive(pos token.Pos, live map[types.Object]bool) {
+	var out []*resource
+	for obj, isLive := range live {
+		if !isLive {
+			continue
+		}
+		if res := c.resources[obj]; res != nil && !res.escaped {
+			out = append(out, res)
+		}
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].name < out[i].name {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	for _, res := range out {
+		c.pass.Reportf(pos,
+			"Context %s checked out by %s is not released on this path (missing %s.Release(%s) or an explicit ownership transfer)",
+			res.name, res.kind, res.pool, res.name)
+	}
+}

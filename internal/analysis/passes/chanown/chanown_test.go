@@ -1,0 +1,12 @@
+package chanown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/chanown"
+)
+
+func TestChanown(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", chanown.Analyzer)
+}

@@ -1,0 +1,138 @@
+package a
+
+import "errors"
+
+type Context struct{ n int }
+
+type ContextPool struct{ ch chan *Context }
+
+func (p *ContextPool) Acquire(ctx any) (*Context, error)             { return <-p.ch, nil }
+func (p *ContextPool) AcquireTraced(ctx any) (*Context, bool, error) { return <-p.ch, false, nil }
+func (p *ContextPool) Release(c *Context)                            { p.ch <- c }
+func (p *ContextPool) Exec(c *Context, f func(*Context)) error       { f(c); return nil }
+
+var errBusy = errors.New("busy")
+
+// goodDefer is the canonical handler shape: err guard, then defer Release.
+func goodDefer(p *ContextPool, rctx any) error {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return err
+	}
+	defer p.Release(c)
+	c.n++
+	return nil
+}
+
+// goodTraced is the server's actual shape: AcquireTraced with a queued flag.
+func goodTraced(p *ContextPool, rctx any) error {
+	c, queued, err := p.AcquireTraced(rctx)
+	if err != nil {
+		return err
+	}
+	_ = queued
+	defer p.Release(c)
+	return nil
+}
+
+// leakReturn drops the Context on an early return after the err guard.
+func leakReturn(p *ContextPool, rctx any, fail bool) error {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBusy // want `Context c checked out by p.Acquire is not released on this path`
+	}
+	p.Release(c)
+	return nil
+}
+
+// leakBranch releases on one switch arm only.
+func leakBranch(p *ContextPool, rctx any, mode int) {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return
+	}
+	switch mode {
+	case 0:
+		p.Release(c)
+	default:
+		c.n++
+	}
+} // want `Context c checked out by p.Acquire is not released on this path`
+
+// leakFallOff never releases at all.
+func leakFallOff(p *ContextPool, rctx any) {
+	c, _, _ := p.AcquireTraced(rctx)
+	c.n++
+} // want `Context c checked out by p.AcquireTraced is not released on this path`
+
+// discard throws the checkout away, unreleasable by construction.
+func discard(p *ContextPool, rctx any) {
+	_, err := p.Acquire(rctx) // want `p.Acquire result discarded`
+	_ = err
+	p.Acquire(rctx) // want `p.Acquire result discarded`
+}
+
+// transferReturn hands ownership to the caller: silent.
+func transferReturn(p *ContextPool, rctx any) (*Context, error) {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// transferSend hands ownership through a channel (the pool's own pattern):
+// silent.
+func transferSend(p *ContextPool, rctx any, out chan *Context) {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return
+	}
+	out <- c
+}
+
+// transferCall passes the Context to another owner: silent.
+func transferCall(p *ContextPool, rctx any) {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return
+	}
+	_ = p.Exec(c, func(c *Context) { c.n++ })
+}
+
+// errGuardEqNil: success work inside `err == nil`, failure branch holds
+// nothing.
+func errGuardEqNil(p *ContextPool, rctx any) {
+	c, err := p.Acquire(rctx)
+	if err == nil {
+		c.n++
+		p.Release(c)
+	}
+}
+
+// deferClosure releases inside a deferred closure.
+func deferClosure(p *ContextPool, rctx any) {
+	c, err := p.Acquire(rctx)
+	if err != nil {
+		return
+	}
+	defer func() {
+		c.n--
+		p.Release(c)
+	}()
+	c.n++
+}
+
+// otherAcquire is a different Acquire (not on a ContextPool) and must not be
+// tracked.
+type filePool struct{}
+
+func (filePool) Acquire() (*Context, error) { return nil, nil }
+
+func otherAcquire(f filePool) {
+	c, err := f.Acquire()
+	_, _ = c, err
+}

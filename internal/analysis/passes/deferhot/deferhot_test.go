@@ -1,0 +1,12 @@
+package deferhot_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/deferhot"
+)
+
+func TestDeferhot(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", deferhot.Analyzer)
+}

@@ -1,0 +1,69 @@
+package a
+
+import "sort"
+
+// adder is a stand-in for Ring[V]: a single-method interface hot code must
+// never box values into.
+type adder interface {
+	Add(a, b float64) float64
+}
+
+type plusF64 struct{}
+
+func (plusF64) Add(a, b float64) float64 { return a + b }
+
+type table struct {
+	keys []int32
+	mu   interface{ Unlock() }
+}
+
+// kernelRow is a hotpath body exercising every forbidden construct.
+//
+//spgemm:hotpath
+func kernelRow(t *table, keys []int32) int {
+	defer t.mu.Unlock() // want `defer in hotpath function`
+	if r := recover(); r != nil { // want `recover in hotpath function`
+		return -1
+	}
+	var r plusF64
+	a := adder(r) // want `conversion to interface type adder in hotpath function`
+	_ = a
+	box(r) // want `argument boxes plusF64 into interface adder in hotpath function`
+	sort.Ints(nil)
+	n := 0
+	for _, k := range keys {
+		n += int(k)
+	}
+	return n
+}
+
+func box(a adder) { _ = a }
+
+// setup is un-annotated: the same constructs are fine here (this is where
+// the per-worker ring assertion and deferred cleanup belong).
+func setup(t *table, r plusF64) adder {
+	defer t.mu.Unlock()
+	return adder(r)
+}
+
+// emptyIface checks the variadic/any sink path.
+//
+//spgemm:hotpath
+func emptyIface(x int) {
+	sink(x)      // want `argument boxes int into interface any in hotpath function`
+	sink(nil)    // untyped nil is not a boxing conversion
+	sinks(1, 2)  // want `argument boxes int into interface any in hotpath function` `argument boxes int into interface any in hotpath function`
+	var as []any //
+	sinks(as...) // forwarding an existing []any does not box per element
+}
+
+func sink(v any)     { _ = v }
+func sinks(v ...any) { _ = v }
+
+// assertOK: assertions *from* interfaces read, not box.
+//
+//spgemm:hotpath
+func assertOK(a adder) plusF64 {
+	p, _ := a.(plusF64)
+	return p
+}

@@ -13,8 +13,13 @@
 //     (x = append(x, ...) is permitted: the Reserve/high-water-mark
 //     discipline amortizes self-appends to zero at steady state)
 //   - closure literals (captured variables escape to the heap)
-//   - go and defer statements
+//   - go statements
 //   - string concatenation and string<->[]byte/[]rune conversions
+//
+// defer, recover, and interface-value conversions are the deferhot
+// analyzer's territory: they tax the hot path through call overhead and
+// devirtualization loss rather than (only) allocation, so the two passes
+// split the directive's contract along that line.
 //
 // Functions that legitimately allocate (growth slow paths, constructors)
 // simply must not carry the annotation; there is deliberately no line-level
@@ -97,8 +102,6 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			return false // the closure's own body is not hot-path code
 		case *ast.GoStmt:
 			pass.Reportf(n.Pos(), "go statement in hotpath function (allocates a goroutine per call)")
-		case *ast.DeferStmt:
-			pass.Reportf(n.Pos(), "defer in hotpath function (defer in a loop allocates; use explicit cleanup)")
 		case *ast.CompositeLit:
 			if allocatingLiteral(pass, n) {
 				pass.Reportf(n.Pos(), "composite literal allocates in hotpath function")

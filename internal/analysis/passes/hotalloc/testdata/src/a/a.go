@@ -37,7 +37,7 @@ func (t *table) grow(n int) []int32 {
 	bs := []byte(t.name)            // want `conversion .* allocates in hotpath function`
 	_ = string(bs)                  // want `conversion .* allocates in hotpath function`
 	go func() { _ = m }()           // want `closure literal in hotpath function` `go statement in hotpath function`
-	defer func() {}()               // want `defer in hotpath function` `closure literal in hotpath function`
+	defer func() {}()               // want `closure literal in hotpath function`
 	_, _, _ = other, q, buf
 	return buf
 }

@@ -16,9 +16,15 @@ import (
 // through an interface would tax exactly the algorithms the paper optimizes.
 //
 // Since the drivers are generic over the ring type, the same specialized
-// code path serves every semiring: with a zero-size concrete ring the
-// Mul/Add on the Upsert slot inline, and the historic plus-times-only
+// code path serves every semiring, and the historic plus-times-only
 // restriction (with a func-pointer slow path for everything else) is gone.
+// One caveat the inline gate (spgemm-lint -mode=inline) documents: generics
+// alone do NOT devirtualize the ring — Go's shape stenciling routes
+// ring.Add/ring.Mul through a runtime dictionary, an indirect call per
+// product. The numeric workers therefore test once, outside the row loop,
+// for the float64 plus-times flagship and route whole rows through the
+// hand-monomorphized loops in ringfast.go; every other ring stays on the
+// dictionary path.
 //
 // All transient state (flop counts, partition, row sizes, hash tables) lives
 // in the call's Context, so iterative callers that pass Options.Context reach
@@ -80,20 +86,25 @@ func hashFast[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V]
 			return
 		}
 		table := ctx.hash[w]
+		fa, fb, ftab, fastF64 := ptF64Hash(ring, a, b, table)
 		for i := lo; i < hi; i++ {
 			table.Reset()
-			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				av := a.Val[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					prod := ring.Mul(av, b.Val[q])
-					slot, fresh := table.Upsert(b.ColIdx[q])
-					if fresh {
-						*slot = prod
-					} else {
-						*slot = ring.Add(*slot, prod)
+			if fastF64 {
+				hashRowNumericF64(ftab, fa, fb, i)
+			} else {
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for p := alo; p < ahi; p++ {
+					k := a.ColIdx[p]
+					av := a.Val[p]
+					blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+					for q := blo; q < bhi; q++ {
+						prod := ring.Mul(av, b.Val[q])
+						slot, fresh := table.Upsert(b.ColIdx[q])
+						if fresh {
+							*slot = prod
+						} else {
+							*slot = ring.Add(*slot, prod)
+						}
 					}
 				}
 			}

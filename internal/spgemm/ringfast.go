@@ -1,0 +1,125 @@
+package spgemm
+
+import (
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// Hand-devirtualized float64 plus-times inner loops.
+//
+// The generic kernels are shape-stenciled, not fully monomorphized: Go
+// compiles one body per GC shape and passes the ring's method set through a
+// runtime dictionary, so ring.Add/ring.Mul in the inner loops are indirect
+// calls (objdump shows CALL AX at the product sites) that the inliner never
+// sees — each dictionary call also costs ~57 inliner units, so any generic
+// helper wrapping two of them is over the 80-unit budget before it starts.
+// For the flagship ring that every float64 Multiply uses, that indirection
+// taxes the exact two instructions the paper's kernels are built around.
+//
+// The fix is manual monomorphization: each worker asserts once, outside the
+// hot loop, whether its ring is semiring.PlusTimesF64, and routes whole rows
+// through the concrete loops below. The ring operations are still written as
+// method calls on a concrete PlusTimesF64 value — not bare + and * — so the
+// compiler reports "inlining call to semiring.PlusTimesF64.Add/.Mul" for
+// these sites and `spgemm-lint -mode=inline` can require those lines to be
+// present: deleting or regressing the fast path fails CI. Fold order is
+// identical to the generic loops, so results are bit-identical
+// (TestRingFastEquivalence).
+//
+// The type assertions live in un-annotated setup code on purpose: an
+// interface conversion inside a //spgemm:hotpath body would trip the
+// deferhot analyzer. hashVecFast keeps the dictionary path for now; its
+// chunked table has a different Upsert contract and the hash/tiled pair
+// covers the kernels the tiled work (PR 7) made the defaults.
+
+// ptF64Hash reports whether this hash-kernel instantiation is the float64
+// plus-times flagship and, if so, returns the concretely-typed views of the
+// operands that the fast path needs. The assertions are exhaustive only in
+// the ring: if ring is PlusTimesF64 then V = float64 and the remaining
+// assertions cannot fail (the ok result guards against that invariant
+// breaking silently).
+func ptF64Hash[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], table *accum.HashTableG[V]) (*matrix.CSRG[float64], *matrix.CSRG[float64], *accum.HashTableG[float64], bool) {
+	if _, ok := any(ring).(semiring.PlusTimesF64); !ok {
+		return nil, nil, nil, false
+	}
+	fa, aok := any(a).(*matrix.CSRG[float64])
+	fb, bok := any(b).(*matrix.CSRG[float64])
+	ft, tok := any(table).(*accum.HashTableG[float64])
+	return fa, fb, ft, aok && bok && tok
+}
+
+// ptF64Tiled is ptF64Hash for the tiled kernel's heavy-unit path: SPA
+// accumulator and column-split view instead of the hash table.
+func ptF64Tiled[V semiring.Value, R semiring.Ring[V]](ring R, a *matrix.CSRG[V], tiles *tiledSplit[V], spa *accum.SPAG[V]) (*matrix.CSRG[float64], *tiledSplit[float64], *accum.SPAG[float64], bool) {
+	if _, ok := any(ring).(semiring.PlusTimesF64); !ok {
+		return nil, nil, nil, false
+	}
+	fa, aok := any(a).(*matrix.CSRG[float64])
+	ft, tok := any(tiles).(*tiledSplit[float64])
+	fs, sok := any(spa).(*accum.SPAG[float64])
+	return fa, ft, fs, aok && tok && sok
+}
+
+// hashRowNumericF64 accumulates one output row of C = A·B into table with
+// plus-times float64 arithmetic — the concrete twin of the generic numeric
+// row loop in hashFast and the tiled light path. The Mul/Add calls below
+// must inline (required entries in lint/inline_allowlist.txt).
+//
+//spgemm:hotpath
+func hashRowNumericF64(table *accum.HashTable, a, b *matrix.CSR, i int) {
+	var ring semiring.PlusTimesF64
+	// Row sub-slices collapse the per-entry CSR bounds checks into one
+	// slice check per row segment (spgemm-lint -mode=bce budgets the rest).
+	alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+	acols := a.ColIdx[alo:ahi]
+	avals := a.Val[alo:ahi]
+	for x, k := range acols {
+		av := avals[x]
+		brp := b.RowPtr[k : int(k)+2]
+		bcols := b.ColIdx[brp[0]:brp[1]]
+		bvals := b.Val[brp[0]:brp[1]]
+		for y, col := range bcols {
+			prod := ring.Mul(av, bvals[y])
+			slot, fresh := table.Upsert(col)
+			if fresh {
+				*slot = prod
+			} else {
+				*slot = ring.Add(*slot, prod)
+			}
+		}
+	}
+}
+
+// tiledUnitNumericF64 is the concrete twin of tiledUnitNumeric: accumulate
+// one heavy (row, tile) unit into the dense SPA and extract it, biased back
+// to global columns, into the unit's stitched slice of the output row.
+//
+//spgemm:hotpath
+func tiledUnitNumericF64(spa *accum.SPA, a *matrix.CSR, tiles *tiledSplit[float64], row, tile int, cols []int32, vals []float64, bias int32, sorted bool) {
+	var ring semiring.PlusTimesF64
+	spa.Reset()
+	alo, ahi := a.RowPtr[row], a.RowPtr[row+1]
+	acols := a.ColIdx[alo:ahi]
+	avals := a.Val[alo:ahi]
+	for x, k := range acols {
+		av := avals[x]
+		qlo, qhi := tiles.rowRange(tile, int(k))
+		tcols := tiles.colIdx[qlo:qhi]
+		tvals := tiles.vals[qlo:qhi]
+		for y, c := range tcols {
+			prod := ring.Mul(av, tvals[y])
+			slot, fresh := spa.Upsert(c)
+			if fresh {
+				*slot = prod
+			} else {
+				*slot = ring.Add(*slot, prod)
+			}
+		}
+	}
+	if sorted {
+		spa.ExtractSortedBias(cols, vals, bias)
+	} else {
+		spa.ExtractUnsortedBias(cols, vals, bias)
+	}
+}

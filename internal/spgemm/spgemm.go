@@ -289,11 +289,13 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 	return MultiplyRing(semiring.PlusTimesF64{}, a, b, g)
 }
 
-// MultiplyRing computes C = A·B over the given semiring ring. Every kernel
-// is monomorphized per (V, ring) pair: with one of the shipped zero-size
-// rings the Add/Mul calls in the inner loops compile to direct (inlined)
-// operations, so a min-plus or boolean product runs the same machine-code
-// shape as the plus-times fast path.
+// MultiplyRing computes C = A·B over the given semiring ring. The kernels
+// are generic over (V, ring); Go's shape stenciling means the ring's Add/Mul
+// reach the inner loops as runtime-dictionary calls, so the float64
+// plus-times flagship additionally gets hand-monomorphized inner loops
+// (ringfast.go) that every worker selects with one type assertion. Other
+// rings run the dictionary path — identical algorithm, two indirect calls
+// per product.
 func MultiplyRing[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CSRG[V], opt *OptionsG[V]) (*matrix.CSRG[V], error) {
 	if opt == nil {
 		opt = &OptionsG[V]{}

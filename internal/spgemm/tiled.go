@@ -40,8 +40,11 @@ type tiledSplit[V semiring.Value] struct {
 //
 //spgemm:hotpath
 func (s *tiledSplit[V]) rowRange(t, i int) (int64, int64) {
-	base := t * (s.rows + 1)
-	return s.rowPtr[base+i], s.rowPtr[base+i+1]
+	// One two-element slice check instead of two index checks; the
+	// constant indexes below are then provably in bounds.
+	base := t*(s.rows+1) + i
+	rp := s.rowPtr[base : base+2]
+	return rp[0], rp[1]
 }
 
 // splitTiles column-splits B into nTiles tiles of width tileCols using the
@@ -102,11 +105,13 @@ func splitTiles[V semiring.Value](ctx *ContextG[V], b *matrix.CSRG[V], tileCols,
 //spgemm:hotpath
 func tiledUnitSymbolic[V semiring.Value](spa *accum.SPAG[V], a *matrix.CSRG[V], tiles *tiledSplit[V], row, tile int) int64 {
 	spa.Reset()
-	for p := a.RowPtr[row]; p < a.RowPtr[row+1]; p++ {
-		k := int(a.ColIdx[p])
-		qlo, qhi := tiles.rowRange(tile, k)
-		for q := qlo; q < qhi; q++ {
-			spa.InsertSymbolic(tiles.colIdx[q])
+	// Ranging over row sub-slices collapses the per-entry CSR bounds
+	// checks into one slice check per row segment.
+	alo, ahi := a.RowPtr[row], a.RowPtr[row+1]
+	for _, k := range a.ColIdx[alo:ahi] {
+		qlo, qhi := tiles.rowRange(tile, int(k))
+		for _, c := range tiles.colIdx[qlo:qhi] {
+			spa.InsertSymbolic(c)
 		}
 	}
 	return int64(spa.Len())
@@ -119,13 +124,17 @@ func tiledUnitSymbolic[V semiring.Value](spa *accum.SPAG[V], a *matrix.CSRG[V], 
 //spgemm:hotpath
 func tiledUnitNumeric[V semiring.Value, R semiring.Ring[V]](ring R, spa *accum.SPAG[V], a *matrix.CSRG[V], tiles *tiledSplit[V], row, tile int, cols []int32, vals []V, bias int32, sorted bool) {
 	spa.Reset()
-	for p := a.RowPtr[row]; p < a.RowPtr[row+1]; p++ {
-		k := int(a.ColIdx[p])
-		av := a.Val[p]
-		qlo, qhi := tiles.rowRange(tile, k)
-		for q := qlo; q < qhi; q++ {
-			prod := ring.Mul(av, tiles.vals[q])
-			slot, fresh := spa.Upsert(tiles.colIdx[q])
+	alo, ahi := a.RowPtr[row], a.RowPtr[row+1]
+	acols := a.ColIdx[alo:ahi]
+	avals := a.Val[alo:ahi]
+	for x, k := range acols {
+		av := avals[x]
+		qlo, qhi := tiles.rowRange(tile, int(k))
+		tcols := tiles.colIdx[qlo:qhi]
+		tvals := tiles.vals[qlo:qhi]
+		for y, c := range tcols {
+			prod := ring.Mul(av, tvals[y])
+			slot, fresh := spa.Upsert(c)
 			if fresh {
 				*slot = prod
 			} else {
@@ -304,6 +313,7 @@ func tiledMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CS
 			return
 		}
 		table := ctx.hash[w]
+		fa, fb, ftab, fastF64 := ptF64Hash(ring, a, b, table)
 		rows := int64(0)
 		for i := lo; i < hi; i++ {
 			if heavyRow(i) {
@@ -311,18 +321,22 @@ func tiledMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CS
 			}
 			rows++
 			table.Reset()
-			alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
-			for p := alo; p < ahi; p++ {
-				k := a.ColIdx[p]
-				av := a.Val[p]
-				blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
-				for q := blo; q < bhi; q++ {
-					prod := ring.Mul(av, b.Val[q])
-					slot, fresh := table.Upsert(b.ColIdx[q])
-					if fresh {
-						*slot = prod
-					} else {
-						*slot = ring.Add(*slot, prod)
+			if fastF64 {
+				hashRowNumericF64(ftab, fa, fb, i)
+			} else {
+				alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+				for p := alo; p < ahi; p++ {
+					k := a.ColIdx[p]
+					av := a.Val[p]
+					blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+					for q := blo; q < bhi; q++ {
+						prod := ring.Mul(av, b.Val[q])
+						slot, fresh := table.Upsert(b.ColIdx[q])
+						if fresh {
+							*slot = prod
+						} else {
+							*slot = ring.Add(*slot, prod)
+						}
 					}
 				}
 			}
@@ -353,6 +367,12 @@ func tiledMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CS
 				return
 			}
 			spa := ctx.spaTable(w, tileCols)
+			fa, ftl, fspa, fastF64 := ptF64Tiled(ring, a, &tiles, spa)
+			var fc *matrix.CSRG[float64]
+			if fastF64 {
+				fc, _ = any(c).(*matrix.CSRG[float64])
+				fastF64 = fc != nil
+			}
 			var flop, rows int64
 			for u := ulo; u < uhi; u++ {
 				t := int(unitTile[u])
@@ -364,8 +384,11 @@ func tiledMultiply[V semiring.Value, R semiring.Ring[V]](ring R, a, b *matrix.CS
 				}
 				start := unitOff[u]
 				cols := c.ColIdx[start : start+unitNnz[u]]
-				vals := c.Val[start : start+unitNnz[u]]
-				tiledUnitNumeric(ring, spa, a, &tiles, int(unitRow[u]), t, cols, vals, int32(t*tileCols), !opt.Unsorted)
+				if fastF64 {
+					tiledUnitNumericF64(fspa, fa, ftl, int(unitRow[u]), t, cols, fc.Val[start:start+unitNnz[u]], int32(t*tileCols), !opt.Unsorted)
+				} else {
+					tiledUnitNumeric(ring, spa, a, &tiles, int(unitRow[u]), t, cols, c.Val[start:start+unitNnz[u]], int32(t*tileCols), !opt.Unsorted)
+				}
 				flop += unitFlop[u]
 			}
 			if ws := pt.worker(w); ws != nil {

@@ -69,6 +69,9 @@ func SetCacheParams(p CacheParams) {
 
 // CurrentCacheParams returns the installed cache parameters and whether any
 // have been installed.
+//
+// Called once per Multiply during planning, never per row, so the defer is
+// acceptable here; do not add //spgemm:hotpath (deferhot would reject it).
 func CurrentCacheParams() (CacheParams, bool) {
 	cacheParamsMu.RLock()
 	defer cacheParamsMu.RUnlock()
