@@ -33,6 +33,7 @@ var algNames = map[string]spgemm.Algorithm{
 	"blockedspa":    spgemm.AlgBlockedSPA,
 	"esc":           spgemm.AlgESC,
 	"tiled":         spgemm.AlgTiled,
+	"sharded":       spgemm.AlgSharded,
 }
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 		bPath    = flag.String("b", "", "right operand (Matrix Market file)")
 		square   = flag.Bool("square", false, "compute A·A (ignore -b)")
 		outPath  = flag.String("o", "", "write the product to this file (optional)")
-		algName  = flag.String("alg", "auto", "algorithm: auto|hash|hashvec|heap|spa|mkl|mkl-inspector|kokkos|merge|ikj|blockedspa|esc")
+		algName  = flag.String("alg", "auto", "algorithm: auto|hash|hashvec|heap|spa|mkl|mkl-inspector|kokkos|merge|ikj|blockedspa|esc|tiled|sharded")
 		unsorted = flag.Bool("unsorted", false, "emit unsorted output rows (skips per-row sorting)")
 		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		stats    = flag.Bool("stats", false, "print the per-phase ExecStats breakdown of the multiply")

@@ -43,7 +43,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	reg := Registry()
-	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps", "reuse", "skewed"}
+	want := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "table4", "hmean", "apps", "reuse", "skewed", "outofcore"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}
@@ -73,14 +73,18 @@ func TestReuseSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 6 reuse rows (2 algs × 3 variants) + 4 skewed G500 rows.
-	if s.Experiment != "reuse" || s.Scale != 8 || len(s.Results) != 10 {
+	// 6 reuse rows (2 algs × 3 variants) + 4 skewed G500 rows + 2 outofcore
+	// rows (hash baseline and sharded-spill).
+	if s.Experiment != "reuse" || s.Scale != 8 || len(s.Results) != 12 {
 		t.Fatalf("unexpected snapshot: %+v", s)
 	}
-	var skewedRows int
+	var skewedRows, oocRows int
 	for _, r := range s.Results {
 		if r.Variant == "g500-s8" {
 			skewedRows++
+		}
+		if r.Variant == "outofcore-s8" {
+			oocRows++
 		}
 		if r.Alg == "auto" && r.Resolved == "" {
 			t.Fatalf("auto row missing resolved algorithm: %+v", r)
@@ -88,6 +92,9 @@ func TestReuseSnapshot(t *testing.T) {
 	}
 	if skewedRows != 4 {
 		t.Fatalf("want 4 skewed rows, got %d", skewedRows)
+	}
+	if oocRows != 2 {
+		t.Fatalf("want 2 outofcore rows, got %d", oocRows)
 	}
 	for _, r := range s.Results {
 		if r.NsPerOp <= 0 || r.MFLOPS <= 0 {

@@ -40,9 +40,12 @@ func presetName(p Preset) string {
 	}
 }
 
-// ReuseSnapshot runs the reuse experiment plus the skewed G500 experiment
-// and packages the results. The skewed rows (variant "g500-s<scale>") carry
-// the tiled-vs-best comparison the -compare win gate enforces.
+// ReuseSnapshot runs the reuse experiment plus the skewed G500 and
+// out-of-core experiments and packages the results. The skewed rows (variant
+// "g500-s<scale>") carry the tiled-vs-best comparison the -compare win gate
+// enforces; the outofcore rows (variant "outofcore-s<scale>") track the
+// spill-backed sharded engine so residency-bound regressions show up in the
+// same diff.
 func ReuseSnapshot(cfg Config) (*Snapshot, error) {
 	scale, flop, rows, err := measureReuse(cfg)
 	if err != nil {
@@ -53,6 +56,11 @@ func ReuseSnapshot(cfg Config) (*Snapshot, error) {
 		return nil, err
 	}
 	rows = append(rows, skewedRows...)
+	ooc, err := measureOutOfCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ooc.Rows...)
 	return &Snapshot{
 		Schema:     1,
 		Experiment: "reuse",

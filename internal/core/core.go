@@ -73,7 +73,14 @@ const (
 	AlgBlockedSPA   = spgemm.AlgBlockedSPA
 	AlgESC          = spgemm.AlgESC
 	AlgTiled        = spgemm.AlgTiled
+	AlgSharded      = spgemm.AlgSharded
 )
+
+// NewSpillSink returns a temp-file-backed shard sink that bounds resident
+// output memory during an AlgSharded multiply. See spgemm.NewSpillSink.
+func NewSpillSink[V semiring.Value](dir string, budget int64) *spgemm.SpillSink[V] {
+	return spgemm.NewSpillSink[V](dir, budget)
+}
 
 // Re-exported use cases.
 const (

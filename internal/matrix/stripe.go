@@ -1,0 +1,162 @@
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// Shard views: zero-copy windows over a CSRG that the sharded execution
+// engine (internal/spgemm, AlgSharded) slices its operands with. A RowStripe
+// is a horizontal band of A processed as an independent shard-local product;
+// a ColBlock is a vertical slab of B a shard sweeps when its accumulator
+// working set would overflow the cache tier. StitchRowStripes is the inverse
+// of RowStripe: it assembles stripe-local outputs back into one matrix.
+
+// RowStripe returns a view of rows [lo, hi): ColIdx and Val alias the
+// receiver's storage (no entry data is copied; mutating the view's entries
+// mutates the parent), while RowPtr is a fresh offset-adjusted window whose
+// first entry is 0. Panics when the range is out of bounds.
+func (m *CSRG[V]) RowStripe(lo, hi int) *CSRG[V] {
+	return m.RowStripeInto(lo, hi, nil)
+}
+
+// RowStripeInto is RowStripe with a caller-provided row-pointer buffer (the
+// only allocation a stripe view needs); rowPtr is grown when its capacity is
+// under hi-lo+1. The entry arrays always alias the parent.
+func (m *CSRG[V]) RowStripeInto(lo, hi int, rowPtr []int64) *CSRG[V] {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("matrix: RowStripe [%d, %d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	n := hi - lo
+	if cap(rowPtr) < n+1 {
+		rowPtr = make([]int64, n+1)
+	}
+	rowPtr = rowPtr[:n+1]
+	base := m.RowPtr[lo]
+	for i := 0; i <= n; i++ {
+		rowPtr[i] = m.RowPtr[lo+i] - base
+	}
+	end := m.RowPtr[hi]
+	return &CSRG[V]{
+		Rows:   n,
+		Cols:   m.Cols,
+		RowPtr: rowPtr,
+		ColIdx: m.ColIdx[base:end:end],
+		Val:    m.Val[base:end:end],
+		Sorted: m.Sorted,
+	}
+}
+
+// ColBlock is a zero-copy view of the columns [Lo, Hi) of a parent matrix.
+// Nothing is materialized at construction: Row locates the block-local
+// segment of a row on demand, by binary search when the parent's rows are
+// sorted. For unsorted parents no contiguous segment exists, so Row returns
+// the whole row with exact=false and the consumer filters by column — the
+// view stays zero-copy in both regimes, trading filter work for the gather
+// pass a materialized split (see splitColumns) would pay up front.
+type ColBlock[V semiring.Value] struct {
+	parent *CSRG[V]
+	lo, hi int32
+	exact  bool
+}
+
+// ColBlockOf returns the view of m's columns [lo, hi). Panics when the range
+// is out of bounds.
+func ColBlockOf[V semiring.Value](m *CSRG[V], lo, hi int32) ColBlock[V] {
+	if lo < 0 || hi < lo || int(hi) > m.Cols {
+		panic(fmt.Sprintf("matrix: ColBlock [%d, %d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	return ColBlock[V]{parent: m, lo: lo, hi: hi, exact: m.Sorted}
+}
+
+// Bounds returns the block's column range [lo, hi).
+func (b ColBlock[V]) Bounds() (lo, hi int32) { return b.lo, b.hi }
+
+// Row returns the entries of row i that fall inside the block. When exact is
+// true (sorted parent) the returned slices hold exactly the block-local
+// entries, located by binary search. When exact is false (unsorted parent)
+// the slices are the whole row and the caller must skip entries whose column
+// is outside [lo, hi). Either way the slices alias the parent's storage.
+//
+//spgemm:hotpath
+func (b ColBlock[V]) Row(i int) (cols []int32, vals []V, exact bool) {
+	m := b.parent
+	plo, phi := m.RowPtr[i], m.RowPtr[i+1]
+	cols = m.ColIdx[plo:phi]
+	if !b.exact {
+		return cols, m.Val[plo:phi], false
+	}
+	s := lowerBoundI32(cols, b.lo)
+	e := lowerBoundI32(cols, b.hi)
+	return cols[s:e], m.Val[plo+int64(s) : plo+int64(e)], true
+}
+
+// lowerBoundI32 returns the first index in sorted s whose value is >= key.
+//
+//spgemm:hotpath
+func lowerBoundI32(s []int32, key int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// StitchRowStripes assembles stripe-local products back into one rows×cols
+// matrix: part s holds the output rows [offsets[s], offsets[s+1]), exactly
+// the decomposition RowStripe produces. Entries are copied in ascending
+// stripe (hence ascending row) order and each part's rows verbatim, so when
+// every part has sorted rows the stitched matrix is sorted and bit-identical
+// to a monolithic product that built the same per-row entries. offsets must
+// have len(parts)+1 entries, start at 0 and end at rows; each part must span
+// its stripe's rows and share the output column count.
+func StitchRowStripes[V semiring.Value](rows, cols int, offsets []int, parts []*CSRG[V]) (*CSRG[V], error) {
+	if len(offsets) != len(parts)+1 {
+		return nil, fmt.Errorf("matrix: stitch needs len(parts)+1 offsets, got %d for %d parts", len(offsets), len(parts))
+	}
+	if len(offsets) == 0 || offsets[0] != 0 || offsets[len(offsets)-1] != rows {
+		return nil, fmt.Errorf("matrix: stitch offsets must span [0, %d]", rows)
+	}
+	var nnz int64
+	sorted := true
+	for s, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("matrix: stitch part %d is nil", s)
+		}
+		if want := offsets[s+1] - offsets[s]; p.Rows != want {
+			return nil, fmt.Errorf("matrix: stitch part %d has %d rows, stripe wants %d", s, p.Rows, want)
+		}
+		if p.Cols != cols {
+			return nil, fmt.Errorf("matrix: stitch part %d has %d cols, want %d", s, p.Cols, cols)
+		}
+		nnz += p.NNZ()
+		sorted = sorted && p.Sorted
+	}
+	c := &CSRG[V]{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, nnz),
+		Val:    make([]V, nnz),
+		Sorted: sorted,
+	}
+	var at int64
+	for s, p := range parts {
+		base := offsets[s]
+		for i := 0; i < p.Rows; i++ {
+			c.RowPtr[base+i] = at + p.RowPtr[i]
+		}
+		n := p.NNZ()
+		copy(c.ColIdx[at:], p.ColIdx[:n])
+		copy(c.Val[at:], p.Val[:n])
+		at += n
+	}
+	c.RowPtr[rows] = at
+	return c, nil
+}

@@ -1,0 +1,199 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCSRStripe(t *testing.T, rng *rand.Rand, rows, cols int, density float64, sorted bool) *CSR {
+	t.Helper()
+	m := NewCSR(rows, cols)
+	var colIdx []int32
+	var vals []float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				colIdx = append(colIdx, int32(j))
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		if !sorted && len(colIdx) > int(m.RowPtr[i]) {
+			seg := colIdx[m.RowPtr[i]:]
+			vseg := vals[m.RowPtr[i]:]
+			rng.Shuffle(len(seg), func(a, b int) {
+				seg[a], seg[b] = seg[b], seg[a]
+				vseg[a], vseg[b] = vseg[b], vseg[a]
+			})
+		}
+		m.RowPtr[i+1] = int64(len(colIdx))
+	}
+	m.ColIdx = colIdx
+	m.Val = vals
+	m.Sorted = sorted
+	if err := m.Validate(); err != nil {
+		t.Fatalf("generator produced invalid matrix: %v", err)
+	}
+	return m
+}
+
+func TestRowStripeViewsAliasParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSRStripe(t, rng, 40, 23, 0.2, true)
+	for _, r := range [][2]int{{0, 40}, {0, 0}, {40, 40}, {3, 17}, {17, 40}} {
+		lo, hi := r[0], r[1]
+		s := m.RowStripe(lo, hi)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("stripe [%d,%d) invalid: %v", lo, hi, err)
+		}
+		if s.Rows != hi-lo || s.Cols != m.Cols || s.Sorted != m.Sorted {
+			t.Fatalf("stripe [%d,%d) header mismatch: %dx%d", lo, hi, s.Rows, s.Cols)
+		}
+		for i := 0; i < s.Rows; i++ {
+			wc, wv := m.Row(lo + i)
+			gc, gv := s.Row(i)
+			if len(wc) != len(gc) {
+				t.Fatalf("stripe row %d: %d entries, want %d", i, len(gc), len(wc))
+			}
+			for k := range wc {
+				if wc[k] != gc[k] || wv[k] != gv[k] {
+					t.Fatalf("stripe row %d entry %d differs", i, k)
+				}
+			}
+		}
+	}
+	// Zero-copy: writing through the view must hit the parent.
+	s := m.RowStripe(3, 17)
+	if s.NNZ() == 0 {
+		t.Fatal("test stripe unexpectedly empty")
+	}
+	s.Val[0] = 42.5
+	if m.Val[m.RowPtr[3]] != 42.5 {
+		t.Fatal("stripe Val does not alias parent")
+	}
+}
+
+func TestRowStripeIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomCSRStripe(t, rng, 20, 11, 0.3, true)
+	buf := make([]int64, 64)
+	s := m.RowStripeInto(5, 15, buf)
+	if &s.RowPtr[0] != &buf[0] {
+		t.Fatal("RowStripeInto ignored the provided buffer")
+	}
+	if s.RowPtr[0] != 0 {
+		t.Fatalf("stripe RowPtr must start at 0, got %d", s.RowPtr[0])
+	}
+}
+
+func TestRowStripeBounds(t *testing.T) {
+	m := NewCSR(4, 4)
+	for _, r := range [][2]int{{-1, 2}, {2, 1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RowStripe(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			m.RowStripe(r[0], r[1])
+		}()
+	}
+}
+
+func TestColBlockSortedAndUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sorted := range []bool{true, false} {
+		m := randomCSRStripe(t, rng, 30, 29, 0.25, sorted)
+		for _, blk := range [][2]int32{{0, 29}, {0, 8}, {8, 16}, {16, 29}, {5, 5}} {
+			b := ColBlockOf(m, blk[0], blk[1])
+			for i := 0; i < m.Rows; i++ {
+				want := map[int32]float64{}
+				fc, fv := m.Row(i)
+				for k, col := range fc {
+					if col >= blk[0] && col < blk[1] {
+						want[col] = fv[k]
+					}
+				}
+				got := map[int32]float64{}
+				cols, vals, exact := b.Row(i)
+				if exact != sorted {
+					t.Fatalf("sorted=%v block exactness=%v", sorted, exact)
+				}
+				for k, col := range cols {
+					if !exact && (col < blk[0] || col >= blk[1]) {
+						continue
+					}
+					if exact && (col < blk[0] || col >= blk[1]) {
+						t.Fatalf("exact block row %d leaked column %d outside [%d,%d)", i, col, blk[0], blk[1])
+					}
+					got[col] = vals[k]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("block [%d,%d) row %d: %d entries, want %d", blk[0], blk[1], i, len(got), len(want))
+				}
+				for col, v := range want {
+					if got[col] != v {
+						t.Fatalf("block row %d col %d: %v want %v", i, col, got[col], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStitchRowStripesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, sorted := range []bool{true, false} {
+		m := randomCSRStripe(t, rng, 50, 17, 0.15, sorted)
+		offsets := []int{0, 12, 12, 30, 50}
+		parts := make([]*CSR, len(offsets)-1)
+		for s := range parts {
+			// Clone the views so the parts own disjoint storage, as shard
+			// outputs would.
+			parts[s] = m.RowStripe(offsets[s], offsets[s+1]).Clone()
+		}
+		c, err := StitchRowStripes[float64](m.Rows, m.Cols, offsets, parts)
+		if err != nil {
+			t.Fatalf("stitch: %v", err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("stitched matrix invalid: %v", err)
+		}
+		if c.Sorted != sorted {
+			t.Fatalf("stitched Sorted=%v, want %v", c.Sorted, sorted)
+		}
+		if c.NNZ() != m.NNZ() {
+			t.Fatalf("stitched nnz %d, want %d", c.NNZ(), m.NNZ())
+		}
+		for i := range c.RowPtr {
+			if c.RowPtr[i] != m.RowPtr[i] {
+				t.Fatalf("RowPtr[%d] = %d, want %d", i, c.RowPtr[i], m.RowPtr[i])
+			}
+		}
+		for k := range c.ColIdx {
+			if c.ColIdx[k] != m.ColIdx[k] || c.Val[k] != m.Val[k] {
+				t.Fatalf("entry %d differs after round trip", k)
+			}
+		}
+	}
+}
+
+func TestStitchRowStripesRejectsBadGeometry(t *testing.T) {
+	m := NewCSR(4, 3)
+	p := m.RowStripe(0, 2)
+	if _, err := StitchRowStripes[float64](4, 3, []int{0, 2}, []*CSR{p, p}); err == nil {
+		t.Error("offset/part count mismatch accepted")
+	}
+	if _, err := StitchRowStripes[float64](4, 3, []int{0, 2, 3}, []*CSR{p, p}); err == nil {
+		t.Error("offsets not spanning rows accepted")
+	}
+	if _, err := StitchRowStripes[float64](4, 3, []int{0, 3, 4}, []*CSR{p, p}); err == nil {
+		t.Error("part row-count mismatch accepted")
+	}
+	wrongCols := NewCSR(2, 9)
+	if _, err := StitchRowStripes[float64](4, 3, []int{0, 2, 4}, []*CSR{p, wrongCols}); err == nil {
+		t.Error("part column mismatch accepted")
+	}
+	if _, err := StitchRowStripes[float64](4, 3, []int{0, 2, 4}, []*CSR{p, nil}); err == nil {
+		t.Error("nil part accepted")
+	}
+}

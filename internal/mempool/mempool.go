@@ -36,6 +36,11 @@ func grew(oldCap, n, elemSize int) {
 	mLive.Add(int64(n-oldCap) * int64(elemSize))
 }
 
+// LiveBytes returns the bytes currently held by per-worker scratch buffers
+// process-wide — the mempool_live_bytes gauge. Bounded-memory smokes assert
+// against it after an out-of-core run.
+func LiveBytes() int64 { return mLive.Value() }
+
 // Scratch is one worker's reusable scratch space. Slices only ever grow;
 // reusing a Scratch across rows therefore performs no allocation after the
 // high-water mark is reached — the paper's "allocate the table once per

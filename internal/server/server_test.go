@@ -663,3 +663,76 @@ func TestMultiplyTiledOverrideAndPlanKeyIsolation(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiplySharded: "sharded" is accepted as an algorithm override, its
+// product is bit-identical to "hash" (the stripe engine's acceptance
+// criterion), it is plannable (second call hits the plan cache), and the
+// cached sharded plan does not collide with the hash plan for the same
+// operand pair.
+func TestMultiplySharded(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(11))
+	a := matrix.Random(70, 55, 0.12, rng)
+	b := matrix.Random(55, 65, 0.12, rng)
+	ha := uploadBinary(t, ts.URL, a).Hash
+	hb := uploadBinary(t, ts.URL, b).Hash
+
+	want, err := spgemm.Multiply(a, b, &spgemm.Options{Algorithm: spgemm.AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "sharded"})
+	if code != http.StatusOK {
+		t.Fatalf("sharded multiply: status %d: %s", code, body)
+	}
+	first := decodeMultiply(t, body)
+	if first.PlanCacheHit {
+		t.Fatal("first sharded multiply claims a plan cache hit")
+	}
+	if first.Algorithm != "sharded" {
+		t.Fatalf("resolved algorithm %q, want sharded", first.Algorithm)
+	}
+	if first.NNZ != want.NNZ() || first.Rows != want.Rows || first.Cols != want.Cols {
+		t.Fatalf("sharded product shape: %+v, want %dx%d/%d", first, want.Rows, want.Cols, want.NNZ())
+	}
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "sharded"})
+	if code != http.StatusOK {
+		t.Fatalf("repeat sharded multiply: status %d: %s", code, body)
+	}
+	if second := decodeMultiply(t, body); !second.PlanCacheHit {
+		t.Fatal("repeat sharded multiply missed the plan cache")
+	}
+
+	// hash on the same operands must miss: PlanKey includes the algorithm.
+	code, body = postMultiply(t, ts.URL, MultiplyRequest{A: ha, B: hb, Algorithm: "hash"})
+	if code != http.StatusOK {
+		t.Fatalf("hash multiply: status %d: %s", code, body)
+	}
+	if hashFirst := decodeMultiply(t, body); hashFirst.PlanCacheHit {
+		t.Fatal("hash multiply hit the sharded plan: PlanKey collision across algorithms")
+	}
+
+	// Full-matrix round trip: entry-for-entry equal to the hash product.
+	req, _ := json.Marshal(MultiplyRequest{A: ha, B: hb, Algorithm: "sharded", Return: "matrix"})
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded matrix return: status %d", resp.StatusCode)
+	}
+	got, err := matrix.ReadCSRBinary(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("sharded nnz %d, want %d", got.NNZ(), want.NNZ())
+	}
+	for i := range want.ColIdx {
+		if got.ColIdx[i] != want.ColIdx[i] || got.Val[i] != want.Val[i] {
+			t.Fatalf("sharded product differs from hash at entry %d", i)
+		}
+	}
+}

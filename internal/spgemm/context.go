@@ -75,6 +75,11 @@ type ContextG[V semiring.Value] struct {
 	uoffsets   []int
 	ups        []int64
 
+	// Sharded-execution state (AlgSharded): per-stripe accumulator bounds
+	// and column-split flags of the stripe geometry.
+	stripeBound []int64
+	stripeWide  []bool
+
 	// Cumulative stats across stats-enabled calls through this context
 	// (see CumulativeStats).
 	cum      ExecStats
@@ -367,6 +372,17 @@ func (c *ContextG[V]) tileValBuf(n int) []V {
 		c.tileVal = make([]V, n)
 	}
 	return c.tileVal[:n]
+}
+
+// stripeBufs returns the per-stripe geometry arrays for n stripes (contents
+// undefined).
+func (c *ContextG[V]) stripeBufs(n int) (bound []int64, wide []bool) {
+	c.stripeBound = ensureI64(c.stripeBound, n)
+	if cap(c.stripeWide) < n {
+		c.stripeWide = make([]bool, n)
+	}
+	c.stripeWide = c.stripeWide[:n]
+	return c.stripeBound, c.stripeWide
 }
 
 // partitionUnits flop-balances the heavy (row, tile) units over workers into

@@ -55,6 +55,7 @@ var Algorithms = []spgemm.Algorithm{
 	spgemm.AlgBlockedSPA,
 	spgemm.AlgESC,
 	spgemm.AlgTiled,
+	spgemm.AlgSharded,
 }
 
 // tinyTiles returns geometry overrides that force the tiled kernel's heavy
@@ -62,12 +63,23 @@ var Algorithms = []spgemm.Algorithm{
 // of one flop routes essentially every non-empty row through column tiling.
 // The analytic width (tens of thousands of columns) never triggers it on the
 // small differential inputs, so without the override the suite would only
-// cover the light path.
+// cover the light path. The sharded engine reuses the same geometry as its
+// column-split trigger, so it gets the same override.
 func tinyTiles(alg spgemm.Algorithm) (tileCols int, heavyFlop int64) {
-	if alg == spgemm.AlgTiled {
+	if alg == spgemm.AlgTiled || alg == spgemm.AlgSharded {
 		return 8, 1
 	}
 	return 0, 0
+}
+
+// tinyShards forces a multi-stripe cut for the sharded engine: the auto
+// stripe count collapses to the worker floor on suite-scale inputs, which
+// would leave the stripe-boundary and merge logic single-stripe-trivial.
+func tinyShards(alg spgemm.Algorithm) int {
+	if alg == spgemm.AlgSharded {
+		return 3
+	}
+	return 0
 }
 
 // Case is one input pair of the differential suite.
@@ -230,7 +242,8 @@ func Check(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
 		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
 	}
 	if tc, hf := tinyTiles(alg); tc > 0 {
-		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, TileCols: tc, TileHeavyFlop: hf}
+		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers,
+			TileCols: tc, TileHeavyFlop: hf, ShardStripes: tinyShards(alg)}
 		forced, err := spgemm.Multiply(c.A, c.B, fopt)
 		if err != nil {
 			return fmt.Errorf("%s/%v tiny-tiles unsorted=%v workers=%d: %w", c.Name, alg, unsorted, workers, err)
@@ -270,6 +283,75 @@ func identical(got, want *matrix.CSR) error {
 	return nil
 }
 
+// CheckSharded pins the sharded engine's identity contract against AlgHash
+// over one case, under forced tiny stripe/column-split geometry: sorted
+// output must be bit-identical to the hash engine's (the AlgSharded
+// acceptance criterion), unsorted output set-equivalent via the oracle. The
+// same comparison then repeats through an out-of-core SpillSink whose budget
+// is far below the output size, so the spill/admission/mmap path at toy
+// scale produces the very same bytes. spillDir hosts the temp spill files.
+func CheckSharded(c Case, unsorted bool, workers int, spillDir string) error {
+	hash, err := spgemm.Multiply(c.A, c.B, &spgemm.Options{Algorithm: spgemm.AlgHash, Unsorted: unsorted, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("%s/hash unsorted=%v: %w", c.Name, unsorted, err)
+	}
+	want := matrix.NaiveMultiply(c.A, c.B)
+	opt := &spgemm.Options{Algorithm: spgemm.AlgSharded, Unsorted: unsorted, Workers: workers,
+		ShardStripes: 3, TileCols: 8, TileHeavyFlop: 1}
+	got, err := spgemm.Multiply(c.A, c.B, opt)
+	if err != nil {
+		return fmt.Errorf("%s/sharded unsorted=%v workers=%d: %w", c.Name, unsorted, workers, err)
+	}
+	if err := Equivalent(got, want); err != nil {
+		return fmt.Errorf("%s/sharded unsorted=%v workers=%d: %w", c.Name, unsorted, workers, err)
+	}
+	if !unsorted {
+		if err := identical(got, hash); err != nil {
+			return fmt.Errorf("%s/sharded not bit-identical to hash (workers=%d): %w", c.Name, workers, err)
+		}
+	}
+
+	// Out-of-core repeat: resident budget a quarter of the output entries.
+	budget := got.NNZ() * 12 / 4
+	if budget < 64 {
+		budget = 64
+	}
+	sink := spgemm.NewSpillSink[float64](spillDir, budget)
+	defer sink.Close()
+	var st spgemm.ExecStats
+	sopt := *opt
+	sopt.ShardSink = sink
+	sopt.Stats = &st
+	spilled, err := spgemm.Multiply(c.A, c.B, &sopt)
+	if err != nil {
+		return fmt.Errorf("%s/sharded-spill unsorted=%v: %w", c.Name, unsorted, err)
+	}
+	if err := Equivalent(spilled, want); err != nil {
+		return fmt.Errorf("%s/sharded-spill unsorted=%v: %w", c.Name, unsorted, err)
+	}
+	if !unsorted {
+		if err := identical(spilled, hash); err != nil {
+			return fmt.Errorf("%s/sharded-spill not bit-identical to hash: %w", c.Name, err)
+		}
+	}
+	// Peak resident stripe bytes stay under budget — except when one stripe
+	// alone exceeds it, where admission degrades to serial spilling and the
+	// bound is that stripe's own footprint.
+	allowed := budget
+	for _, s := range st.Stripes {
+		if !s.Spilled {
+			return fmt.Errorf("%s/sharded-spill: stripe [%d,%d) not marked spilled", c.Name, s.Lo, s.Hi)
+		}
+		if need := s.Nnz * 12; need > allowed {
+			allowed = need
+		}
+	}
+	if peak := sink.PeakResident(); peak > allowed {
+		return fmt.Errorf("%s/sharded-spill: peak resident %d over bound %d (budget %d)", c.Name, peak, allowed, budget)
+	}
+	return nil
+}
+
 // CheckContext is Check through a caller-supplied reusable Context: the
 // result must satisfy the oracle predicate exactly like a one-shot call, and
 // for deterministic (sorted-output) calls must be bit-identical to one.
@@ -301,7 +383,8 @@ func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx 
 		}
 	}
 	if tc, hf := tinyTiles(alg); tc > 0 {
-		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: ctx, TileCols: tc, TileHeavyFlop: hf}
+		fopt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: ctx,
+			TileCols: tc, TileHeavyFlop: hf, ShardStripes: tinyShards(alg)}
 		forced, err := spgemm.Multiply(c.A, c.B, fopt)
 		if err != nil {
 			return fmt.Errorf("%s/%v ctx tiny-tiles: %w", c.Name, alg, err)
@@ -310,7 +393,8 @@ func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx 
 			return fmt.Errorf("%s/%v ctx tiny-tiles: %w", c.Name, alg, err)
 		}
 		if !unsorted {
-			oneShot := &spgemm.Options{Algorithm: alg, Workers: workers, TileCols: tc, TileHeavyFlop: hf}
+			oneShot := &spgemm.Options{Algorithm: alg, Workers: workers,
+				TileCols: tc, TileHeavyFlop: hf, ShardStripes: tinyShards(alg)}
 			fresh, err := spgemm.Multiply(c.A, c.B, oneShot)
 			if err != nil {
 				return fmt.Errorf("%s/%v tiny-tiles one-shot: %w", c.Name, alg, err)
@@ -330,10 +414,12 @@ func CheckContext(c Case, alg spgemm.Algorithm, unsorted bool, workers int, ctx 
 // plan.
 func CheckPlan(c Case, alg spgemm.Algorithm, unsorted bool, workers int) error {
 	opt := &spgemm.Options{Algorithm: alg, Unsorted: unsorted, Workers: workers, Context: spgemm.NewContext()}
-	// For the tiled algorithm, force tiny tiles so the plan's cached split
-	// structure, unit bookkeeping and per-execute value re-gather are all
-	// exercised (the analytic geometry would make every suite row light).
+	// For the tiled and sharded algorithms, force tiny geometry so the plan's
+	// cached split structure, unit bookkeeping and per-execute value re-gather
+	// are all exercised (the analytic geometry would make every suite row
+	// light, and the auto stripe cut single-stripe-trivial).
 	opt.TileCols, opt.TileHeavyFlop = tinyTiles(alg)
+	opt.ShardStripes = tinyShards(alg)
 	plan, err := spgemm.NewPlan(c.A, c.B, opt)
 	if err != nil {
 		return fmt.Errorf("%s/%v plan: %w", c.Name, alg, err)

@@ -170,6 +170,24 @@ func TestDifferentialContextReuse(t *testing.T) {
 	}
 }
 
+// TestDifferentialSharded pins the sharded engine's bit-identity contract
+// against AlgHash across the whole suite — all rings of inputs the suite
+// generates, sorted and unsorted output, serial and parallel — including the
+// out-of-core SpillSink repeat at toy scale (see CheckSharded).
+func TestDifferentialSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	dir := t.TempDir()
+	for _, c := range Cases(rng) {
+		for _, unsorted := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				if err := CheckSharded(c, unsorted, workers, dir); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialPlanReuse runs the plan-reuse soundness check (repeated
 // bit-identical executions, value perturbation, structural-staleness
 // detection) for every plannable algorithm across the suite. The tiled
@@ -177,7 +195,7 @@ func TestDifferentialContextReuse(t *testing.T) {
 // split structure and per-execute value re-gather are covered too.
 func TestDifferentialPlanReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
-	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec, spgemm.AlgTiled} {
+	for _, alg := range []spgemm.Algorithm{spgemm.AlgHash, spgemm.AlgHashVec, spgemm.AlgTiled, spgemm.AlgSharded} {
 		for _, c := range Cases(rng) {
 			for _, unsorted := range []bool{false, true} {
 				for _, workers := range []int{1, 4} {

@@ -74,7 +74,8 @@ func CheckRing[V semiring.Value, R semiring.Ring[V]](caseName string, ring R, a,
 		return fmt.Errorf("%s/%v unsorted=%v workers=%d: %w", caseName, alg, unsorted, workers, err)
 	}
 	if tc, hf := tinyTiles(alg); tc > 0 {
-		fopt := &spgemm.OptionsG[V]{Algorithm: alg, Unsorted: unsorted, Workers: workers, TileCols: tc, TileHeavyFlop: hf}
+		fopt := &spgemm.OptionsG[V]{Algorithm: alg, Unsorted: unsorted, Workers: workers,
+			TileCols: tc, TileHeavyFlop: hf, ShardStripes: tinyShards(alg)}
 		forced, err := spgemm.MultiplyRing(ring, a, b, fopt)
 		if err != nil {
 			return fmt.Errorf("%s/%v tiny-tiles unsorted=%v workers=%d: %w", caseName, alg, unsorted, workers, err)

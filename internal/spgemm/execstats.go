@@ -104,6 +104,25 @@ type ExecStats struct {
 	Total time.Duration
 	// Workers holds one entry per worker that ran.
 	Workers []WorkerStats
+	// Stripes holds AlgSharded's per-stripe breakdown, in ascending row
+	// order; empty for every other algorithm. Unlike the other fields it
+	// is per-call detail: Add does not accumulate stripes across calls.
+	Stripes []StripeStats
+}
+
+// StripeStats describes one stripe of a sharded multiply.
+type StripeStats struct {
+	// Lo, Hi is the stripe's output row range [Lo, Hi).
+	Lo, Hi int
+	// Flop is the stripe's multiply-accumulate count.
+	Flop int64
+	// Nnz is the stripe's output entry count.
+	Nnz int64
+	// ColSplit reports whether the stripe swept B in column blocks.
+	ColSplit bool
+	// Spilled reports whether the stripe was committed to an out-of-core
+	// sink.
+	Spilled bool
 }
 
 // reset prepares the stats for a new run with the given worker count,
@@ -119,6 +138,7 @@ func (s *ExecStats) reset(workers int) {
 	} else {
 		s.Workers = make([]WorkerStats, workers)
 	}
+	s.Stripes = s.Stripes[:0]
 }
 
 // PhaseSum returns the sum of the per-phase times. The accounting invariant
@@ -193,6 +213,7 @@ func (s *ExecStats) Add(o *ExecStats) {
 func (s *ExecStats) Clone() *ExecStats {
 	out := *s
 	out.Workers = append([]WorkerStats(nil), s.Workers...)
+	out.Stripes = append([]StripeStats(nil), s.Stripes...)
 	return &out
 }
 
@@ -259,6 +280,24 @@ func (s *ExecStats) String() string {
 	}
 	if t.L2Overflows > 0 {
 		fmt.Fprintf(&b, " l2_overflows=%d", t.L2Overflows)
+	}
+	if n := len(s.Stripes); n > 0 {
+		split, spilled := 0, 0
+		for i := range s.Stripes {
+			if s.Stripes[i].ColSplit {
+				split++
+			}
+			if s.Stripes[i].Spilled {
+				spilled++
+			}
+		}
+		fmt.Fprintf(&b, " stripes=%d", n)
+		if split > 0 {
+			fmt.Fprintf(&b, " col_split=%d", split)
+		}
+		if spilled > 0 {
+			fmt.Fprintf(&b, " spilled=%d", spilled)
+		}
 	}
 	return b.String()
 }

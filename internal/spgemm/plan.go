@@ -78,13 +78,21 @@ type Plan struct {
 	unitNnz    []int64
 	unitOff    []int64
 	uoffsets   []int
+
+	// Sharded-plan state (alg == AlgSharded): the cached stripe geometry —
+	// flop-balanced row offsets, per-stripe accumulator bounds, column-split
+	// flags and the block width (see shardGeometry).
+	stripeOffsets  []int
+	stripeBounds   []int64
+	stripeWide     []bool
+	shardBlockCols int
 }
 
 // NewPlan runs the inspector: flop counts, balanced partition and symbolic
 // phase for C = A·B, and returns a Plan whose Execute performs the numeric
-// phase only. Supported algorithms are AlgHash and AlgHashVec (AlgAuto
-// resolves through the Table 4 recipe and then must land on a hash variant);
-// Mask and Semiring are not supported. opt.Context, when set, supplies the
+// phase only. Supported algorithms are AlgHash, AlgHashVec, AlgTiled and
+// AlgSharded (AlgAuto resolves through the recipe and then must land on one
+// of those); Mask, Semiring and ShardSink are not supported. opt.Context, when set, supplies the
 // reusable accumulators Execute will use; opt.Stats, when set, receives
 // per-phase times for the inspector call and for every Execute.
 func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
@@ -101,8 +109,11 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	if alg == AlgAuto {
 		alg = Recommend(a, b, !opt.Unsorted, opt.UseCase)
 	}
-	if alg != AlgHash && alg != AlgHashVec && alg != AlgTiled {
-		return nil, fmt.Errorf("spgemm: plans support hash, hashvec and tiled, not %v", alg)
+	if alg != AlgHash && alg != AlgHashVec && alg != AlgTiled && alg != AlgSharded {
+		return nil, fmt.Errorf("spgemm: plans support hash, hashvec, tiled and sharded, not %v", alg)
+	}
+	if opt.ShardSink != nil {
+		return nil, fmt.Errorf("spgemm: plans do not support a ShardSink (spilled products are single-use)")
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -135,6 +146,12 @@ func NewPlan(a, b *matrix.CSR, opt *Options) (*Plan, error) {
 	}
 	if alg == AlgTiled {
 		p.buildTiled(opt, ctx)
+		p.valid = true
+		mPlanBuilds.Inc()
+		return p, nil
+	}
+	if alg == AlgSharded {
+		p.buildSharded(opt, ctx)
 		p.valid = true
 		mPlanBuilds.Inc()
 		return p, nil
@@ -231,6 +248,9 @@ func (p *Plan) ExecuteIn(ctx *Context, stats *ExecStats) (*matrix.CSR, error) {
 	}
 	if p.alg == AlgTiled {
 		return p.executeTiled(ctx, stats)
+	}
+	if p.alg == AlgSharded {
+		return p.executeSharded(ctx, stats)
 	}
 	a, b := p.a, p.b
 	if ctx == nil {

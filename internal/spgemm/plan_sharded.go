@@ -1,0 +1,95 @@
+package spgemm
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// Sharded plans: the inspector caches the stripe geometry (flop-balanced
+// offsets, per-stripe accumulator bounds, column-split flags) along with the
+// usual symbolic result, so every Execute replays only the numeric stage of
+// each stripe into a fresh in-RAM sink. Spill sinks are rejected at NewPlan:
+// a spilled product aliases its temp-file mapping and is single-use, the
+// opposite of what a reusable plan is for.
+
+// buildSharded runs the sharded inspector: flop counts, stripe geometry and
+// the stripe-local symbolic phase. Mirrors shardedMultiply up to PhaseAlloc.
+func (p *Plan) buildSharded(opt *Options, ctx *Context) {
+	a, b := p.a, p.b
+	g := &OptionsG[float64]{
+		Workers:        p.workers,
+		Unsorted:       p.unsorted,
+		Context:        ctx,
+		TileCols:       opt.TileCols,
+		TileHeavyFlop:  opt.TileHeavyFlop,
+		ShardStripes:   opt.ShardStripes,
+		ShardMemBudget: opt.ShardMemBudget,
+	}
+	pt := startPhases(opt.Stats, p.workers)
+	flopRow := ctx.perRowFlop(a, b)
+	p.flopRow = append(p.flopRow[:0], flopRow...)
+	var totalFlop int64
+	for _, f := range flopRow {
+		totalFlop += f
+	}
+	geom := g.shardPlanGeometry(ctx, flopRow, totalFlop, a.Rows, b.Cols, p.workers)
+	p.stripeOffsets = append(p.stripeOffsets[:0], geom.offsets...)
+	p.stripeBounds = append(p.stripeBounds[:0], geom.bound...)
+	p.stripeWide = append(p.stripeWide[:0], geom.wide...)
+	p.shardBlockCols = geom.blockCols
+	pt.tick(PhasePartition)
+
+	rowNnz := ctx.rowNnzBuf(a.Rows)
+	src := newHashShardSource(semiring.PlusTimesF64{}, a, b, ctx, &geom, flopRow, p.unsorted)
+	shardSymbolic[float64](ctx, src, p.workers, rowNnz)
+	pt.tick(PhaseSymbolic)
+	p.rowPtr = ctx.prefixSum(rowNnz, make([]int64, a.Rows+1), p.workers)
+	pt.finish()
+}
+
+// executeSharded replays the numeric stage of every stripe against the
+// current values of A and B — bit-identical to what Multiply with the plan's
+// options would produce (see shardedMultiply's identity guarantee).
+func (p *Plan) executeSharded(ctx *Context, stats *ExecStats) (*matrix.CSR, error) {
+	a, b := p.a, p.b
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	ctx.ensureWorkers(p.workers)
+	pt := startPhases(stats, p.workers)
+	if stats != nil {
+		stats.Algorithm = p.alg
+	}
+	geom := shardGeometry{
+		offsets:   p.stripeOffsets,
+		bound:     p.stripeBounds,
+		wide:      p.stripeWide,
+		blockCols: p.shardBlockCols,
+	}
+	src := newHashShardSource(semiring.PlusTimesF64{}, a, b, ctx, &geom, p.flopRow, p.unsorted)
+
+	outPtr := make([]int64, len(p.rowPtr))
+	copy(outPtr, p.rowPtr)
+	sink := &memShardSink[float64]{}
+	if err := sink.Bind(a.Rows, b.Cols, outPtr, !p.unsorted); err != nil {
+		return nil, err
+	}
+	pt.tick(PhaseAlloc)
+
+	if err := shardNumeric[float64](ctx, src, p.workers, outPtr, sink, &pt); err != nil {
+		return nil, err
+	}
+	pt.tick(PhaseNumeric)
+	c, err := sink.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	pt.tick(PhaseAssemble)
+	fillStripeStats(stats, &geom, p.flopRow, outPtr, sink)
+	pt.finish()
+	mPlanExecs.Inc()
+	if stats != nil {
+		ctx.accumulate(stats)
+	}
+	return c, nil
+}

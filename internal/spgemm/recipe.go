@@ -2,6 +2,8 @@ package spgemm
 
 import (
 	"math"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/accum"
 	"repro/internal/matrix"
@@ -46,11 +48,65 @@ func (u UseCase) String() string {
 // The recipe only inspects sparsity structure, so it applies unchanged to
 // any value type.
 func Recommend[V semiring.Value](a, b *matrix.CSRG[V], sorted bool, uc UseCase) Algorithm {
+	if shardedRecommended(a, b) {
+		return AlgSharded
+	}
 	alg := recommendTable4(a, b, sorted, uc)
 	if RequiresSortedInput(alg) && !b.Sorted {
 		return AlgHash
 	}
 	return alg
+}
+
+// shardedAutoBytes is the estimated-output-size threshold (bytes) above
+// which the recipe overrides Table 4 with AlgSharded: products this large
+// are past the regime the paper's per-thread recipe was tuned on, and the
+// stripe-wise engine bounds peak memory where the monolithic pipeline
+// cannot. Atomic so tests adjusting it stay race-clean.
+var shardedAutoBytes atomic.Int64
+
+func init() { shardedAutoBytes.Store(1 << 31) } // 2 GiB of output entries
+
+// SetShardedAutoBytes replaces the output-size threshold routing AlgAuto to
+// AlgSharded and returns the previous value. A threshold <= 0 disables the
+// routing.
+func SetShardedAutoBytes(n int64) int64 { return shardedAutoBytes.Swap(n) }
+
+// ShardedAutoBytes returns the current threshold.
+func ShardedAutoBytes() int64 { return shardedAutoBytes.Load() }
+
+// shardedRecommended estimates the output size in bytes — flop over the
+// sampled compression ratio, times the per-entry cost — and fires when it
+// reaches the threshold. All int64/float64 math: a scale-20+ flop total
+// must not wrap (the same hardening as shardStripeCount).
+func shardedRecommended[V semiring.Value](a, b *matrix.CSRG[V]) bool {
+	limit := shardedAutoBytes.Load()
+	if limit <= 0 {
+		return false
+	}
+	var totalFlop int64
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			totalFlop += b.RowPtr[k+1] - b.RowPtr[k]
+		}
+	}
+	if totalFlop <= 0 {
+		return false
+	}
+	var zero V
+	per := float64(4 + unsafe.Sizeof(zero))
+	// Cheap upper-bound pre-check before paying for the sampled symbolic
+	// phase: if even the no-compression bound stays under the threshold,
+	// the estimate below cannot reach it either (cr >= 1).
+	if float64(totalFlop)*per < float64(limit) {
+		return false
+	}
+	cr := EstimateCompressionRatio(a, b, 1000)
+	if cr < 1 {
+		cr = 1
+	}
+	return float64(totalFlop)/cr*per >= float64(limit)
 }
 
 // recommendTable4 is the unconstrained Table 4 lookup.

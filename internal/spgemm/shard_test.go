@@ -1,0 +1,404 @@
+package spgemm
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// bitIdentical reports whether two products are byte-for-byte the same
+// (structure, values, sortedness flag).
+func bitIdentical(a, b *matrix.CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Sorted != b.Sorted || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedBitIdenticalToHash is the engine's acceptance criterion: sorted
+// sharded output must be bit-identical to AlgHash on the same inputs, across
+// stripe counts (including auto), worker counts, and with the column-split
+// path forced at toy scale via tiny tile geometry.
+func TestShardedBitIdenticalToHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	inputs := []struct {
+		name string
+		a, b *matrix.CSR
+	}{
+		{"g500", gen.RMAT(9, 8, gen.G500Params, rng), gen.RMAT(9, 8, gen.G500Params, rng)},
+		{"er", gen.ER(8, 6, rng), gen.ER(8, 6, rng)},
+		{"tallskinny", gen.RMAT(8, 8, gen.G500Params, rng), matrix.Random(1<<8, 5, 0.4, rng)},
+		{"empty", matrix.NewCSR(17, 13), matrix.NewCSR(13, 9)},
+	}
+	for _, in := range inputs {
+		want, err := Multiply(in.a, in.b, &Options{Algorithm: AlgHash})
+		if err != nil {
+			t.Fatalf("%s: hash: %v", in.name, err)
+		}
+		for _, stripes := range []int{0, 1, 3, 16} {
+			for _, workers := range []int{1, 4} {
+				for _, tiny := range []bool{false, true} {
+					opt := &Options{Algorithm: AlgSharded, Workers: workers, ShardStripes: stripes}
+					if tiny {
+						opt.TileCols, opt.TileHeavyFlop = 8, 1
+					}
+					got, err := Multiply(in.a, in.b, opt)
+					if err != nil {
+						t.Fatalf("%s stripes=%d workers=%d tiny=%v: %v", in.name, stripes, workers, tiny, err)
+					}
+					if !bitIdentical(want, got) {
+						t.Errorf("%s stripes=%d workers=%d tiny=%v: sharded differs from hash", in.name, stripes, workers, tiny)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedUnsortedEquivalent: with unsorted output only the per-row entry
+// sets are guaranteed (hash iteration order is capacity-dependent and stripe
+// tables size independently), so compare after canonicalizing.
+func TestShardedUnsortedEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := gen.RMAT(8, 8, gen.G500Params, rng)
+	b := gen.RMAT(8, 8, gen.G500Params, rng)
+	want, err := Multiply(a, b, &Options{Algorithm: AlgHash, Unsorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Multiply(a, b, &Options{Algorithm: AlgSharded, Unsorted: true, ShardStripes: 5, TileCols: 8, TileHeavyFlop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sorted {
+		t.Error("unsorted request produced Sorted output flag")
+	}
+	ws, gs := want.Clone(), got.Clone()
+	ws.SortRows()
+	gs.SortRows()
+	ws.Sorted, gs.Sorted = true, true
+	if !bitIdentical(ws, gs) {
+		t.Error("sharded unsorted entry sets differ from hash")
+	}
+}
+
+// TestShardedUnsortedInputColSplit drives the inexact ColBlock path: B's
+// rows unsorted, column split forced.
+func TestShardedUnsortedInputColSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := gen.RMAT(8, 8, gen.G500Params, rng)
+	b := gen.RMAT(8, 8, gen.G500Params, rng)
+	b = gen.Unsorted(b, rng)
+	want, err := Multiply(a, b, &Options{Algorithm: AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Multiply(a, b, &Options{Algorithm: AlgSharded, ShardStripes: 4, TileCols: 8, TileHeavyFlop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(want, got) {
+		t.Error("sharded over unsorted B differs from hash")
+	}
+}
+
+// TestShardStripeCountHugeDimensions is the int64-overflow regression for
+// the stripe cutter: synthetic flop totals and dimensions past any 32-bit
+// intermediate (a scale-20+ product) must produce sane stripe counts, and
+// saturation rather than wraparound at the extreme.
+func TestShardStripeCountHugeDimensions(t *testing.T) {
+	const budget = int64(256) << 20
+	// Scale-22-ish: 2^40 flop over 2^22 rows. With 12 bytes per upper-bound
+	// entry the byte estimate (~1.3e13) needs ~49k stripes; a 32-bit wrap
+	// would collapse this to the worker floor.
+	n := shardStripeCount(1<<40, 1<<22, 64, 8, budget)
+	if n < 1<<15 || n > 1<<22 {
+		t.Errorf("scale-22 stripe count = %d, want ~49k", n)
+	}
+	// MaxInt64 flop saturates instead of wrapping negative.
+	if n := shardStripeCount(math.MaxInt64, 1<<22, 64, 8, budget); n != 1<<22 {
+		t.Errorf("saturated count = %d, want row cap %d", n, 1<<22)
+	}
+	// Negative flop (corrupt header) clamps to the worker floor, never panics.
+	if n := shardStripeCount(-5, 1000, 8, 8, budget); n != 8 {
+		t.Errorf("negative-flop count = %d, want worker floor 8", n)
+	}
+	// Zero budget takes the default; tiny products stay at the floor.
+	if n := shardStripeCount(1000, 1000, 4, 8, 0); n != 4 {
+		t.Errorf("default-budget count = %d, want 4", n)
+	}
+	// Workers above rows: capped at one stripe per row.
+	if n := shardStripeCount(1000, 3, 8, 8, budget); n != 3 {
+		t.Errorf("row-capped count = %d, want 3", n)
+	}
+	// No rows at all.
+	if n := shardStripeCount(0, 0, 8, 8, budget); n != 1 {
+		t.Errorf("empty count = %d, want 1", n)
+	}
+	// capBound with a near-MaxInt32 column count must stay int64-clean.
+	if got := capBound(1<<40, math.MaxInt32); got != math.MaxInt32 {
+		t.Errorf("capBound(2^40, MaxInt32) = %d", got)
+	}
+}
+
+// TestSpillSinkShardedMatchesHash runs the out-of-core path at toy scale: a
+// resident budget far below the output size forces stripes to queue for
+// admission, and the mmap-backed result must still match AlgHash exactly.
+func TestSpillSinkShardedMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := gen.RMAT(9, 8, gen.G500Params, rng)
+	b := gen.RMAT(9, 8, gen.G500Params, rng)
+	want, err := Multiply(a, b, &Options{Algorithm: AlgHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBytes := want.NNZ() * 12
+	budget := outBytes / 4
+	if budget < 64 {
+		budget = 64
+	}
+	sink := NewSpillSink[float64](t.TempDir(), budget)
+	got, err := Multiply(a, b, &Options{Algorithm: AlgSharded, ShardStripes: 16, ShardSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(want, got) {
+		t.Error("spilled product differs from hash")
+	}
+	if peak := sink.PeakResident(); peak > budget {
+		t.Errorf("peak resident %d exceeds budget %d", peak, budget)
+	}
+	if sink.SpilledBytes() < outBytes {
+		t.Errorf("spilled %d bytes, want >= %d", sink.SpilledBytes(), outBytes)
+	}
+	path := sink.f.Name()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("spill file missing before Close: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("spill file survives Close")
+	}
+	if err := sink.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSpillSinkSingleUse: a sink serves exactly one multiply.
+func TestSpillSinkSingleUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a, b := matrix.Random(20, 20, 0.2, rng), matrix.Random(20, 20, 0.2, rng)
+	sink := NewSpillSink[float64](t.TempDir(), 1<<20)
+	defer sink.Close()
+	if _, err := Multiply(a, b, &Options{Algorithm: AlgSharded, ShardSink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Multiply(a, b, &Options{Algorithm: AlgSharded, ShardSink: sink}); err == nil {
+		t.Error("second multiply through one SpillSink succeeded")
+	}
+}
+
+// TestShardedPlanReplay: sharded plans replay numeric-only and stay
+// bit-identical to one-shot Multiply across value updates; concurrent
+// ExecuteIn on one shared plan with distinct contexts is the server's
+// plan-cache contract.
+func TestShardedPlanReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	a := gen.RMAT(8, 8, gen.G500Params, rng)
+	b := gen.RMAT(8, 8, gen.G500Params, rng)
+	opt := &Options{Algorithm: AlgSharded, ShardStripes: 6, TileCols: 8, TileHeavyFlop: 1}
+	plan, err := NewPlan(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		want, err := Multiply(a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(want, got) {
+			t.Fatalf("round %d: plan execute differs from multiply", round)
+		}
+		for i := range b.Val {
+			b.Val[i] *= 0.5
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*matrix.CSR, 4)
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = plan.ExecuteIn(NewContext(), nil)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		if errs[g] != nil {
+			t.Fatalf("concurrent ExecuteIn %d: %v", g, errs[g])
+		}
+		if !bitIdentical(results[0], results[g]) {
+			t.Fatalf("concurrent ExecuteIn %d differs", g)
+		}
+	}
+
+	// Structural change must surface staleness.
+	if a.NNZ() > 0 {
+		a.ColIdx[0] ^= 1
+		if _, err := plan.Execute(); err != ErrPlanStale {
+			t.Fatalf("structural change: got %v, want ErrPlanStale", err)
+		}
+	}
+}
+
+// TestShardedPlanRejectsSpillSink: plans are reuse-oriented; spilled
+// products are single-use.
+func TestShardedPlanRejectsSpillSink(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a, b := matrix.Random(10, 10, 0.3, rng), matrix.Random(10, 10, 0.3, rng)
+	sink := NewSpillSink[float64](t.TempDir(), 1<<20)
+	defer sink.Close()
+	if _, err := NewPlan(a, b, &Options{Algorithm: AlgSharded, ShardSink: sink}); err == nil {
+		t.Error("NewPlan accepted a ShardSink")
+	}
+}
+
+// TestShardedStripeStats: per-stripe counters cover every output row and
+// entry, the column-split flag follows the forced geometry, and PhaseSpans
+// gains assemble coverage.
+func TestShardedStripeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	a := gen.RMAT(8, 8, gen.G500Params, rng)
+	b := gen.RMAT(8, 8, gen.G500Params, rng)
+	var st ExecStats
+	c, err := Multiply(a, b, &Options{
+		Algorithm: AlgSharded, ShardStripes: 5, TileCols: 8, TileHeavyFlop: 1, Stats: &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Stripes) == 0 {
+		t.Fatal("no stripe stats recorded")
+	}
+	var nnz, flop int64
+	prevHi := 0
+	anySplit := false
+	for _, s := range st.Stripes {
+		if s.Lo != prevHi {
+			t.Fatalf("stripe gap: lo=%d after hi=%d", s.Lo, prevHi)
+		}
+		prevHi = s.Hi
+		nnz += s.Nnz
+		flop += s.Flop
+		anySplit = anySplit || s.ColSplit
+		if s.Spilled {
+			t.Error("in-RAM sink reported spilled stripes")
+		}
+	}
+	if prevHi != a.Rows {
+		t.Fatalf("stripes cover %d rows, want %d", prevHi, a.Rows)
+	}
+	if nnz != c.NNZ() {
+		t.Errorf("stripe nnz sum %d, want %d", nnz, c.NNZ())
+	}
+	if tw := st.TotalWorker(); tw.Flop != flop {
+		t.Errorf("worker flop %d != stripe flop %d", tw.Flop, flop)
+	}
+	if !anySplit {
+		t.Error("forced tiny tile geometry produced no column-split stripes")
+	}
+	if st.Phases[PhaseAssemble] <= 0 {
+		t.Error("sharded run recorded no assemble phase")
+	}
+	if st.PhaseSum() > st.Total {
+		t.Errorf("PhaseSum %v exceeds Total %v", st.PhaseSum(), st.Total)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+
+	// Stats reset on reuse: a hash call through the same ExecStats must
+	// clear the stripe breakdown.
+	if _, err := Multiply(a, b, &Options{Algorithm: AlgHash, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Stripes) != 0 {
+		t.Error("stale stripe stats survive reset")
+	}
+}
+
+// TestShardedContextReuseSteady: repeated sharded multiplies through one
+// Context must keep working as buffers are reused and stripe geometry
+// changes shape between calls.
+func TestShardedContextReuseSteady(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	ctx := NewContext()
+	for round := 0; round < 4; round++ {
+		a, b := randPair(rng, 60, 0.15)
+		want, err := Multiply(a, b, &Options{Algorithm: AlgHash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Multiply(a, b, &Options{
+			Algorithm: AlgSharded, Context: ctx, ShardStripes: 1 + round*3, TileCols: 8, TileHeavyFlop: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(want, got) {
+			t.Fatalf("round %d: context-reuse sharded differs from hash", round)
+		}
+	}
+}
+
+// TestShardedAutoRouting: the recipe overrides Table 4 with AlgSharded once
+// the estimated output crosses the threshold, and leaves small products
+// alone.
+func TestShardedAutoRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	a := gen.RMAT(8, 8, gen.G500Params, rng)
+	b := gen.RMAT(8, 8, gen.G500Params, rng)
+	prev := SetShardedAutoBytes(1) // any nonzero output crosses it
+	defer SetShardedAutoBytes(prev)
+	if alg := Recommend(a, b, true, UseSquare); alg != AlgSharded {
+		t.Errorf("tiny threshold: Recommend = %v, want sharded", alg)
+	}
+	var st ExecStats
+	if _, err := Multiply(a, b, &Options{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Algorithm != AlgSharded {
+		t.Errorf("auto multiply ran %v, want sharded", st.Algorithm)
+	}
+	SetShardedAutoBytes(1 << 60)
+	if alg := Recommend(a, b, true, UseSquare); alg == AlgSharded {
+		t.Error("huge threshold still routed to sharded")
+	}
+	SetShardedAutoBytes(0)
+	if alg := Recommend(a, b, true, UseSquare); alg == AlgSharded {
+		t.Error("disabled threshold still routed to sharded")
+	}
+}

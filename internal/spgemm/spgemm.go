@@ -88,10 +88,19 @@ const (
 	// single-pass hash path. Tiles ascend in column space, so output rows
 	// are stitched sorted with no merge pass. Accepts any input order.
 	AlgTiled
+	// AlgSharded is the staged shard execution engine: A is cut into
+	// flop-balanced row stripes that run the hash pipeline shard-locally
+	// (symbolic → numeric → merge behind the ShardUnit interface), with B
+	// swept in cache-sized column blocks for stripes whose accumulator
+	// bound overflows the memmodel tier, and finished stripes landed in a
+	// pluggable ShardSink (in-RAM by default; SpillSink for out-of-core
+	// products whose output exceeds resident memory). Sorted output is
+	// bit-identical to AlgHash. Accepts any input order.
+	AlgSharded
 
 	// algLast is the highest defined Algorithm value; keep in sync when
 	// adding algorithms (ParseAlgorithm and the metrics cache iterate to it).
-	algLast = AlgTiled
+	algLast = AlgSharded
 
 	// NumAlgorithms is the number of defined Algorithm values — the size of
 	// any per-algorithm lookup table (the server's cached histogram children,
@@ -128,6 +137,8 @@ func (a Algorithm) String() string {
 		return "esc"
 	case AlgTiled:
 		return "tiled"
+	case AlgSharded:
+		return "sharded"
 	}
 	return "unknown"
 }
@@ -230,8 +241,23 @@ type Options struct {
 	TileCols int
 	// TileHeavyFlop overrides AlgTiled's heavy-row threshold: rows whose
 	// accumulator bound exceeds it are routed through column tiling. 0
-	// means the tile width itself.
+	// means the tile width itself. AlgSharded reuses both tile-geometry
+	// knobs for its column-split decision.
 	TileHeavyFlop int64
+	// ShardStripes overrides AlgSharded's stripe count. 0 means derive it
+	// from the flop total and ShardMemBudget (at least one stripe per
+	// worker, at most one per row).
+	ShardStripes int
+	// ShardMemBudget is the resident-bytes target one stripe's output
+	// upper bound is sized against when AlgSharded derives its stripe
+	// count (and the budget an auto-created spill sink would enforce).
+	// 0 means a 256 MiB default.
+	ShardMemBudget int64
+	// ShardSink overrides where AlgSharded lands finished stripes. nil
+	// means in-RAM assembly (bit-identical to AlgHash for sorted output);
+	// a SpillSink bounds peak resident output memory for out-of-core
+	// products. A sink serves a single Multiply call.
+	ShardSink ShardSink[float64]
 }
 
 // OptionsG configures MultiplyRing over value type V. Field semantics match
@@ -251,9 +277,16 @@ type OptionsG[V semiring.Value] struct {
 	// Context must be a ContextG over the same V as the inputs.
 	Context *ContextG[V]
 	// TileCols and TileHeavyFlop mirror the Options fields: tile-geometry
-	// overrides for AlgTiled and AlgBlockedSPA; zero means analytic.
+	// overrides for AlgTiled and AlgBlockedSPA (and AlgSharded's
+	// column-split decision); zero means analytic.
 	TileCols      int
 	TileHeavyFlop int64
+	// ShardStripes, ShardMemBudget and ShardSink mirror the Options
+	// fields: AlgSharded's stripe-count override, resident-bytes target
+	// and stripe sink.
+	ShardStripes   int
+	ShardMemBudget int64
+	ShardSink      ShardSink[V]
 }
 
 func (o *OptionsG[V]) workers() int {
@@ -282,6 +315,10 @@ func Multiply(a, b *matrix.CSR, opt *Options) (*matrix.CSR, error) {
 
 		TileCols:      opt.TileCols,
 		TileHeavyFlop: opt.TileHeavyFlop,
+
+		ShardStripes:   opt.ShardStripes,
+		ShardMemBudget: opt.ShardMemBudget,
+		ShardSink:      opt.ShardSink,
 	}
 	if opt.Semiring != nil {
 		return MultiplyRing(semiring.Func{S: opt.Semiring}, a, b, g)
@@ -356,6 +393,8 @@ func dispatch[V semiring.Value, R semiring.Ring[V]](ring R, alg Algorithm, a, b 
 		return escMultiply(ring, a, b, opt)
 	case AlgTiled:
 		return tiledMultiply(ring, a, b, opt)
+	case AlgSharded:
+		return shardedMultiply(ring, a, b, opt)
 	}
 	return nil, fmt.Errorf("spgemm: unknown algorithm %d", alg)
 }
@@ -383,7 +422,7 @@ func Flop[V, W semiring.Value](a *matrix.CSRG[V], b *matrix.CSRG[W]) (total int6
 // (the paper's Table 1 "Sortedness" column).
 func SupportsUnsorted(a Algorithm) bool {
 	switch a {
-	case AlgHash, AlgHashVec, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgIKJ, AlgBlockedSPA, AlgTiled:
+	case AlgHash, AlgHashVec, AlgSPA, AlgMKL, AlgMKLInspector, AlgKokkos, AlgIKJ, AlgBlockedSPA, AlgTiled, AlgSharded:
 		return true
 	}
 	return false

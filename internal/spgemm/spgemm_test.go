@@ -26,6 +26,7 @@ var allAlgorithms = []struct {
 	{AlgIKJ, true, true},
 	{AlgBlockedSPA, true, true},
 	{AlgESC, false, true},
+	{AlgSharded, true, true},
 }
 
 func randPair(rng *rand.Rand, maxDim int, density float64) (*matrix.CSR, *matrix.CSR) {

@@ -1,0 +1,24 @@
+//go:build unix
+
+package spgemm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapSpillFile maps size bytes of the spill file read-only. The mapping is
+// what bounds resident memory: pages are faulted in on demand and evictable,
+// so the assembled product can exceed RAM.
+func mapSpillFile(f *os.File, size int64) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("spgemm: spill mmap: %w", err)
+	}
+	return data, nil
+}
+
+func unmapSpillFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package spgemm
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapSpillFile on platforms without mmap reads the spill file back into the
+// heap. Correctness is preserved; the resident-memory bound is not — the
+// out-of-core guarantee of SpillSink is unix-only.
+func mapSpillFile(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("spgemm: spill readback: %w", err)
+	}
+	return data, nil
+}
+
+func unmapSpillFile([]byte) error { return nil }
